@@ -1,0 +1,23 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (a Table I row or a claim
+from §II).  Besides pytest-benchmark's timing table, each bench writes its
+*scientific* output — the rows the paper reports — to
+``benchmarks/results/<name>.txt`` so the numbers survive stdout capture
+and can be diffed across runs / pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, lines: list[str]) -> None:
+    """Write (and echo) one benchmark's result block."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n--- {name} ---")
+    print(text)

@@ -1,0 +1,67 @@
+"""E-C3 — NDAR vs vanilla QAOA under photon loss (ref [21]).
+
+Claim: exploiting the loss attractor "dramatically increases the
+probability of optimal solutions".  The bench sweeps the per-layer loss
+rate on 6-node instances, aggregating the best-found cost and the final
+round's mean sampled cost over several seeds, for NDAR and for vanilla
+noisy QAOA with the same total shot budget.
+"""
+
+import numpy as np
+
+from _report import record
+from repro.qaoa import random_coloring_instance, run_ndar
+
+LOSS_RATES = (0.1, 0.3, 0.5)
+SEEDS = (0, 1, 2, 3)
+
+
+def _sweep():
+    problem = random_coloring_instance(6, 3, degree=4, seed=21)
+    table = []
+    for loss in LOSS_RATES:
+        for adaptive in (True, False):
+            bests, finals = [], []
+            for seed in SEEDS:
+                result = run_ndar(
+                    problem,
+                    n_rounds=4,
+                    shots=30,
+                    loss_per_layer=loss,
+                    adaptive=adaptive,
+                    seed=seed,
+                )
+                bests.append(result.best_cost)
+                finals.append(result.rounds[-1].mean_sampled_cost)
+            table.append(
+                (loss, adaptive, float(np.mean(bests)), float(np.mean(finals)))
+            )
+    return problem, table
+
+
+def bench_ndar_vs_vanilla(benchmark):
+    problem, table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        "E-C3 — NDAR vs vanilla noisy QAOA (6-node 4-regular 3-coloring,",
+        f"        optimum {problem.best_cost()} clashes, mean over {len(SEEDS)} seeds):",
+        "  loss   mode      best-found   final-round mean cost",
+    ]
+    by_loss = {}
+    for loss, adaptive, best, final in table:
+        mode = "NDAR   " if adaptive else "vanilla"
+        lines.append(f"  {loss:<6} {mode}   {best:<12.2f} {final:.2f}")
+        by_loss.setdefault(loss, {})[adaptive] = (best, final)
+    gains = []
+    for loss, modes in by_loss.items():
+        gain = modes[False][1] - modes[True][1]
+        gains.append(gain)
+        lines.append(
+            f"  loss={loss}: NDAR final-round advantage {gain:+.2f} clashes"
+        )
+    lines.append(
+        "  -> NDAR's sampled-quality advantage appears once loss is strong"
+    )
+    record("ndar", lines)
+    # At the strongest loss NDAR's final-round quality must beat vanilla.
+    strongest = max(by_loss)
+    assert by_loss[strongest][True][1] <= by_loss[strongest][False][1]

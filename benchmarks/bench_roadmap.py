@@ -1,0 +1,28 @@
+"""E-C7 — the forecast device's '>100 qubits' capacity claim (paper §I).
+
+"a multi-cell array composed by ~10 linearly connected cavities, each
+contributing ~4 modes that can be occupied by d ~ 10 photons ... would
+exceed 100 qubits in Hilbert space dimension."
+"""
+
+from _report import record
+from repro.hardware import forecast_device, roadmap_summary
+
+
+def bench_roadmap_capacity(benchmark):
+    summary = benchmark.pedantic(
+        lambda: roadmap_summary(forecast_device()), rounds=1, iterations=1
+    )
+    record(
+        "roadmap",
+        [
+            "E-C7 — forecast device capacity:",
+            f"  cavities x modes x d      : {summary.n_cavities} x "
+            f"{summary.n_modes // summary.n_cavities} x {summary.dim_per_mode}",
+            f"  Hilbert dimension         : 10^{summary.hilbert_dimension_log10:.1f}",
+            f"  qubit equivalents         : {summary.qubit_equivalent:.1f}",
+            f"  exceeds 100 qubits        : {summary.exceeds_100_qubits}",
+        ],
+    )
+    assert summary.exceeds_100_qubits
+    assert 130 < summary.qubit_equivalent < 135

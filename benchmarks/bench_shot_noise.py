@@ -1,0 +1,49 @@
+"""E-C6 — shot-noise overhead of reservoir readout (Table I row 3 challenge).
+
+Claim: sampling overhead "quickly degrades performance and would prohibit
+real-time operation".  The bench trains/tests the NARMA-2 readout with
+multinomially sampled population features at increasing shot budgets and
+reports the NMSE curve against the exact-expectation floor.
+"""
+
+from _report import record
+from repro.reservoir import QuantumReservoir, narma_task, shot_noise_sweep
+
+BUDGETS = [30, 100, 300, 1000, 3000, 10000, 30000]
+
+
+def _sweep():
+    task = narma_task(400, order=2, seed=0)
+    features = QuantumReservoir().run(task.inputs)
+    return shot_noise_sweep(
+        features, task.targets, BUDGETS, washout=30, alpha=1e-4, seed=0
+    )
+
+
+def bench_shot_noise_overhead(benchmark):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    exact = next(p for p in sweep if p.shots == 0)
+    lines = [
+        "E-C6 — readout NMSE vs shots per time step (NARMA-2, 81 features):",
+    ]
+    for point in sweep:
+        if point.shots == 0:
+            continue
+        overhead = point.nmse / exact.nmse
+        lines.append(
+            f"  shots {point.shots:>6}: NMSE {point.nmse:.4f} "
+            f"({overhead:5.1f}x the exact floor)"
+        )
+    lines.append(f"  exact floor : NMSE {exact.nmse:.4f}")
+    lines.append(
+        "  -> useful operation needs >= 10^3-10^4 shots per step; at a ~us"
+    )
+    lines.append(
+        "     clock that is ms-scale wall time per input sample — the"
+    )
+    lines.append("     real-time bottleneck Table I row 3 flags.")
+    record("shot_noise", lines)
+    few = next(p for p in sweep if p.shots == BUDGETS[0])
+    many = next(p for p in sweep if p.shots == BUDGETS[-1])
+    assert few.nmse > 1.5 * many.nmse  # steep degradation at low budgets
+    assert many.nmse < 4 * exact.nmse  # large budgets approach the floor

@@ -1,0 +1,41 @@
+"""T1.2 — Table I row 2: NDAR-QAOA 3-coloring at N = 9.
+
+Runs the full optimisation campaign at the paper's stated size: a 9-node
+4-regular 3-coloring instance on nine qutrits, p = 1 QAOA optimised
+noiselessly, then noisy NDAR sampling.  Reports the approximation ratios
+and the per-round trajectory.
+"""
+
+from _report import record
+from repro.qaoa import optimize_qaoa, random_coloring_instance, run_ndar
+
+
+def _campaign():
+    problem = random_coloring_instance(9, 3, degree=4, seed=11)
+    qaoa = optimize_qaoa(problem, p=1, maxiter=100)
+    ndar = run_ndar(
+        problem, n_rounds=4, shots=40, loss_per_layer=0.25, p=1, seed=5
+    )
+    return problem, qaoa, ndar
+
+
+def bench_table1_coloring(benchmark):
+    problem, qaoa, ndar = benchmark.pedantic(_campaign, rounds=1, iterations=1)
+    record(
+        "table1_coloring",
+        [
+            "Table I row 2 — NDAR-QAOA, 3 colors, N = 9 (nine qutrits):",
+            f"  instance                  : {problem.n_nodes} nodes, {problem.n_edges} edges, "
+            f"optimum {problem.best_cost()} clashes",
+            f"  noiseless QAOA p=1        : E[clashes] {qaoa.expected_cost:.3f}, "
+            f"ratio {qaoa.approximation_ratio:.3f}",
+            f"  NDAR best sample          : {ndar.best_cost} clashes, "
+            f"ratio {ndar.approximation_ratio:.3f}",
+            f"  NDAR mean cost per round  : "
+            + str([round(r.mean_sampled_cost, 2) for r in ndar.rounds]),
+            "  -> the campaign is executable at Table I size; validity is 1.0 by",
+            "     construction (qudit one-hot), see bench_ndar for the loss sweep.",
+        ],
+    )
+    assert qaoa.approximation_ratio > 0.6
+    assert ndar.approximation_ratio >= qaoa.approximation_ratio * 0.8

@@ -1,0 +1,61 @@
+"""T1.3 / E-C5 — Table I row 3: reservoir computing, 81 effective neurons.
+
+Runs NARMA-2 prediction on the two-oscillator quantum reservoir (9 Fock
+levels per mode = 81 joint-population neurons) and sweeps echo-state
+networks to find the classical size matching the quantum NMSE — ref
+[25]'s "achieving similar performance classically required a much larger
+reservoir" comparison, with physical nodes as the honest denominator
+(2 oscillators vs tens of classical neurons).
+"""
+
+from _report import record
+from repro.reservoir import (
+    EchoStateNetwork,
+    QuantumReservoir,
+    RidgeReadout,
+    narma_task,
+    train_test_split,
+)
+
+ESN_SIZES = (5, 10, 20, 40, 81, 160)
+
+
+def _campaign():
+    task = narma_task(500, order=2, seed=0)
+    reservoir = QuantumReservoir()
+    features = reservoir.run(task.inputs)
+    f_tr, y_tr, f_te, y_te = train_test_split(features, task.targets, washout=30)
+    quantum_nmse = RidgeReadout(1e-8).fit(f_tr, y_tr).score_nmse(f_te, y_te)
+    esn_scores = {}
+    for size in ESN_SIZES:
+        esn = EchoStateNetwork(size, seed=1)
+        states = esn.run(task.inputs)
+        f_tr, y_tr, f_te, y_te = train_test_split(states, task.targets, washout=30)
+        esn_scores[size] = RidgeReadout(1e-8).fit(f_tr, y_tr).score_nmse(f_te, y_te)
+    return reservoir, quantum_nmse, esn_scores
+
+
+def bench_table1_reservoir(benchmark):
+    reservoir, quantum_nmse, esn_scores = benchmark.pedantic(
+        _campaign, rounds=1, iterations=1
+    )
+    matching = [n for n, score in esn_scores.items() if score <= quantum_nmse]
+    equivalent = min(matching) if matching else max(ESN_SIZES)
+    lines = [
+        "Table I row 3 / E-C5 — quantum reservoir vs classical ESN (NARMA-2):",
+        f"  quantum reservoir         : 2 oscillators x 9 levels = "
+        f"{reservoir.effective_neurons()} neurons, NMSE {quantum_nmse:.4f}",
+        "  ESN size sweep:",
+    ]
+    for size, score in esn_scores.items():
+        marker = "  <- first match" if size == equivalent else ""
+        lines.append(f"    n={size:>4}: NMSE {score:.4f}{marker}")
+    lines.append(
+        f"  -> matching the 2-oscillator reservoir takes an ESN of ~{equivalent}"
+    )
+    lines.append(
+        "     classical neurons (>> 2 physical nodes) — claim C5's shape."
+    )
+    record("table1_reservoir", lines)
+    assert quantum_nmse < 0.05
+    assert equivalent >= 20  # much larger than the 2 physical oscillators

@@ -1,0 +1,95 @@
+"""T1.1 / C8 — Table I row 1: the 9x2, d>=4 sQED campaign estimation.
+
+The paper does not simulate this campaign (the Hilbert space is ~5^18);
+it *estimates* it.  This bench does the same with the real compilation
+stack: build one second-order Trotter step of the 2+1D dual-rotor ladder,
+map it onto the forecast device with the ladder layout (vertical bonds
+co-located, horizontal bonds adjacent — Table I's CSUM distinction), and
+report native-gate counts, duration, fidelity, and the coherence budget.
+A small 3x2 instance is also exactly diagonalised as a physics check.
+"""
+
+import pytest
+
+from _report import record
+from repro.compile.resources import estimate_resources
+from repro.compile.synthesis import csum_cost
+from repro.hardware import DeviceNoiseModel, forecast_device
+from repro.sqed import RotorLadder2D, trotter_circuit
+from repro.sqed.rotor2d import ladder_mode_layout
+
+
+def _campaign_estimate():
+    lattice = RotorLadder2D(lx=9, ly=2, spin=2, g2=1.0, kappa=0.4)  # d = 5 >= 4
+    device = forecast_device()
+    layout = ladder_mode_layout(lattice, modes_per_cavity=4)
+    step = trotter_circuit(lattice, t_total=0.2, n_steps=1, order=2)
+    resources = estimate_resources(step, device, layout)
+    noise = DeviceNoiseModel(device)
+    coloc = csum_cost(device, layout[0], layout[1], noise)  # vertical bond
+    adj = csum_cost(device, layout[0], layout[2], noise)  # horizontal bond
+    small = RotorLadder2D(lx=3, ly=2, spin=1, g2=1.0, kappa=0.4)
+    return lattice, resources, coloc, adj, small.mass_gap()
+
+
+def bench_table1_sqed_campaign(benchmark):
+    lattice, resources, coloc, adj, small_gap = benchmark.pedantic(
+        _campaign_estimate, rounds=1, iterations=1
+    )
+    n_bonds = len(lattice.bonds())
+    record(
+        "table1_sqed",
+        [
+            "Table I row 1 — sQED simulation, 2D lattice Ns = 9x2, d = 5 (>= 4):",
+            f"  lattice sites            : {lattice.n_sites} (dim 5^18 ~ 3.8e12 — estimation only)",
+            f"  bond terms per step      : {n_bonds} (9 vertical co-located, 16 horizontal adjacent)",
+            f"  native gates / Trotter^2 : {dict(sorted(resources.native_counts.items()))}",
+            f"  entangling pulses        : {resources.n_entangling}",
+            f"  step duration            : {resources.total_duration * 1e6:.1f} us",
+            f"  step fidelity estimate   : {resources.fidelity:.3f}",
+            f"  busiest-mode time / T1   : {resources.coherence_fraction:.3g}",
+            f"  CSUM co-located          : F = {coloc.fidelity:.4f}, {coloc.duration * 1e6:.1f} us",
+            f"  CSUM adjacent            : F = {adj.fidelity:.4f}, {adj.duration * 1e6:.1f} us",
+            f"  physics check (3x2, d=3) : mass gap {small_gap:.4f} by ED",
+            "  -> Table I's verdict reproduced: the *time* budget fits",
+            "     (busiest mode uses ~21% of T1) so the campaign is 'in",
+            "     principle mappable and executable', but the gate-fidelity",
+            "     budget fails by orders of magnitude at today's SNAP/CSUM",
+            "     costs — exactly why CSUM synthesis is the 'main challenge'.",
+        ],
+    )
+    # Time budget fits; fidelity budget is the named challenge (tiny).
+    assert resources.coherence_fraction < 1.0
+    assert resources.fidelity < 0.1
+    assert adj.fidelity < coloc.fidelity
+    assert coloc.fidelity > 0.8  # single CSUM is near-term feasible
+
+
+def _beyond_2d():
+    from repro.sqed import RotorLattice3D, swap_network_overhead
+
+    lattice = RotorLattice3D(2, 2, 2, spin=1)
+    return lattice, swap_network_overhead(lattice), lattice.mass_gap()
+
+
+def bench_beyond_2d_swap_network(benchmark):
+    """§II.A extension: 'beyond 2D ... use a swap network' at 2x2x2."""
+    lattice, estimate, gap = benchmark.pedantic(_beyond_2d, rounds=1, iterations=1)
+    record(
+        "sqed_3d",
+        [
+            "E-3D — 2x2x2 rotor lattice via column embedding + swap network:",
+            f"  sites / bonds            : {lattice.n_sites} / {len(lattice.bonds())}",
+            f"  modes per cavity needed  : {estimate.modes_per_cavity_needed} "
+            "(forecast device offers 4)",
+            f"  direct vs networked bonds: {estimate.direct_bonds} / "
+            f"{estimate.networked_bonds}",
+            f"  swap layers / swaps      : {estimate.swap_layers} / "
+            f"{estimate.total_swaps}",
+            f"  physics check (ED gap)   : {gap:.4f}",
+            "  -> a small 3D simulation fits two forecast cavities, as §II.A",
+            "     anticipates for 'a small number of sites in the near term'.",
+        ],
+    )
+    assert estimate.modes_per_cavity_needed <= 4
+    assert gap > 0

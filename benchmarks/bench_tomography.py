@@ -1,0 +1,46 @@
+"""E-TOMO — reservoir-processing tomography vs training-set size (ref [28]).
+
+Claim: the learned reservoir map "required smaller training datasets and
+simpler resources than competing methods" and "automatically compensates"
+imperfections.  The bench sweeps the training-set size at exact and
+shot-limited readout and reports mean reconstruction fidelity.
+"""
+
+from _report import record
+from repro.reservoir import ReservoirTomograph
+
+TRAIN_SIZES = (8, 15, 30, 60, 120)
+
+
+def _sweep():
+    rows = []
+    for n_train in TRAIN_SIZES:
+        exact = ReservoirTomograph(dim=4, seed=0).train(n_training_states=n_train)
+        shot = ReservoirTomograph(dim=4, seed=0).train(
+            n_training_states=n_train, shots=500
+        )
+        rows.append(
+            (
+                n_train,
+                exact.evaluate(n_test_states=12),
+                shot.evaluate(n_test_states=12, shots=500),
+            )
+        )
+    return rows
+
+
+def bench_tomography_training_size(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        "E-TOMO — reconstruction fidelity vs training-set size (d=4 cavity):",
+        "  n_train   exact readout   500 shots/probe",
+    ]
+    for n_train, exact_f, shot_f in rows:
+        lines.append(f"  {n_train:<9} {exact_f:<15.4f} {shot_f:.4f}")
+    lines.append(
+        "  -> tens of training states suffice for ~unit fidelity (the paper's"
+    )
+    lines.append("     'smaller training datasets' selling point).")
+    record("tomography", lines)
+    assert rows[-1][1] > 0.99  # exact readout converges to ~1
+    assert rows[-1][2] > 0.95  # shot-limited stays high

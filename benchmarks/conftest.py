@@ -1,0 +1,8 @@
+"""Make the shared ``_report`` helper importable from any invocation dir."""
+
+import sys
+from pathlib import Path
+
+_BENCH_DIR = str(Path(__file__).parent)
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)

@@ -1,0 +1,36 @@
+"""repro — bosonic qudit processor application-engineering toolkit.
+
+Reproduction of "Near-term Application Engineering Challenges in Emerging
+Superconducting Qudit Processors" (Venturelli et al., DSN 2025).
+
+The package is organised as:
+
+* :mod:`repro.core` — qudit circuit IR, gate library, simulators.
+* :mod:`repro.hardware` — parametric model of the multi-cavity QPU.
+* :mod:`repro.compile` — noise-aware mapping, routing, gate synthesis.
+* :mod:`repro.sqed` — U(1) lattice gauge simulation application.
+* :mod:`repro.qaoa` — qudit graph-coloring optimisation application.
+* :mod:`repro.reservoir` — quantum reservoir computing application.
+* :mod:`repro.analysis` — fitting and statistics helpers.
+"""
+
+from . import core
+from .core import (
+    DensityMatrix,
+    QuditChannel,
+    QuditCircuit,
+    Statevector,
+    TrajectorySimulator,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "DensityMatrix",
+    "QuditChannel",
+    "QuditCircuit",
+    "Statevector",
+    "TrajectorySimulator",
+    "__version__",
+]

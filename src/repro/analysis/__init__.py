@@ -1,0 +1,13 @@
+"""Fitting and statistics helpers shared by the applications/benchmarks."""
+
+from .fitting import DampedCosineFit, dominant_frequency, fit_damped_cosine
+from .stats import BootstrapResult, bootstrap_mean, bootstrap_ratio
+
+__all__ = [
+    "DampedCosineFit",
+    "dominant_frequency",
+    "fit_damped_cosine",
+    "BootstrapResult",
+    "bootstrap_mean",
+    "bootstrap_ratio",
+]

@@ -1,0 +1,89 @@
+"""Bootstrap statistics for benchmark reporting.
+
+Benchmarks that aggregate stochastic runs (NDAR sweeps, trajectory
+averages) report bootstrap confidence intervals rather than bare means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["BootstrapResult", "bootstrap_mean", "bootstrap_ratio"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate with a percentile confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.estimate:.4g} "
+            f"[{self.low:.4g}, {self.high:.4g}] @ {self.confidence:.0%}"
+        )
+
+
+def bootstrap_mean(
+    samples,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int | None = None,
+) -> BootstrapResult:
+    """Percentile bootstrap CI of the sample mean."""
+    samples = np.asarray(samples, dtype=float).ravel()
+    if samples.size < 2:
+        raise SimulationError("need at least 2 samples to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise SimulationError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, samples.size, size=(n_resamples, samples.size))
+    means = samples[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(samples.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def bootstrap_ratio(
+    numerator,
+    denominator,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int | None = None,
+) -> BootstrapResult:
+    """Bootstrap CI of ``mean(numerator) / mean(denominator)``.
+
+    Used for threshold-ratio style headline numbers where both sides are
+    noisy estimates.
+    """
+    num = np.asarray(numerator, dtype=float).ravel()
+    den = np.asarray(denominator, dtype=float).ravel()
+    if num.size < 2 or den.size < 2:
+        raise SimulationError("need at least 2 samples on both sides")
+    if abs(den.mean()) < 1e-300:
+        raise SimulationError("denominator mean is zero")
+    rng = np.random.default_rng(seed)
+    ratios = np.empty(n_resamples)
+    for k in range(n_resamples):
+        ns = num[rng.integers(0, num.size, size=num.size)].mean()
+        ds = den[rng.integers(0, den.size, size=den.size)].mean()
+        ratios[k] = ns / ds if abs(ds) > 1e-300 else np.nan
+    ratios = ratios[np.isfinite(ratios)]
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(num.mean() / den.mean()),
+        low=float(np.quantile(ratios, alpha)),
+        high=float(np.quantile(ratios, 1.0 - alpha)),
+        confidence=confidence,
+    )

@@ -1,0 +1,20 @@
+"""Noise-aware qudit compilation: mapping, routing, synthesis, estimation."""
+
+from .mapping import MappingResult, noise_aware_map, score_layout, trivial_map
+from .resources import ResourceEstimate, estimate_resources
+from .routing import RoutedCircuit, route_circuit, swap_network_layers
+from .transpiler import TranspileResult, transpile
+
+__all__ = [
+    "MappingResult",
+    "noise_aware_map",
+    "score_layout",
+    "trivial_map",
+    "ResourceEstimate",
+    "estimate_resources",
+    "RoutedCircuit",
+    "route_circuit",
+    "swap_network_layers",
+    "TranspileResult",
+    "transpile",
+]

@@ -1,0 +1,36 @@
+"""Gate synthesis: Givens, SNAP+displacement, CSUM, two-qudit routes."""
+
+from .csum import CsumCostModel, csum_circuit, csum_cost
+from .givens import GivensDecomposition, GivensStep, decompose_unitary, givens_count
+from .snap_displacement import (
+    SnapDisplacementSequence,
+    SynthesisResult,
+    default_layer_count,
+    subspace_fidelity,
+    synthesize_unitary,
+)
+from .twoqudit import (
+    TwoQuditSynthesis,
+    entangling_count_upper_bound,
+    is_diagonal_unitary,
+    synthesize_two_qudit,
+)
+
+__all__ = [
+    "CsumCostModel",
+    "csum_circuit",
+    "csum_cost",
+    "GivensDecomposition",
+    "GivensStep",
+    "decompose_unitary",
+    "givens_count",
+    "SnapDisplacementSequence",
+    "SynthesisResult",
+    "default_layer_count",
+    "subspace_fidelity",
+    "synthesize_unitary",
+    "TwoQuditSynthesis",
+    "entangling_count_upper_bound",
+    "is_diagonal_unitary",
+    "synthesize_two_qudit",
+]

@@ -1,0 +1,133 @@
+"""Exact two-level (Givens) decomposition of arbitrary qudit unitaries.
+
+Any ``U(d)`` factors into at most ``d(d-1)/2`` Givens rotations plus a
+final diagonal phase layer (one SNAP).  This is the constructive,
+scaling-friendly synthesis route the paper calls for ("constructive
+algorithms for synthesis are the likely solution", §II.B) — unlike the
+numerically optimised SNAP-displacement route it never fails and its cost
+is known in closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.exceptions import SynthesisError
+from ...core.gates import is_unitary, level_rotation, snap
+
+__all__ = ["GivensStep", "GivensDecomposition", "decompose_unitary", "givens_count"]
+
+
+@dataclass(frozen=True)
+class GivensStep:
+    """One two-level rotation: levels ``(i, j)``, angles ``(theta, phi)``."""
+
+    i: int
+    j: int
+    theta: float
+    phi: float
+
+    def matrix(self, d: int) -> np.ndarray:
+        """Dense ``d x d`` unitary of this step."""
+        return level_rotation(d, self.i, self.j, self.theta, self.phi)
+
+
+@dataclass(frozen=True)
+class GivensDecomposition:
+    """Factorisation ``U = SNAP(phases) . G_n ... G_2 G_1``.
+
+    Attributes:
+        dim: qudit dimension.
+        steps: rotations in application order (first applied first).
+        phases: final diagonal phase layer.
+    """
+
+    dim: int
+    steps: tuple[GivensStep, ...]
+    phases: tuple[float, ...]
+
+    def reconstruct(self) -> np.ndarray:
+        """Multiply the factors back into a dense unitary."""
+        out = np.eye(self.dim, dtype=complex)
+        for step in self.steps:
+            out = step.matrix(self.dim) @ out
+        return snap(self.dim, self.phases) @ out
+
+    @property
+    def n_rotations(self) -> int:
+        """Number of two-level rotations (excludes the free phase layer)."""
+        return len(self.steps)
+
+
+def decompose_unitary(
+    unitary: np.ndarray, atol: float = 1e-9, prune: bool = True
+) -> GivensDecomposition:
+    """Decompose a unitary into Givens rotations and a diagonal phase layer.
+
+    The algorithm zeroes sub-diagonal entries column by column: entry
+    ``(j, c)`` is eliminated against the pivot ``(c, c)`` by a rotation in
+    the ``(c, j)`` subspace.  What remains is diagonal (pure phases), which
+    a single SNAP absorbs.
+
+    Args:
+        unitary: square unitary matrix.
+        atol: unitarity tolerance.
+        prune: drop rotations with negligible angle (|theta| < 1e-12).
+
+    Returns:
+        A :class:`GivensDecomposition` with ``reconstruct()`` equal to the
+        input to numerical precision.
+
+    Raises:
+        SynthesisError: if the input is not unitary.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    d = unitary.shape[0]
+    if not is_unitary(unitary, atol=atol):
+        raise SynthesisError("input matrix is not unitary")
+
+    work = unitary.copy()
+    inverse_steps: list[GivensStep] = []
+    for col in range(d - 1):
+        for row in range(col + 1, d):
+            target = work[row, col]
+            if abs(target) < 1e-14:
+                continue
+            pivot = work[col, col]
+            # Choose (theta, phi) so that G† zeroes work[row, col]:
+            # acting on rows (col, row) we need
+            #   -sin(t/2) e^{i phi'} pivot + cos(t/2) target -> 0 shape.
+            theta = 2.0 * np.arctan2(abs(target), abs(pivot))
+            phi = np.angle(target) - np.angle(pivot)
+            rot = level_rotation(d, col, row, theta, phi)
+            work = rot.conj().T @ work
+            if abs(work[row, col]) > 1e-9:  # pragma: no cover - safety net
+                raise SynthesisError(
+                    f"Givens elimination failed at ({row}, {col})"
+                )
+            inverse_steps.append(GivensStep(col, row, theta, phi))
+    phases = tuple(float(np.angle(work[k, k])) for k in range(d))
+    # The elimination gives G_n† ... G_1† U = D, i.e. U = G_1 ... G_n D.
+    # reconstruct() computes SNAP . steps[-1] ... steps[0]; commuting D to
+    # the front via G'_k = D† G_k D (a Givens rotation with phase shifted
+    # by theta_i - theta_j) yields U = D . G'_1 ... G'_n, so the step list
+    # is the conjugated rotations in reverse elimination order.
+    steps: list[GivensStep] = []
+    for step in reversed(inverse_steps):
+        shift = phases[step.i] - phases[step.j]
+        steps.append(GivensStep(step.i, step.j, step.theta, step.phi + shift))
+    if prune:
+        steps = [s for s in steps if abs(s.theta) > 1e-12]
+    decomposition = GivensDecomposition(d, tuple(steps), phases)
+    if np.abs(decomposition.reconstruct() - unitary).max() > 1e-7:
+        raise SynthesisError("reconstruction mismatch after decomposition")
+    return decomposition
+
+
+def givens_count(d: int) -> int:
+    """Worst-case rotation count ``d(d-1)/2`` for a ``d``-level unitary."""
+    if d < 2:
+        raise SynthesisError(f"dimension {d} must be >= 2")
+    return d * (d - 1) // 2

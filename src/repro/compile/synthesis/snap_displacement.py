@@ -1,0 +1,196 @@
+"""Variational SNAP + displacement synthesis of single-mode unitaries.
+
+Reproduces the numerical gate-synthesis pipeline of Ozguler & Venturelli
+(ref [20]) and the direct-compilation idea of Job (ref [24]): a target
+``d``-level unitary is approximated by the alternating sequence::
+
+    V = D(alpha_L) . S(theta_L) . D(alpha_{L-1}) ... S(theta_1) . D(alpha_0)
+
+acting on a Fock space truncated above the target dimension (guard levels
+absorb transient population).  Parameters are optimised with BFGS from a
+handful of random starts; the figure of merit is the projective gate
+fidelity on the computational subspace.
+
+The paper's claim C2 — >99% fidelity for single-qudit rotations up to
+d = 8 — is reproduced by ``benchmarks/bench_synthesis.py`` using this
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ...core.exceptions import SynthesisError
+from ...core.gates import displacement, snap
+
+__all__ = [
+    "SnapDisplacementSequence",
+    "SynthesisResult",
+    "synthesize_unitary",
+    "subspace_fidelity",
+    "default_layer_count",
+]
+
+
+def subspace_fidelity(
+    achieved: np.ndarray, target: np.ndarray, d_target: int
+) -> float:
+    """Projective gate fidelity on the first ``d_target`` levels.
+
+    ``F = |Tr(P U_t† V P)|^2 / d^2`` where ``P`` projects onto the
+    computational subspace.  Equals 1 iff ``V`` acts as ``U_t`` (up to a
+    global phase) on that subspace with no leakage.
+    """
+    block = achieved[:d_target, :d_target]
+    overlap = np.trace(np.asarray(target, dtype=complex).conj().T @ block)
+    return float(abs(overlap) ** 2 / d_target**2)
+
+
+@dataclass(frozen=True)
+class SnapDisplacementSequence:
+    """A concrete D-S-D-...-S-D pulse-layer sequence.
+
+    Attributes:
+        d_sim: simulation (truncated Fock) dimension, >= d_target.
+        d_target: computational subspace dimension.
+        alphas: complex displacement amplitudes, length ``n_layers + 1``.
+        snap_phases: per-layer SNAP phase vectors, shape ``(n_layers, d_sim)``.
+    """
+
+    d_sim: int
+    d_target: int
+    alphas: tuple[complex, ...]
+    snap_phases: tuple[tuple[float, ...], ...]
+
+    @property
+    def n_layers(self) -> int:
+        """Number of SNAP layers."""
+        return len(self.snap_phases)
+
+    def matrix(self) -> np.ndarray:
+        """Dense ``d_sim x d_sim`` operator of the full sequence."""
+        out = displacement(self.d_sim, self.alphas[0])
+        for layer, phases in enumerate(self.snap_phases):
+            out = snap(self.d_sim, phases) @ out
+            out = displacement(self.d_sim, self.alphas[layer + 1]) @ out
+        return out
+
+    def gate_counts(self) -> dict[str, int]:
+        """Native gate counts of the sequence."""
+        return {"snap": self.n_layers, "disp": self.n_layers + 1}
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Outcome of a synthesis run."""
+
+    sequence: SnapDisplacementSequence
+    fidelity: float
+    infidelity: float
+    n_iterations: int
+    n_restarts_used: int
+
+    def achieved_unitary(self) -> np.ndarray:
+        """The synthesised operator restricted to the computational block."""
+        return self.sequence.matrix()[: self.sequence.d_target, : self.sequence.d_target]
+
+
+def default_layer_count(d_target: int) -> int:
+    """Layer-count heuristic ``L = d + 1``.
+
+    Matches the O(d) depth reported by the direct-compilation study [24];
+    one extra layer gives the optimiser slack at small d.
+    """
+    if d_target < 2:
+        raise SynthesisError(f"target dimension {d_target} must be >= 2")
+    return d_target + 1
+
+
+def _pack(alphas: np.ndarray, phases: np.ndarray) -> np.ndarray:
+    return np.concatenate([alphas.real, alphas.imag, phases.ravel()])
+
+
+def _unpack(
+    params: np.ndarray, n_layers: int, d_sim: int
+) -> tuple[np.ndarray, np.ndarray]:
+    n_alpha = n_layers + 1
+    alphas = params[:n_alpha] + 1j * params[n_alpha : 2 * n_alpha]
+    phases = params[2 * n_alpha :].reshape(n_layers, d_sim)
+    return alphas, phases
+
+
+def synthesize_unitary(
+    target: np.ndarray,
+    n_layers: int | None = None,
+    guard_levels: int = 4,
+    max_restarts: int = 6,
+    tol_infidelity: float = 1e-4,
+    maxiter: int = 400,
+    seed: int | None = None,
+) -> SynthesisResult:
+    """Synthesise a ``d``-level unitary as a SNAP+displacement sequence.
+
+    Args:
+        target: ``d x d`` unitary to implement on the lowest ``d`` Fock levels.
+        n_layers: SNAP layers (default ``d + 1``).
+        guard_levels: extra Fock levels in the simulation space.
+        max_restarts: random restarts before giving up.
+        tol_infidelity: stop once ``1 - F`` drops below this.
+        maxiter: BFGS iteration cap per restart.
+        seed: RNG seed.
+
+    Returns:
+        The best :class:`SynthesisResult` across restarts (even if the
+        tolerance was not met — callers check ``result.infidelity``).
+
+    Raises:
+        SynthesisError: if the target is not square or too small.
+    """
+    target = np.asarray(target, dtype=complex)
+    d_target = target.shape[0]
+    if target.ndim != 2 or target.shape != (d_target, d_target) or d_target < 2:
+        raise SynthesisError("target must be a square matrix with d >= 2")
+    n_layers = n_layers or default_layer_count(d_target)
+    d_sim = d_target + int(guard_levels)
+    rng = np.random.default_rng(seed)
+
+    def cost(params: np.ndarray) -> float:
+        alphas, phases = _unpack(params, n_layers, d_sim)
+        out = displacement(d_sim, complex(alphas[0]))
+        for layer in range(n_layers):
+            out = snap(d_sim, phases[layer]) @ out
+            out = displacement(d_sim, complex(alphas[layer + 1])) @ out
+        return 1.0 - subspace_fidelity(out, target, d_target)
+
+    best: SynthesisResult | None = None
+    for restart in range(max_restarts):
+        alphas0 = 0.5 * (
+            rng.normal(size=n_layers + 1) + 1j * rng.normal(size=n_layers + 1)
+        )
+        phases0 = rng.uniform(-np.pi, np.pi, size=(n_layers, d_sim))
+        x0 = _pack(alphas0, phases0)
+        res = minimize(cost, x0, method="BFGS", options={"maxiter": maxiter})
+        infid = float(res.fun)
+        alphas, phases = _unpack(res.x, n_layers, d_sim)
+        sequence = SnapDisplacementSequence(
+            d_sim=d_sim,
+            d_target=d_target,
+            alphas=tuple(complex(a) for a in alphas),
+            snap_phases=tuple(tuple(float(p) for p in row) for row in phases),
+        )
+        candidate = SynthesisResult(
+            sequence=sequence,
+            fidelity=1.0 - infid,
+            infidelity=infid,
+            n_iterations=int(res.nit),
+            n_restarts_used=restart + 1,
+        )
+        if best is None or candidate.infidelity < best.infidelity:
+            best = candidate
+        if best.infidelity < tol_infidelity:
+            break
+    assert best is not None  # max_restarts >= 1
+    return best

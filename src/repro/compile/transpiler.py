@@ -1,0 +1,74 @@
+"""End-to-end transpilation pipeline: map -> route -> estimate.
+
+A thin orchestration layer over :mod:`repro.compile.mapping`,
+:mod:`repro.compile.routing` and :mod:`repro.compile.resources`, so
+applications can go from a logical :class:`~repro.core.QuditCircuit` to a
+device-ready circuit plus its Table-I-style cost line in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.circuit import QuditCircuit
+from ..hardware.device import CavityQPU
+from ..hardware.noise_model import DeviceNoiseModel
+from .mapping import MappingResult, noise_aware_map, trivial_map
+from .resources import ResourceEstimate, estimate_resources
+from .routing import RoutedCircuit, route_circuit
+
+__all__ = ["TranspileResult", "transpile"]
+
+
+@dataclass(frozen=True)
+class TranspileResult:
+    """Everything produced by one transpilation run.
+
+    Attributes:
+        circuit: routed physical circuit (logical wire order preserved).
+        mapping: the layout decision and its score.
+        routing: SWAP-insertion record.
+        resources: native-gate/duration/fidelity estimate.
+    """
+
+    circuit: QuditCircuit
+    mapping: MappingResult
+    routing: RoutedCircuit
+    resources: ResourceEstimate
+
+
+def transpile(
+    circuit: QuditCircuit,
+    device: CavityQPU,
+    noise_aware: bool = True,
+    noise_model: DeviceNoiseModel | None = None,
+    seed: int | None = None,
+) -> TranspileResult:
+    """Map, route, and cost a logical circuit for a device.
+
+    Args:
+        circuit: logical circuit.
+        device: target hardware.
+        noise_aware: use the noise-aware mapper (else trivial order —
+            the baseline the mapping ablation benchmark compares against).
+        noise_model: error model override.
+        seed: mapper RNG seed.
+
+    Returns:
+        A :class:`TranspileResult`.
+    """
+    noise_model = noise_model or DeviceNoiseModel(device)
+    if noise_aware:
+        mapping = noise_aware_map(circuit, device, noise_model, seed=seed)
+    else:
+        mapping = trivial_map(circuit, device)
+    routed = route_circuit(circuit, device, mapping.layout)
+    resources = estimate_resources(
+        routed.circuit, device, routed.initial_layout, noise_model
+    )
+    return TranspileResult(
+        circuit=routed.circuit,
+        mapping=mapping,
+        routing=routed,
+        resources=resources,
+    )

@@ -1,0 +1,91 @@
+"""Core qudit substrate: circuit IR, gate library, and simulators.
+
+This subpackage supplies the mixed-dimension qudit support the paper notes
+is missing from mainstream qubit-centric toolkits: gates, circuits, exact
+and noisy simulation backends, noise channels, and Lindblad dynamics.
+"""
+
+from .channels import (
+    QuditChannel,
+    dephasing,
+    dephasing_probability_from_t2,
+    depolarizing,
+    identity_channel,
+    loss_probability_from_t1,
+    photon_loss,
+    thermal_heating,
+    unitary_channel,
+    weyl_channel,
+)
+from .circuit import Instruction, QuditCircuit
+from .density import DensityMatrix
+from .dims import (
+    all_digit_tuples,
+    basis_labels,
+    digit_matrix,
+    digits_to_index,
+    index_to_digits,
+    total_dim,
+    validate_dims,
+)
+from .exceptions import (
+    CircuitError,
+    CompilationError,
+    DeviceError,
+    DimensionError,
+    ReproError,
+    SimulationError,
+    SynthesisError,
+)
+from .lindblad import (
+    LindbladPropagator,
+    evolve_lindblad,
+    liouvillian,
+    unvectorize_density,
+    vectorize_density,
+)
+from .statevector import Statevector, apply_matrix, embed_unitary
+from .trajectories import TrajectorySimulator
+from .visualization import draw_circuit, wigner_function, wigner_text
+
+__all__ = [
+    "QuditChannel",
+    "dephasing",
+    "dephasing_probability_from_t2",
+    "depolarizing",
+    "identity_channel",
+    "loss_probability_from_t1",
+    "photon_loss",
+    "thermal_heating",
+    "unitary_channel",
+    "weyl_channel",
+    "Instruction",
+    "QuditCircuit",
+    "DensityMatrix",
+    "all_digit_tuples",
+    "basis_labels",
+    "digit_matrix",
+    "digits_to_index",
+    "index_to_digits",
+    "total_dim",
+    "validate_dims",
+    "CircuitError",
+    "CompilationError",
+    "DeviceError",
+    "DimensionError",
+    "ReproError",
+    "SimulationError",
+    "SynthesisError",
+    "LindbladPropagator",
+    "evolve_lindblad",
+    "liouvillian",
+    "unvectorize_density",
+    "vectorize_density",
+    "Statevector",
+    "apply_matrix",
+    "embed_unitary",
+    "TrajectorySimulator",
+    "draw_circuit",
+    "wigner_function",
+    "wigner_text",
+]

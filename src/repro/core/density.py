@@ -1,0 +1,219 @@
+"""Density-matrix simulation for noisy qudit circuits.
+
+Exact (non-stochastic) noisy simulation: the state is a full density matrix,
+channels are applied Kraus-by-Kraus via the same tensor contraction engine as
+the statevector simulator (left multiplication on kets, right on bras).
+Memory is ``O(D^2)``, so this backend is for small registers; larger noisy
+circuits use :mod:`repro.core.trajectories`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .channels import QuditChannel
+from .circuit import QuditCircuit
+from .dims import digits_to_index, index_to_digits, total_dim, validate_dims
+from .exceptions import DimensionError, SimulationError
+from .statevector import Statevector, apply_matrix
+
+__all__ = ["DensityMatrix"]
+
+
+class DensityMatrix:
+    """A (possibly mixed) state of a mixed-dimension qudit register."""
+
+    def __init__(self, data: np.ndarray, dims: Sequence[int]) -> None:
+        self.dims = validate_dims(dims)
+        dim = total_dim(self.dims)
+        data = np.asarray(data, dtype=complex)
+        if data.shape != (dim, dim):
+            raise DimensionError(
+                f"density matrix shape {data.shape} != ({dim}, {dim})"
+            )
+        self._matrix = data
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, dims: Sequence[int]) -> "DensityMatrix":
+        """All-|0> pure state as a density matrix."""
+        return cls.from_statevector(Statevector.zero(dims))
+
+    @classmethod
+    def basis(cls, dims: Sequence[int], digits: Sequence[int]) -> "DensityMatrix":
+        """Computational-basis pure state ``|digits><digits|``."""
+        return cls.from_statevector(Statevector.basis(dims, digits))
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        """``|psi><psi|`` from a pure state."""
+        vec = state.vector
+        return cls(np.outer(vec, vec.conj()), state.dims)
+
+    @classmethod
+    def maximally_mixed(cls, dims: Sequence[int]) -> "DensityMatrix":
+        """``I / D``."""
+        dims = validate_dims(dims)
+        dim = total_dim(dims)
+        return cls(np.eye(dim, dtype=complex) / dim, dims)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw density matrix."""
+        return self._matrix
+
+    @property
+    def dim(self) -> int:
+        """Total Hilbert-space dimension."""
+        return total_dim(self.dims)
+
+    def copy(self) -> "DensityMatrix":
+        """Deep copy."""
+        return DensityMatrix(self._matrix.copy(), self.dims)
+
+    def trace(self) -> float:
+        """Real part of the trace (1 for physical states)."""
+        return float(np.real(np.trace(self._matrix)))
+
+    def purity(self) -> float:
+        """``Tr(rho^2)``; 1 iff pure."""
+        return float(np.real(np.trace(self._matrix @ self._matrix)))
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+    def _apply_local(
+        self, matrices: Sequence[np.ndarray], targets: tuple[int, ...]
+    ) -> np.ndarray:
+        """Apply ``sum_i K_i rho K_i†`` on local targets via tensor ops."""
+        n = len(self.dims)
+        tensor = self._matrix.reshape(self.dims + self.dims)
+        out = np.zeros_like(tensor)
+        bra_targets = tuple(t + n for t in targets)
+        for op in matrices:
+            term = apply_matrix(tensor, op, self.dims * 2, targets)
+            term = apply_matrix(term, op.conj(), self.dims * 2, bra_targets)
+            out += term
+        return out.reshape(self.dim, self.dim)
+
+    def apply_unitary(
+        self, matrix: np.ndarray, targets: int | Sequence[int]
+    ) -> "DensityMatrix":
+        """Conjugate by a local unitary: ``U rho U†``."""
+        if isinstance(targets, (int, np.integer)):
+            targets = (int(targets),)
+        mat = self._apply_local([np.asarray(matrix, dtype=complex)], tuple(targets))
+        return DensityMatrix(mat, self.dims)
+
+    def apply_kraus(
+        self, kraus: Sequence[np.ndarray], targets: int | Sequence[int]
+    ) -> "DensityMatrix":
+        """Apply a Kraus channel on local targets."""
+        if isinstance(targets, (int, np.integer)):
+            targets = (int(targets),)
+        ops = [np.asarray(k, dtype=complex) for k in kraus]
+        return DensityMatrix(self._apply_local(ops, tuple(targets)), self.dims)
+
+    def apply_channel(
+        self, channel: QuditChannel, targets: int | Sequence[int]
+    ) -> "DensityMatrix":
+        """Apply a :class:`QuditChannel` on local targets."""
+        return self.apply_kraus(channel.kraus, targets)
+
+    def evolve(self, circuit: QuditCircuit) -> "DensityMatrix":
+        """Run a circuit, honouring unitary, channel, and reset instructions."""
+        if circuit.dims != self.dims:
+            raise DimensionError(
+                f"circuit dims {circuit.dims} != state dims {self.dims}"
+            )
+        state = self
+        for instruction in circuit:
+            if instruction.kind == "unitary":
+                state = state.apply_unitary(instruction.matrix, instruction.qudits)
+            elif instruction.kind == "channel":
+                state = state.apply_kraus(instruction.kraus, instruction.qudits)
+            elif instruction.kind == "measure":
+                continue
+            elif instruction.kind == "reset":
+                state = state._reset_wire(instruction.qudits[0])
+            else:  # pragma: no cover - kinds are validated at build time
+                raise SimulationError(f"unknown instruction kind {instruction.kind}")
+        return state
+
+    def _reset_wire(self, qudit: int) -> "DensityMatrix":
+        """Trace out one wire and re-prepare it in |0>."""
+        d = self.dims[qudit]
+        kraus = []
+        for k in range(d):
+            op = np.zeros((d, d), dtype=complex)
+            op[0, k] = 1.0
+            kraus.append(op)
+        return self.apply_kraus(kraus, qudit)
+
+    # ------------------------------------------------------------------
+    # observables
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Diagonal of rho — computational-basis outcome probabilities."""
+        return np.real(np.diag(self._matrix)).clip(min=0.0)
+
+    def expectation(
+        self, operator: np.ndarray, targets: int | Sequence[int] | None = None
+    ) -> complex:
+        """``Tr(rho O)`` for a global (``targets=None``) or local operator."""
+        op = np.asarray(operator, dtype=complex)
+        if targets is None:
+            if op.shape != (self.dim, self.dim):
+                raise DimensionError(
+                    f"global operator shape {op.shape} != ({self.dim}, {self.dim})"
+                )
+            return complex(np.trace(self._matrix @ op))
+        if isinstance(targets, (int, np.integer)):
+            targets = (int(targets),)
+        reduced = self.partial_trace(list(targets))
+        return complex(np.trace(reduced @ op))
+
+    def fidelity_with_pure(self, state: Statevector) -> float:
+        """``<psi| rho |psi>`` against a pure reference state."""
+        if state.dims != self.dims:
+            raise DimensionError("fidelity requires matching register dims")
+        vec = state.vector
+        return float(np.real(vec.conj() @ self._matrix @ vec))
+
+    def partial_trace(self, keep: Sequence[int]) -> np.ndarray:
+        """Reduced density matrix over ``keep`` wires (in the given order)."""
+        keep = list(keep)
+        n = len(self.dims)
+        others = [ax for ax in range(n) if ax not in keep]
+        tensor = self._matrix.reshape(self.dims + self.dims)
+        perm = keep + others + [k + n for k in keep] + [o + n for o in others]
+        tensor = np.transpose(tensor, perm)
+        d_keep = int(np.prod([self.dims[a] for a in keep])) if keep else 1
+        d_rest = int(np.prod([self.dims[a] for a in others])) if others else 1
+        tensor = tensor.reshape(d_keep, d_rest, d_keep, d_rest)
+        return np.einsum("arbr->ab", tensor)
+
+    def sample(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> dict[tuple[int, ...], int]:
+        """Sample computational-basis outcomes from the diagonal."""
+        rng = rng or np.random.default_rng()
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        outcomes = rng.multinomial(shots, probs)
+        counts: dict[tuple[int, ...], int] = {}
+        for index in np.nonzero(outcomes)[0]:
+            counts[index_to_digits(int(index), self.dims)] = int(outcomes[index])
+        return counts
+
+    def probability_of(self, digits: Sequence[int]) -> float:
+        """Probability of one specific basis outcome."""
+        index = digits_to_index(digits, self.dims)
+        return float(np.real(self._matrix[index, index]))

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` toolkit.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single type at the API boundary while still discriminating on subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolkit."""
+
+
+class DimensionError(ReproError, ValueError):
+    """A qudit dimension or register shape is invalid or inconsistent."""
+
+
+class CircuitError(ReproError, ValueError):
+    """A circuit is malformed (bad wire index, dimension mismatch, ...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulator could not complete (non-physical state, overflow, ...)."""
+
+
+class SynthesisError(ReproError, RuntimeError):
+    """Gate synthesis failed to reach the requested tolerance."""
+
+
+class CompilationError(ReproError, RuntimeError):
+    """A transpiler pass could not produce a valid output circuit."""
+
+
+class DeviceError(ReproError, ValueError):
+    """A hardware model is misconfigured or an operation is unsupported."""

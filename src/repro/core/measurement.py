@@ -1,0 +1,95 @@
+"""Shot-based measurement and estimation utilities.
+
+Everything the applications need to turn ideal expectation values into
+*sampled* ones: multinomial basis sampling, binomial estimation of bounded
+observables, and a shot-noise model for feature vectors (the reservoir
+readout challenge the paper highlights in Table I row 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .dims import index_to_digits
+from .exceptions import SimulationError
+
+__all__ = [
+    "counts_to_frequencies",
+    "sample_probabilities",
+    "estimate_expectation_from_counts",
+    "sampled_expectation",
+    "shot_noise_sigma",
+]
+
+
+def sample_probabilities(
+    probabilities: np.ndarray,
+    shots: int,
+    dims: Sequence[int],
+    rng: np.random.Generator | None = None,
+) -> dict[tuple[int, ...], int]:
+    """Multinomial sample of basis outcomes from a probability vector."""
+    if shots < 1:
+        raise SimulationError("shots must be >= 1")
+    rng = rng or np.random.default_rng()
+    probs = np.asarray(probabilities, dtype=float).clip(min=0.0)
+    total = probs.sum()
+    if total <= 0:
+        raise SimulationError("probability vector sums to zero")
+    outcomes = rng.multinomial(shots, probs / total)
+    counts: dict[tuple[int, ...], int] = {}
+    for index in np.nonzero(outcomes)[0]:
+        counts[index_to_digits(int(index), dims)] = int(outcomes[index])
+    return counts
+
+
+def counts_to_frequencies(
+    counts: dict[tuple[int, ...], int]
+) -> dict[tuple[int, ...], float]:
+    """Normalise a counts dictionary to relative frequencies."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise SimulationError("empty counts dictionary")
+    return {outcome: n / total for outcome, n in counts.items()}
+
+
+def estimate_expectation_from_counts(
+    counts: dict[tuple[int, ...], int],
+    value_fn,
+) -> float:
+    """Empirical mean of ``value_fn(outcome)`` over sampled outcomes."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise SimulationError("empty counts dictionary")
+    acc = 0.0
+    for outcome, n in counts.items():
+        acc += n * float(value_fn(outcome))
+    return acc / total
+
+
+def sampled_expectation(
+    exact_value: float,
+    shots: int,
+    scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Gaussian shot-noise model of a sampled expectation value.
+
+    For an observable with outcome spread ``scale`` estimated from ``shots``
+    samples, the estimator is ``exact + N(0, scale / sqrt(shots))``.  This
+    captures the ``1/sqrt(shots)`` overhead driving the paper's reservoir
+    readout challenge without simulating every projective shot.
+    """
+    if shots < 1:
+        raise SimulationError("shots must be >= 1")
+    rng = rng or np.random.default_rng()
+    return float(exact_value + rng.normal(0.0, scale / np.sqrt(shots)))
+
+
+def shot_noise_sigma(scale: float, shots: int) -> float:
+    """Standard error ``scale / sqrt(shots)`` of a sampled estimator."""
+    if shots < 1:
+        raise SimulationError("shots must be >= 1")
+    return float(scale / np.sqrt(shots))

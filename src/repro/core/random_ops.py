@@ -1,0 +1,79 @@
+"""Random operators and states for testing and benchmarking.
+
+Haar-random unitaries drive the synthesis benchmarks (the cited qudit
+benchmarking work [9] uses random unitaries the same way); random Hermitians
+and states feed the property-based test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exceptions import DimensionError
+
+__all__ = [
+    "haar_unitary",
+    "random_statevector",
+    "random_hermitian",
+    "random_density_matrix",
+    "random_special_unitary",
+]
+
+
+def haar_unitary(d: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Haar-distributed ``d x d`` unitary via QR of a Ginibre matrix."""
+    if d < 1:
+        raise DimensionError(f"dimension must be >= 1, got {d}")
+    rng = rng or np.random.default_rng()
+    ginibre = rng.normal(size=(d, d)) + 1j * rng.normal(size=(d, d))
+    q, r = np.linalg.qr(ginibre)
+    # Fix the phase ambiguity so the distribution is exactly Haar.
+    phases = np.diag(r).copy()
+    phases /= np.abs(phases)
+    return q * phases[np.newaxis, :]
+
+
+def random_special_unitary(
+    d: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Haar-like SU(d) element (unit determinant)."""
+    u = haar_unitary(d, rng)
+    det = np.linalg.det(u)
+    return u * det ** (-1.0 / d)
+
+
+def random_statevector(
+    d: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Haar-random pure state amplitudes of dimension ``d``."""
+    if d < 1:
+        raise DimensionError(f"dimension must be >= 1, got {d}")
+    rng = rng or np.random.default_rng()
+    vec = rng.normal(size=d) + 1j * rng.normal(size=d)
+    return vec / np.linalg.norm(vec)
+
+
+def random_hermitian(
+    d: int, rng: np.random.Generator | None = None, scale: float = 1.0
+) -> np.ndarray:
+    """GUE-like random Hermitian matrix."""
+    if d < 1:
+        raise DimensionError(f"dimension must be >= 1, got {d}")
+    rng = rng or np.random.default_rng()
+    mat = rng.normal(size=(d, d)) + 1j * rng.normal(size=(d, d))
+    return scale * (mat + mat.conj().T) / 2.0
+
+
+def random_density_matrix(
+    d: int, rank: int | None = None, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Random density matrix from a Ginibre purification of given rank."""
+    if d < 1:
+        raise DimensionError(f"dimension must be >= 1, got {d}")
+    rng = rng or np.random.default_rng()
+    rank = d if rank is None else int(rank)
+    if not 1 <= rank <= d:
+        raise DimensionError(f"rank {rank} outside [1, {d}]")
+    ginibre = rng.normal(size=(d, rank)) + 1j * rng.normal(size=(d, rank))
+    rho = ginibre @ ginibre.conj().T
+    return rho / np.trace(rho)

@@ -1,0 +1,267 @@
+"""Dense statevector simulation for mixed-dimension qudit registers.
+
+The state is stored as a rank-``n`` tensor with per-axis sizes equal to the
+qudit dimensions; gates are applied by :func:`numpy.tensordot` contraction
+over the target axes, which costs ``O(D * d_gate)`` instead of the naive
+``O(D^2)`` matrix product for register dimension ``D``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .circuit import QuditCircuit
+from .dims import digits_to_index, index_to_digits, total_dim, validate_dims
+from .exceptions import DimensionError, SimulationError
+
+__all__ = ["Statevector", "embed_unitary", "apply_matrix"]
+
+
+def apply_matrix(
+    tensor: np.ndarray,
+    matrix: np.ndarray,
+    dims: Sequence[int],
+    targets: Sequence[int],
+) -> np.ndarray:
+    """Apply ``matrix`` to the ``targets`` axes of a state tensor.
+
+    Args:
+        tensor: array whose first ``len(dims)`` axes are the register; any
+            trailing axes are treated as batch dimensions.
+        matrix: operator of dimension ``prod(dims[t] for t in targets)``.
+        dims: register dimensions.
+        targets: register axes the operator acts on, in matrix tensor order.
+
+    Returns:
+        The transformed tensor, same shape as the input.
+    """
+    dims = tuple(dims)
+    targets = list(targets)
+    n = len(dims)
+    batch_ndim = tensor.ndim - n
+    gate_dims = [dims[t] for t in targets]
+    gate_tensor = matrix.reshape(gate_dims + gate_dims)
+    # Contract matrix "input" axes with the state's target axes.
+    contracted = np.tensordot(
+        gate_tensor, tensor, axes=(list(range(len(targets), 2 * len(targets))), targets)
+    )
+    # tensordot output axis order: gate outputs, untouched register axes
+    # (original order), then batch axes.  Restore the original layout.
+    remaining = [ax for ax in range(n) if ax not in targets]
+    order = [0] * (n + batch_ndim)
+    for out_pos, axis in enumerate(targets):
+        order[axis] = out_pos
+    for out_pos, axis in enumerate(remaining, start=len(targets)):
+        order[axis] = out_pos
+    for b in range(batch_ndim):
+        order[n + b] = n + b
+    return np.transpose(contracted, order)
+
+
+def embed_unitary(
+    matrix: np.ndarray, dims: Sequence[int], targets: Sequence[int]
+) -> np.ndarray:
+    """Embed a local operator into the full register as a dense matrix.
+
+    Intended for small registers (matrix construction, tests); simulators use
+    :func:`apply_matrix` instead.
+    """
+    dims = validate_dims(dims)
+    dim = total_dim(dims)
+    eye = np.eye(dim, dtype=complex)
+    columns = apply_matrix(
+        eye.reshape(dims + (dim,)),
+        np.asarray(matrix, dtype=complex),
+        dims,
+        targets,
+    )
+    return columns.reshape(dim, dim)
+
+
+class Statevector:
+    """A pure state of a mixed-dimension qudit register.
+
+    Example:
+        >>> sv = Statevector.zero([3, 3])
+        >>> qc = QuditCircuit([3, 3]); qc.fourier(0); qc.csum(0, 1)
+        >>> sv = sv.evolve(qc)
+        >>> sv.probabilities().round(3)[[0, 4, 8]]
+        array([0.333, 0.333, 0.333])
+    """
+
+    def __init__(self, data: np.ndarray, dims: Sequence[int]) -> None:
+        self.dims = validate_dims(dims)
+        data = np.asarray(data, dtype=complex)
+        dim = total_dim(self.dims)
+        if data.size != dim:
+            raise DimensionError(
+                f"state has {data.size} amplitudes, register needs {dim}"
+            )
+        self._tensor = data.reshape(self.dims)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, dims: Sequence[int]) -> "Statevector":
+        """The all-|0> product state."""
+        dims = validate_dims(dims)
+        data = np.zeros(total_dim(dims), dtype=complex)
+        data[0] = 1.0
+        return cls(data, dims)
+
+    @classmethod
+    def basis(cls, dims: Sequence[int], digits: Sequence[int]) -> "Statevector":
+        """Computational basis state ``|digits>``."""
+        dims = validate_dims(dims)
+        data = np.zeros(total_dim(dims), dtype=complex)
+        data[digits_to_index(digits, dims)] = 1.0
+        return cls(data, dims)
+
+    @classmethod
+    def uniform(cls, dims: Sequence[int]) -> "Statevector":
+        """Equal superposition over all basis states."""
+        dims = validate_dims(dims)
+        dim = total_dim(dims)
+        return cls(np.full(dim, 1.0 / np.sqrt(dim), dtype=complex), dims)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def vector(self) -> np.ndarray:
+        """Flat amplitude vector (copy-free view)."""
+        return self._tensor.reshape(-1)
+
+    @property
+    def tensor(self) -> np.ndarray:
+        """Rank-n tensor view of the amplitudes."""
+        return self._tensor
+
+    @property
+    def dim(self) -> int:
+        """Total Hilbert-space dimension."""
+        return total_dim(self.dims)
+
+    def copy(self) -> "Statevector":
+        """Deep copy."""
+        return Statevector(self.vector.copy(), self.dims)
+
+    def norm(self) -> float:
+        """2-norm of the amplitude vector."""
+        return float(np.linalg.norm(self.vector))
+
+    def normalized(self) -> "Statevector":
+        """Return the state rescaled to unit norm."""
+        norm = self.norm()
+        if norm < 1e-300:
+            raise SimulationError("cannot normalise a zero state")
+        return Statevector(self.vector / norm, self.dims)
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+    def apply(
+        self, matrix: np.ndarray, targets: int | Sequence[int]
+    ) -> "Statevector":
+        """Apply a unitary (or general matrix) to the target wires."""
+        if isinstance(targets, (int, np.integer)):
+            targets = (int(targets),)
+        tensor = apply_matrix(
+            self._tensor, np.asarray(matrix, dtype=complex), self.dims, targets
+        )
+        return Statevector(tensor.reshape(-1), self.dims)
+
+    def evolve(self, circuit: QuditCircuit) -> "Statevector":
+        """Run a (noise-free) circuit; channels/measure markers are rejected.
+
+        Raises:
+            SimulationError: on channel instructions — use the density-matrix
+                or trajectory simulators for noisy circuits.
+        """
+        if circuit.dims != self.dims:
+            raise DimensionError(
+                f"circuit dims {circuit.dims} != state dims {self.dims}"
+            )
+        state = self
+        for instruction in circuit:
+            if instruction.kind == "unitary":
+                state = state.apply(instruction.matrix, instruction.qudits)
+            elif instruction.kind == "measure":
+                continue  # terminal measurement is implicit in sampling
+            else:
+                raise SimulationError(
+                    f"Statevector cannot execute {instruction.kind!r} "
+                    f"instruction {instruction.name!r}"
+                )
+        return state
+
+    # ------------------------------------------------------------------
+    # observables
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Born-rule probabilities over the computational basis."""
+        return np.abs(self.vector) ** 2
+
+    def expectation(
+        self, operator: np.ndarray, targets: int | Sequence[int] | None = None
+    ) -> complex:
+        """Expectation value ``<psi|O|psi>`` of a (local) operator."""
+        if targets is None:
+            targets = tuple(range(len(self.dims)))
+        transformed = self.apply(operator, targets)
+        return complex(np.vdot(self.vector, transformed.vector))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """``|<self|other>|^2``."""
+        if other.dims != self.dims:
+            raise DimensionError("fidelity requires matching register dims")
+        return float(np.abs(np.vdot(self.vector, other.vector)) ** 2)
+
+    def sample(
+        self,
+        shots: int,
+        rng: np.random.Generator | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        """Sample ``shots`` computational-basis outcomes.
+
+        Returns:
+            Mapping from digit tuples to observed counts.
+        """
+        rng = rng or np.random.default_rng()
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        outcomes = rng.multinomial(shots, probs)
+        counts: dict[tuple[int, ...], int] = {}
+        for index in np.nonzero(outcomes)[0]:
+            counts[index_to_digits(int(index), self.dims)] = int(outcomes[index])
+        return counts
+
+    def measure_qudit(
+        self, qudit: int, rng: np.random.Generator | None = None
+    ) -> tuple[int, "Statevector"]:
+        """Projectively measure one wire; return (outcome, collapsed state)."""
+        rng = rng or np.random.default_rng()
+        axis = int(qudit)
+        marginal = np.abs(self._tensor) ** 2
+        sum_axes = tuple(ax for ax in range(len(self.dims)) if ax != axis)
+        probs = marginal.sum(axis=sum_axes)
+        probs = probs / probs.sum()
+        outcome = int(rng.choice(len(probs), p=probs))
+        projector = np.zeros((self.dims[axis], self.dims[axis]), dtype=complex)
+        projector[outcome, outcome] = 1.0
+        collapsed = self.apply(projector, axis)
+        return outcome, collapsed.normalized()
+
+    def partial_trace(self, keep: Sequence[int]) -> np.ndarray:
+        """Reduced density matrix over the ``keep`` wires (in given order)."""
+        keep = list(keep)
+        others = [ax for ax in range(len(self.dims)) if ax not in keep]
+        perm = keep + others
+        tensor = np.transpose(self._tensor, perm)
+        d_keep = int(np.prod([self.dims[a] for a in keep])) if keep else 1
+        d_rest = int(np.prod([self.dims[a] for a in others])) if others else 1
+        mat = tensor.reshape(d_keep, d_rest)
+        return mat @ mat.conj().T

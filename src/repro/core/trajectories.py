@@ -1,0 +1,159 @@
+"""Monte-Carlo quantum-trajectory simulation of noisy qudit circuits.
+
+For registers too large for a density matrix (e.g. nine qutrits, D = 19683,
+where rho would hold ~4x10^8 complex numbers), noise is unravelled into
+stochastic Kraus jumps on a statevector: for each channel instruction one
+Kraus operator is selected with its Born probability and the state is
+renormalised.  Averaging over trajectories converges to the density-matrix
+result; sampling measurement outcomes trajectory-by-trajectory reproduces
+the noisy output distribution, which is all the QAOA/NDAR studies need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from .circuit import QuditCircuit
+from .exceptions import SimulationError
+from .statevector import Statevector
+
+__all__ = ["TrajectorySimulator"]
+
+
+class TrajectorySimulator:
+    """Stochastic noisy simulator over pure-state trajectories.
+
+    Args:
+        circuit: circuit containing unitary and channel instructions.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(self, circuit: QuditCircuit, seed: int | None = None) -> None:
+        self.circuit = circuit
+        self._rng = np.random.default_rng(seed)
+
+    def _run_single(self, initial: Statevector) -> Statevector:
+        """Evolve one trajectory through the circuit."""
+        state = initial
+        for instruction in self.circuit:
+            if instruction.kind == "unitary":
+                state = state.apply(instruction.matrix, instruction.qudits)
+            elif instruction.kind == "channel":
+                state = self._jump(state, instruction.kraus, instruction.qudits)
+            elif instruction.kind == "measure":
+                continue
+            elif instruction.kind == "reset":
+                wire = instruction.qudits[0]
+                _, state = state.measure_qudit(wire, rng=self._rng)
+                state = self._force_zero(state, wire)
+            else:  # pragma: no cover - validated at circuit build time
+                raise SimulationError(f"unknown kind {instruction.kind}")
+        return state
+
+    def _force_zero(self, state: Statevector, wire: int) -> Statevector:
+        """Map whatever basis value the wire holds to |0> (post-measure reset)."""
+        d = state.dims[wire]
+        # After projective measurement the wire is in a definite basis state;
+        # find it from the marginal and apply the cyclic shift sending it to 0.
+        marginal = np.abs(state.tensor) ** 2
+        axes = tuple(ax for ax in range(len(state.dims)) if ax != wire)
+        probs = marginal.sum(axis=axes)
+        value = int(np.argmax(probs))
+        if value == 0:
+            return state
+        from .gates import weyl_x
+
+        return state.apply(weyl_x(d, -value), wire)
+
+    def _jump(
+        self,
+        state: Statevector,
+        kraus: Sequence[np.ndarray],
+        targets: tuple[int, ...],
+    ) -> Statevector:
+        """Pick one Kraus branch with Born probability and renormalise."""
+        weights = []
+        candidates = []
+        for op in kraus:
+            new = state.apply(op, targets)
+            weight = new.norm() ** 2
+            weights.append(weight)
+            candidates.append(new)
+        weights = np.asarray(weights)
+        total = weights.sum()
+        if total <= 0:
+            raise SimulationError("all Kraus branches annihilated the state")
+        choice = int(self._rng.choice(len(kraus), p=weights / total))
+        return candidates[choice].normalized()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        shots: int,
+        initial: Statevector | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        """Draw ``shots`` outcomes, one fresh trajectory per shot."""
+        initial = initial or Statevector.zero(self.circuit.dims)
+        counts: dict[tuple[int, ...], int] = {}
+        for _ in range(shots):
+            final = self._run_single(initial)
+            digits = self._sample_digits(final)
+            counts[digits] = counts.get(digits, 0) + 1
+        return counts
+
+    def _sample_digits(self, state: Statevector) -> tuple[int, ...]:
+        probs = state.probabilities()
+        probs = probs / probs.sum()
+        index = int(self._rng.choice(len(probs), p=probs))
+        from .dims import index_to_digits
+
+        return index_to_digits(index, state.dims)
+
+    def expectation(
+        self,
+        observable: Callable[[Statevector], float],
+        n_trajectories: int,
+        initial: Statevector | None = None,
+    ) -> tuple[float, float]:
+        """Trajectory-averaged expectation of a state functional.
+
+        Args:
+            observable: maps a final pure state to a real number.
+            n_trajectories: number of stochastic repetitions.
+            initial: starting state (defaults to all-|0>).
+
+        Returns:
+            ``(mean, standard_error)`` over trajectories.
+        """
+        if n_trajectories < 1:
+            raise SimulationError("need at least one trajectory")
+        initial = initial or Statevector.zero(self.circuit.dims)
+        values = np.empty(n_trajectories)
+        for i in range(n_trajectories):
+            values[i] = observable(self._run_single(initial))
+        stderr = (
+            float(values.std(ddof=1) / np.sqrt(n_trajectories))
+            if n_trajectories > 1
+            else 0.0
+        )
+        return float(values.mean()), stderr
+
+    def average_density(
+        self, n_trajectories: int, initial: Statevector | None = None
+    ) -> np.ndarray:
+        """Trajectory-averaged density matrix (small registers only)."""
+        initial = initial or Statevector.zero(self.circuit.dims)
+        dim = initial.dim
+        if dim > 512:
+            raise SimulationError(
+                f"register dim {dim} too large to accumulate a density matrix"
+            )
+        rho = np.zeros((dim, dim), dtype=complex)
+        for _ in range(n_trajectories):
+            vec = self._run_single(initial).vector
+            rho += np.outer(vec, vec.conj())
+        return rho / n_trajectories

@@ -1,0 +1,142 @@
+"""Text-mode visualisation: circuit diagrams and Wigner functions.
+
+Terminal-friendly inspection tools — no plotting dependency, matching the
+offline/laptop posture of the rest of the toolkit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuit import QuditCircuit
+from .exceptions import DimensionError
+from .gates import displacement, parity_op
+
+__all__ = ["draw_circuit", "wigner_function", "wigner_text"]
+
+
+def draw_circuit(circuit: QuditCircuit, max_columns: int = 24) -> str:
+    """ASCII diagram of a circuit, one row per wire.
+
+    Single-wire instructions render as ``[name]``; multi-wire unitaries as
+    ``[name]`` on the first wire and ``[*]`` on the others; channels as
+    ``{name}``.  Long circuits are truncated with an ellipsis column.
+
+    Args:
+        circuit: circuit to draw.
+        max_columns: instruction-column cap before truncation.
+
+    Returns:
+        Multi-line string.
+    """
+    n = circuit.num_qudits
+    columns: list[list[str]] = []
+    for instruction in circuit:
+        cells = ["-"] * n
+        label = instruction.name[:8]
+        if instruction.kind == "channel":
+            decorated = "{" + label + "}"
+        elif instruction.kind in ("measure", "reset"):
+            decorated = "<" + label + ">"
+        else:
+            decorated = "[" + label + "]"
+        first, *rest = instruction.qudits
+        cells[first] = decorated
+        for wire in rest:
+            cells[wire] = "[*]" if instruction.kind == "unitary" else "{*}"
+        columns.append(cells)
+        if len(columns) >= max_columns:
+            columns.append(["..."] * n)
+            break
+    lines = []
+    for wire in range(n):
+        label = f"q{wire}(d={circuit.dims[wire]}): "
+        row = [label]
+        for cells in columns:
+            cell = cells[wire]
+            row.append(cell if cell != "-" else "---")
+            row.append("-")
+        lines.append("".join(row).rstrip("-") + "-")
+    return "\n".join(lines)
+
+
+def wigner_function(
+    rho: np.ndarray,
+    xs: np.ndarray,
+    ps: np.ndarray,
+) -> np.ndarray:
+    """Wigner function on a phase-space grid via displaced parity.
+
+    ``W(x, p) = (1/pi) Tr( D(-alpha) rho D(-alpha)† P )`` with
+    ``alpha = (x + i p) / sqrt(2)``, normalised so ``∫ W dx dp = 1``;
+    evaluated on the truncated space (accurate while the state lives well
+    below the cutoff).
+
+    Args:
+        rho: ``d x d`` density matrix.
+        xs: grid of x-quadrature values.
+        ps: grid of p-quadrature values.
+
+    Returns:
+        Array of shape ``(len(ps), len(xs))`` (rows = p, for display).
+    """
+    rho = np.asarray(rho, dtype=complex)
+    d = rho.shape[0]
+    if rho.shape != (d, d):
+        raise DimensionError("rho must be square")
+    parity = parity_op(d)
+    out = np.empty((len(ps), len(xs)))
+    for i, p in enumerate(ps):
+        for j, x in enumerate(xs):
+            alpha = (x + 1j * p) / np.sqrt(2.0)
+            disp = displacement(d, -alpha)
+            out[i, j] = (1.0 / np.pi) * float(
+                np.real(np.trace(disp @ rho @ disp.conj().T @ parity))
+            )
+    return out
+
+
+def wigner_text(
+    rho: np.ndarray,
+    extent: float = 3.0,
+    resolution: int = 21,
+) -> str:
+    """Coarse ASCII heat map of the Wigner function.
+
+    Negative regions (the non-classicality witness) render as ``-``/``=``,
+    positive ones as ``.:+#`` by magnitude.
+
+    Args:
+        rho: density matrix.
+        extent: half-width of the square phase-space window.
+        resolution: grid points per axis (odd keeps the origin on-grid).
+
+    Returns:
+        Multi-line string, p increasing upward.
+    """
+    grid = np.linspace(-extent, extent, resolution)
+    wigner = wigner_function(rho, grid, grid)
+    peak = np.abs(wigner).max()
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    for row in wigner[::-1]:  # p increases upward
+        chars = []
+        for value in row:
+            level = value / peak
+            if level < -0.5:
+                chars.append("=")
+            elif level < -0.05:
+                chars.append("-")
+            elif level < 0.05:
+                chars.append(" ")
+            elif level < 0.3:
+                chars.append(".")
+            elif level < 0.6:
+                chars.append(":")
+            elif level < 0.85:
+                chars.append("+")
+            else:
+                chars.append("#")
+        lines.append("".join(chars))
+    return "\n".join(lines)

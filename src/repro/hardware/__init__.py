@@ -1,0 +1,41 @@
+"""Parametric hardware model of the multi-cavity bosonic qudit QPU."""
+
+from .device import Cavity, CavityQPU, Mode, linear_cavity_array
+from .isa import (
+    LOWERING_RULES,
+    NATIVE_GATES,
+    LoweringRule,
+    NativeGate,
+    is_native,
+    lowering_cost,
+)
+from .noise_model import DeviceNoiseModel, NoiseParameters
+from .parameters import (
+    CAVITY_DEFAULTS,
+    TRANSMON_DEFAULTS,
+    CoherenceParams,
+    GateTimings,
+)
+from .roadmap import RoadmapSummary, forecast_device, roadmap_summary
+
+__all__ = [
+    "Cavity",
+    "CavityQPU",
+    "Mode",
+    "linear_cavity_array",
+    "LOWERING_RULES",
+    "NATIVE_GATES",
+    "LoweringRule",
+    "NativeGate",
+    "is_native",
+    "lowering_cost",
+    "DeviceNoiseModel",
+    "NoiseParameters",
+    "CAVITY_DEFAULTS",
+    "TRANSMON_DEFAULTS",
+    "CoherenceParams",
+    "GateTimings",
+    "RoadmapSummary",
+    "forecast_device",
+    "roadmap_summary",
+]

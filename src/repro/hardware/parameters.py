@@ -1,0 +1,112 @@
+"""Coherence and timing parameters for the cavity-QPU hardware model.
+
+Default numbers follow the paper and its citations:
+
+* bare SRF cavity photon lifetime T1 ~ 2 s (Romanenko et al. [3]);
+* transmon-integrated cavity modes: millisecond-class T1 (the paper's
+  5-year forecast assumes "d ~ 10 photons with millisecond T1 lifetime");
+* transmon T1/T2 of tens of microseconds;
+* SNAP gates are slow (~ 1/chi, microseconds), displacements fast (~ns),
+  beam-splitter/sideband two-mode pulses in-between.
+
+All durations are seconds; times derived from them feed the error model in
+:mod:`repro.hardware.noise_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.exceptions import DeviceError
+
+__all__ = ["CoherenceParams", "GateTimings", "TRANSMON_DEFAULTS", "CAVITY_DEFAULTS"]
+
+
+@dataclass(frozen=True)
+class CoherenceParams:
+    """T1/T2 pair with optional thermal population.
+
+    Attributes:
+        t1: energy relaxation time in seconds.
+        t2: dephasing time in seconds (must satisfy t2 <= 2 * t1).
+        n_thermal: equilibrium thermal occupation (dimensionless).
+    """
+
+    t1: float
+    t2: float
+    n_thermal: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise DeviceError(f"T1={self.t1}, T2={self.t2} must be positive")
+        if self.t2 > 2 * self.t1 * (1 + 1e-9):
+            raise DeviceError(f"T2={self.t2} exceeds physical bound 2*T1={2 * self.t1}")
+        if self.n_thermal < 0:
+            raise DeviceError("thermal occupation must be >= 0")
+
+    def scaled(self, factor: float) -> "CoherenceParams":
+        """Return parameters with both lifetimes multiplied by ``factor``."""
+        if factor <= 0:
+            raise DeviceError("scale factor must be positive")
+        return CoherenceParams(self.t1 * factor, self.t2 * factor, self.n_thermal)
+
+
+@dataclass(frozen=True)
+class GateTimings:
+    """Durations of native operations, in seconds.
+
+    Defaults reflect typical cQED scales: nanosecond displacements,
+    microsecond SNAP (limited by the dispersive shift chi), and
+    multi-microsecond two-mode operations (beam splitter via the transmon,
+    and the compiled CSUM which the paper flags as the costly primitive).
+    """
+
+    displacement: float = 50e-9
+    snap: float = 1.0e-6
+    rotation: float = 1.0e-6
+    beamsplitter: float = 2.0e-6
+    cross_kerr: float = 2.0e-6
+    csum: float = 4.0e-6
+    swap: float = 4.0e-6
+    measurement: float = 2.0e-6
+    reset: float = 4.0e-6
+
+    def duration_of(self, gate_name: str) -> float:
+        """Duration of a named native gate.
+
+        Raises:
+            DeviceError: for unknown gate names.
+        """
+        table = {
+            "disp": self.displacement,
+            "displacement": self.displacement,
+            "snap": self.snap,
+            "rot": self.rotation,
+            "rotation": self.rotation,
+            "mixer": self.rotation,
+            "fourier": self.snap,  # compiled from SNAP+disp; same scale
+            "perm": self.snap,
+            "x": self.snap,
+            "z": self.snap,
+            "bs": self.beamsplitter,
+            "beamsplitter": self.beamsplitter,
+            "cphase": self.cross_kerr,
+            "cross_kerr": self.cross_kerr,
+            "csum": self.csum,
+            "csum_dg": self.csum,
+            "swap": self.swap,
+            "move": self.beamsplitter,
+            "measure": self.measurement,
+            "reset": self.reset,
+            "unitary": self.snap,
+        }
+        if gate_name not in table:
+            raise DeviceError(f"no duration known for gate {gate_name!r}")
+        return table[gate_name]
+
+
+#: Representative transmon coherence (tens of microseconds).
+TRANSMON_DEFAULTS = CoherenceParams(t1=100e-6, t2=80e-6)
+
+#: Forecast cavity-mode coherence: millisecond T1 (paper §I forecast).
+CAVITY_DEFAULTS = CoherenceParams(t1=1e-3, t2=1.5e-3)

@@ -1,0 +1,80 @@
+"""The paper's 5-year forecast device and its headline capacity claim.
+
+Paper §I: "it's realistic to forecast the feasibility in the near-term of a
+multi-cell array composed by ~10 linearly connected cavities, each
+contributing ~4 modes that can be occupied by d ~ 10 photons with
+millisecond T1 lifetime [...] Such a system would exceed 100 qubits in
+Hilbert space dimension."
+
+This module builds that device and verifies the capacity arithmetic
+(experiment E-C7 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import CavityQPU, linear_cavity_array
+from .parameters import CoherenceParams
+
+__all__ = ["forecast_device", "RoadmapSummary", "roadmap_summary"]
+
+#: Forecast parameters straight from the paper.
+FORECAST_N_CAVITIES = 10
+FORECAST_MODES_PER_CAVITY = 4
+FORECAST_DIM = 10
+FORECAST_T1 = 1e-3  # "millisecond T1 lifetime"
+
+
+def forecast_device(
+    coherence_spread: float = 0.0, seed: int | None = None
+) -> CavityQPU:
+    """The 10-cavity x 4-mode x d=10 forecast device.
+
+    Args:
+        coherence_spread: optional per-mode T1/T2 fabrication spread.
+        seed: RNG seed for the spread.
+    """
+    return linear_cavity_array(
+        n_cavities=FORECAST_N_CAVITIES,
+        modes_per_cavity=FORECAST_MODES_PER_CAVITY,
+        dim=FORECAST_DIM,
+        cavity_coherence=CoherenceParams(t1=FORECAST_T1, t2=1.5 * FORECAST_T1),
+        coherence_spread=coherence_spread,
+        seed=seed,
+        name="forecast-10x4-d10",
+    )
+
+
+@dataclass(frozen=True)
+class RoadmapSummary:
+    """Capacity accounting of a device against the '>100 qubits' claim."""
+
+    n_cavities: int
+    n_modes: int
+    dim_per_mode: int
+    hilbert_dimension_log10: float
+    qubit_equivalent: float
+    exceeds_100_qubits: bool
+
+
+def roadmap_summary(device: CavityQPU | None = None) -> RoadmapSummary:
+    """Summarise a device's Hilbert-space capacity.
+
+    For the forecast device: 40 modes of d=10 give ``10^40``,
+    i.e. ``40 * log2(10) ~ 132.9`` qubit equivalents — comfortably above
+    100, reproducing claim C7.
+    """
+    device = device or forecast_device()
+    qubit_equivalent = device.qubit_equivalent()
+    log10_dim = sum(math.log10(mode.dim) for mode in device.modes)
+    dims = {mode.dim for mode in device.modes}
+    return RoadmapSummary(
+        n_cavities=device.n_cavities,
+        n_modes=device.n_modes,
+        dim_per_mode=dims.pop() if len(dims) == 1 else -1,
+        hilbert_dimension_log10=log10_dim,
+        qubit_equivalent=qubit_equivalent,
+        exceeds_100_qubits=qubit_equivalent > 100.0,
+    )

@@ -1,0 +1,45 @@
+"""Qudit combinatorial-optimisation application (paper §II.B)."""
+
+from .circuits import (
+    add_photon_loss,
+    edge_phase_matrix,
+    expected_clashes,
+    qaoa_circuit,
+    qaoa_state,
+)
+from .coloring import ColoringProblem, greedy_coloring_cost, random_coloring_instance
+from .ndar import NdarResult, NdarRound, run_ndar, sample_noisy_qaoa
+from .onehot import (
+    OneHotEncoding,
+    ValidityComparison,
+    compare_validity,
+    validity_probability,
+)
+from .optimizer import QAOAResult, linear_ramp_schedule, optimize_qaoa
+from .qrac import QracEncoding, QracResult, simplex_vertices, solve_coloring_qrac
+
+__all__ = [
+    "add_photon_loss",
+    "edge_phase_matrix",
+    "expected_clashes",
+    "qaoa_circuit",
+    "qaoa_state",
+    "ColoringProblem",
+    "greedy_coloring_cost",
+    "random_coloring_instance",
+    "NdarResult",
+    "NdarRound",
+    "run_ndar",
+    "sample_noisy_qaoa",
+    "OneHotEncoding",
+    "ValidityComparison",
+    "compare_validity",
+    "validity_probability",
+    "QAOAResult",
+    "linear_ramp_schedule",
+    "optimize_qaoa",
+    "QracEncoding",
+    "QracResult",
+    "simplex_vertices",
+    "solve_coloring_qrac",
+]

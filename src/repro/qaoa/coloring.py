@@ -1,0 +1,140 @@
+"""Graph-coloring problem instances and cost bookkeeping.
+
+The paper's optimisation case study (§II.B, Table I row 2): maximise the
+number of properly colored edges with ``d`` colors mapped directly onto
+qudit basis states.  Cost here is the number of *monochromatic* edges (to
+minimise); the approximation ratio follows the QAOA convention
+``(clashes_worst - clashes) / (clashes_worst - clashes_best)`` with
+``clashes_worst = |E|`` and ``clashes_best`` from brute force (small
+instances) or zero for colorable graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..core.dims import digit_matrix
+from ..core.exceptions import DimensionError
+
+__all__ = ["ColoringProblem", "random_coloring_instance", "greedy_coloring_cost"]
+
+
+class ColoringProblem:
+    """A ``d``-coloring instance over an undirected graph.
+
+    Args:
+        graph: undirected graph; nodes are relabelled to ``0..N-1``.
+        n_colors: number of available colors (the qudit dimension).
+    """
+
+    def __init__(self, graph: nx.Graph, n_colors: int) -> None:
+        if n_colors < 2:
+            raise DimensionError("need at least 2 colors")
+        if graph.number_of_nodes() < 2:
+            raise DimensionError("graph needs at least 2 nodes")
+        self.graph = nx.convert_node_labels_to_integers(graph)
+        self.n_colors = int(n_colors)
+        self.edges = [tuple(sorted(e)) for e in self.graph.edges()]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of graph nodes (= number of qudits in direct encoding)."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Qudit register dimensions for the direct encoding."""
+        return (self.n_colors,) * self.n_nodes
+
+    # ------------------------------------------------------------------
+    # cost evaluation
+    # ------------------------------------------------------------------
+    def cost(self, assignment) -> int:
+        """Number of monochromatic edges under a color assignment."""
+        assignment = list(assignment)
+        if len(assignment) != self.n_nodes:
+            raise DimensionError(
+                f"assignment length {len(assignment)} != {self.n_nodes} nodes"
+            )
+        for color in assignment:
+            if not 0 <= color < self.n_colors:
+                raise DimensionError(f"color {color} out of range")
+        return sum(1 for u, v in self.edges if assignment[u] == assignment[v])
+
+    def cost_vector(self) -> np.ndarray:
+        """Cost of every computational basis state (vectorised).
+
+        Shape ``(n_colors ** n_nodes,)``; used for exact QAOA expectation
+        values.  Memory grows as ``d^N`` — guarded at 4x10^6 states.
+        """
+        dim = self.n_colors**self.n_nodes
+        if dim > 4_000_000:
+            raise DimensionError(f"cost vector of size {dim} too large")
+        digits = digit_matrix(self.dims)
+        cost = np.zeros(dim, dtype=float)
+        for u, v in self.edges:
+            cost += digits[:, u] == digits[:, v]
+        return cost
+
+    def best_cost(self) -> int:
+        """Minimum clash count by brute force (small instances only)."""
+        return int(self.cost_vector().min())
+
+    def approximation_ratio(self, clashes: float, best: int | None = None) -> float:
+        """``(worst - clashes) / (worst - best)`` with worst = all edges clash."""
+        best = self.best_cost() if best is None else best
+        worst = self.n_edges
+        if worst == best:
+            return 1.0
+        return float((worst - clashes) / (worst - best))
+
+    def __repr__(self) -> str:
+        return (
+            f"ColoringProblem(nodes={self.n_nodes}, edges={self.n_edges}, "
+            f"colors={self.n_colors})"
+        )
+
+
+def random_coloring_instance(
+    n_nodes: int,
+    n_colors: int = 3,
+    degree: int = 3,
+    seed: int | None = None,
+) -> ColoringProblem:
+    """Random regular graph coloring instance (the NDAR-QAOA workload).
+
+    Args:
+        n_nodes: node count (Table I uses N = 9).
+        n_colors: colors (Table I uses 3).
+        degree: regular degree; clipped to ``n_nodes - 1`` and adjusted so
+            ``n * degree`` is even, as random regular graphs require.
+        seed: RNG seed.
+    """
+    degree = min(degree, n_nodes - 1)
+    if (n_nodes * degree) % 2 == 1:
+        degree = max(1, degree - 1)
+    graph = nx.random_regular_graph(degree, n_nodes, seed=seed)
+    return ColoringProblem(graph, n_colors)
+
+
+def greedy_coloring_cost(problem: ColoringProblem, seed: int | None = None) -> int:
+    """Clash count of a randomised greedy coloring — the classical baseline."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(problem.n_nodes)
+    colors = [-1] * problem.n_nodes
+    adjacency = {v: set(problem.graph.neighbors(v)) for v in range(problem.n_nodes)}
+    for node in order:
+        used = [0] * problem.n_colors
+        for nbr in adjacency[node]:
+            if colors[nbr] >= 0:
+                used[colors[nbr]] += 1
+        colors[node] = int(np.argmin(used))
+    return problem.cost(colors)

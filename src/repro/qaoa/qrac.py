@@ -1,0 +1,222 @@
+"""Qudit quantum random access codes (QRACs) for large coloring instances.
+
+Claim C4 (paper §II.B via refs [22][23]): QRAC-style relaxations pack many
+problem variables into few quantum registers by associating variables with
+*expectation values of orthogonal observables* rather than basis states —
+"combinatorial problems with 1000+ nodes were solved ... though no studies
+yet generalize these quantum optimization algorithms to qudits".  This
+module supplies that qudit generalisation at laptop scale:
+
+1. **Packing** — each node gets ``d - 1`` generalised Gell-Mann observables
+   on one of ``n_qudits`` registers; a dimension-``D`` qudit carries
+   ``D^2 - 1`` observables, so it hosts ``floor((D^2-1)/(d-1))`` nodes.
+2. **Relaxation** — optimise a product state ``|psi_1> x ... x |psi_Q>``
+   to push the per-node expectation vectors ``y_v in R^{d-1}`` of adjacent
+   nodes apart (smooth proxy for "differently colored").
+3. **Rounding** — map each ``y_v`` to the nearest vertex of the regular
+   ``d``-simplex; vertices index colors.
+
+The result: 50+ node instances optimised on 2-3 simulated d=8 qudits,
+scored by true clash count against the greedy classical baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..core.exceptions import DimensionError
+from ..core.gates import gell_mann_basis
+from .coloring import ColoringProblem
+
+__all__ = [
+    "simplex_vertices",
+    "QracEncoding",
+    "QracResult",
+    "solve_coloring_qrac",
+]
+
+
+def simplex_vertices(d: int) -> np.ndarray:
+    """Vertices of the regular ``d``-simplex in ``R^{d-1}``, unit norm.
+
+    The color anchors for rounding: pairwise inner products are
+    ``-1/(d-1)``, the maximally-spread configuration.
+    """
+    if d < 2:
+        raise DimensionError("need at least 2 colors")
+    # Start from d unit vectors in R^d, project out the mean direction.
+    basis = np.eye(d)
+    centered = basis - basis.mean(axis=0, keepdims=True)
+    # Orthonormal coordinates of the (d-1)-dim affine hull via SVD.
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    coords = centered @ vt[: d - 1].T
+    norms = np.linalg.norm(coords, axis=1, keepdims=True)
+    return coords / norms
+
+
+class QracEncoding:
+    """Assignment of graph nodes to (qudit, observable-block) slots.
+
+    Args:
+        problem: coloring instance.
+        qudit_dim: dimension ``D`` of each carrier qudit.
+    """
+
+    def __init__(self, problem: ColoringProblem, qudit_dim: int = 8) -> None:
+        if qudit_dim < 2:
+            raise DimensionError("carrier qudit dimension must be >= 2")
+        self.problem = problem
+        self.qudit_dim = int(qudit_dim)
+        self.block_size = problem.n_colors - 1
+        per_qudit = (qudit_dim**2 - 1) // self.block_size
+        if per_qudit < 1:
+            raise DimensionError(
+                f"qudit of dimension {qudit_dim} cannot host a "
+                f"{self.block_size}-observable block"
+            )
+        self.nodes_per_qudit = per_qudit
+        self.n_qudits = -(-problem.n_nodes // per_qudit)  # ceil division
+        self._basis = gell_mann_basis(qudit_dim)
+
+    def slot_of(self, node: int) -> tuple[int, int]:
+        """``(qudit index, first observable index)`` for one node."""
+        if not 0 <= node < self.problem.n_nodes:
+            raise DimensionError(f"node {node} out of range")
+        qudit = node // self.nodes_per_qudit
+        offset = (node % self.nodes_per_qudit) * self.block_size
+        return qudit, offset
+
+    def observables_of(self, node: int) -> list[np.ndarray]:
+        """The node's ``d - 1`` Gell-Mann observables."""
+        _, offset = self.slot_of(node)
+        return self._basis[offset : offset + self.block_size]
+
+    def expectation_vectors(self, states: list[np.ndarray]) -> np.ndarray:
+        """Per-node expectation vectors ``y_v`` under given qudit states.
+
+        Args:
+            states: one normalised state vector per carrier qudit.
+
+        Returns:
+            Array of shape ``(n_nodes, d - 1)``.
+        """
+        if len(states) != self.n_qudits:
+            raise DimensionError(
+                f"need {self.n_qudits} states, got {len(states)}"
+            )
+        out = np.empty((self.problem.n_nodes, self.block_size))
+        for node in range(self.problem.n_nodes):
+            qudit, _ = self.slot_of(node)
+            psi = states[qudit]
+            for k, obs in enumerate(self.observables_of(node)):
+                out[node, k] = float(np.real(psi.conj() @ obs @ psi))
+        return out
+
+    def round_to_coloring(self, vectors: np.ndarray) -> tuple[int, ...]:
+        """Nearest-simplex-vertex rounding of expectation vectors."""
+        anchors = simplex_vertices(self.problem.n_colors)
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        safe = np.where(norms > 1e-12, norms, 1.0)
+        unit = vectors / safe
+        scores = unit @ anchors.T  # cosine similarity to each color anchor
+        return tuple(int(c) for c in np.argmax(scores, axis=1))
+
+
+@dataclass(frozen=True)
+class QracResult:
+    """Outcome of the QRAC relaxation pipeline.
+
+    Attributes:
+        coloring: rounded assignment.
+        clashes: true clash count of the rounded assignment.
+        relaxation_value: final smooth objective (lower = more separated).
+        n_qudits: carrier registers used.
+        nodes_per_qudit: packing density.
+        approximation_ratio: vs brute force when available, else vs 0.
+    """
+
+    coloring: tuple[int, ...]
+    clashes: int
+    relaxation_value: float
+    n_qudits: int
+    nodes_per_qudit: int
+    approximation_ratio: float
+
+
+def solve_coloring_qrac(
+    problem: ColoringProblem,
+    qudit_dim: int = 8,
+    n_restarts: int = 3,
+    maxiter: int = 300,
+    seed: int | None = None,
+    best_cost: int | None = None,
+) -> QracResult:
+    """Run the full QRAC relaxation + rounding pipeline.
+
+    The relaxation objective sums ``y_u . y_v`` over edges (alignment
+    penalty) plus a soft confidence term pulling ``|y_v|`` toward 1 so the
+    rounding is well conditioned.
+
+    Args:
+        problem: coloring instance (any size that fits the packing).
+        qudit_dim: carrier qudit dimension D.
+        n_restarts: random restarts of the product-state optimisation.
+        maxiter: L-BFGS iterations per restart.
+        seed: RNG seed.
+        best_cost: known optimum (0 for colorable instances); brute force
+            is only attempted for small registers.
+
+    Returns:
+        The best :class:`QracResult` across restarts.
+    """
+    encoding = QracEncoding(problem, qudit_dim)
+    rng = np.random.default_rng(seed)
+    dim = encoding.qudit_dim
+    n_params = 2 * dim * encoding.n_qudits
+
+    def unpack(params: np.ndarray) -> list[np.ndarray]:
+        states = []
+        for q in range(encoding.n_qudits):
+            chunk = params[q * 2 * dim : (q + 1) * 2 * dim]
+            vec = chunk[:dim] + 1j * chunk[dim:]
+            norm = np.linalg.norm(vec)
+            states.append(vec / norm if norm > 1e-12 else np.ones(dim) / np.sqrt(dim))
+        return states
+
+    def objective(params: np.ndarray) -> float:
+        vectors = encoding.expectation_vectors(unpack(params))
+        value = 0.0
+        for u, v in problem.edges:
+            value += float(vectors[u] @ vectors[v])
+        # Confidence: push each node's vector away from the origin.
+        value += 0.1 * float(np.sum((1.0 - np.sum(vectors**2, axis=1)) ** 2))
+        return value
+
+    best: QracResult | None = None
+    if best_cost is None:
+        dim_total = problem.n_colors**problem.n_nodes
+        best_cost = problem.best_cost() if dim_total <= 4_000_000 else 0
+    for _ in range(max(1, n_restarts)):
+        x0 = rng.normal(size=n_params)
+        res = minimize(
+            objective, x0, method="L-BFGS-B", options={"maxiter": maxiter}
+        )
+        vectors = encoding.expectation_vectors(unpack(res.x))
+        coloring = encoding.round_to_coloring(vectors)
+        clashes = problem.cost(coloring)
+        ratio = problem.approximation_ratio(clashes, best=best_cost)
+        candidate = QracResult(
+            coloring=coloring,
+            clashes=clashes,
+            relaxation_value=float(res.fun),
+            n_qudits=encoding.n_qudits,
+            nodes_per_qudit=encoding.nodes_per_qudit,
+            approximation_ratio=ratio,
+        )
+        if best is None or candidate.clashes < best.clashes:
+            best = candidate
+    assert best is not None
+    return best

@@ -1,0 +1,38 @@
+"""Quantum reservoir computing application (paper §II.C)."""
+
+from .classical import EchoStateNetwork
+from .oscillators import CoupledOscillators, SplitStepEvolver
+from .readout import RidgeReadout, nmse, train_test_split
+from .reservoir import QuantumReservoir, neuron_scaling
+from .shots import ShotSweepPoint, sample_population_features, shot_noise_sweep
+from .tasks import TimeSeriesTask, mackey_glass_task, narma_task, sine_square_task
+from .tomography import (
+    ReservoirTomograph,
+    displaced_parity_features,
+    displaced_population_features,
+    project_to_physical,
+    state_fidelity,
+)
+
+__all__ = [
+    "EchoStateNetwork",
+    "CoupledOscillators",
+    "SplitStepEvolver",
+    "RidgeReadout",
+    "nmse",
+    "train_test_split",
+    "QuantumReservoir",
+    "neuron_scaling",
+    "ShotSweepPoint",
+    "sample_population_features",
+    "shot_noise_sweep",
+    "TimeSeriesTask",
+    "mackey_glass_task",
+    "narma_task",
+    "sine_square_task",
+    "ReservoirTomograph",
+    "displaced_parity_features",
+    "displaced_population_features",
+    "project_to_physical",
+    "state_fidelity",
+]

@@ -1,0 +1,81 @@
+"""Echo State Network — the classical baseline of claim C5.
+
+Dudas et al. observed that matching the two-oscillator quantum reservoir's
+prediction quality "required a much larger reservoir" classically.  This
+module supplies the standard leaky-tanh ESN so the size sweep can be run
+head-to-head against the 81-feature quantum reservoir.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["EchoStateNetwork"]
+
+
+class EchoStateNetwork:
+    """Leaky-integrator tanh echo state network.
+
+    State update::
+
+        s_t = (1 - leak) s_{t-1} + leak * tanh(W s_{t-1} + W_in u_t + b)
+
+    Args:
+        n_neurons: reservoir size.
+        spectral_radius: rescaled largest |eigenvalue| of ``W`` (< 1 for
+            the echo-state property).
+        input_scale: input weight range.
+        leak: leak rate in (0, 1].
+        density: fraction of non-zero recurrent weights.
+        seed: RNG seed for the fixed random weights.
+    """
+
+    def __init__(
+        self,
+        n_neurons: int,
+        spectral_radius: float = 0.9,
+        input_scale: float = 0.8,
+        leak: float = 0.5,
+        density: float = 0.2,
+        seed: int | None = None,
+    ) -> None:
+        if n_neurons < 1:
+            raise SimulationError("need at least one neuron")
+        if not 0.0 < leak <= 1.0:
+            raise SimulationError("leak must be in (0, 1]")
+        if not 0.0 < density <= 1.0:
+            raise SimulationError("density must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        self.n_neurons = int(n_neurons)
+        self.leak = float(leak)
+        weights = rng.normal(size=(n_neurons, n_neurons))
+        mask = rng.random(size=weights.shape) < density
+        weights = weights * mask
+        radius = float(np.max(np.abs(np.linalg.eigvals(weights)))) if n_neurons > 1 else abs(weights[0, 0])
+        if radius > 1e-12:
+            weights *= spectral_radius / radius
+        self.recurrent = weights
+        self.input_weights = rng.uniform(-input_scale, input_scale, size=n_neurons)
+        self.bias = rng.uniform(-0.1, 0.1, size=n_neurons)
+
+    @property
+    def n_features(self) -> int:
+        """Feature-vector length (one per neuron)."""
+        return self.n_neurons
+
+    def run(self, inputs: np.ndarray, initial: np.ndarray | None = None) -> np.ndarray:
+        """Drive the ESN; return the ``(T, n_neurons)`` state matrix."""
+        inputs = np.asarray(inputs, dtype=float).ravel()
+        if inputs.size == 0:
+            raise SimulationError("empty input sequence")
+        state = (
+            np.zeros(self.n_neurons) if initial is None else np.asarray(initial, float)
+        )
+        out = np.empty((inputs.size, self.n_neurons))
+        for t, u in enumerate(inputs):
+            pre = self.recurrent @ state + self.input_weights * u + self.bias
+            state = (1.0 - self.leak) * state + self.leak * np.tanh(pre)
+            out[t] = state
+        return out

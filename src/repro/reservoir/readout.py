@@ -1,0 +1,105 @@
+"""Ridge-regression readout and scoring for reservoir computing.
+
+Training is purely classical and linear — the defining property of the
+reservoir paradigm the paper highlights (no gradients through the quantum
+system, no barren plateaus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["RidgeReadout", "nmse", "train_test_split"]
+
+
+def nmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Normalised mean squared error ``<(y - yhat)^2> / var(y)``."""
+    predictions = np.asarray(predictions, dtype=float).ravel()
+    targets = np.asarray(targets, dtype=float).ravel()
+    if predictions.shape != targets.shape:
+        raise SimulationError("prediction/target length mismatch")
+    var = float(np.var(targets))
+    if var < 1e-30:
+        raise SimulationError("target variance is zero; NMSE undefined")
+    return float(np.mean((predictions - targets) ** 2) / var)
+
+
+def train_test_split(
+    features: np.ndarray,
+    targets: np.ndarray,
+    train_fraction: float = 0.7,
+    washout: int = 0,
+):
+    """Chronological split with an initial washout discard.
+
+    Args:
+        features: ``(T, F)`` feature matrix.
+        targets: ``(T,)`` target vector.
+        train_fraction: fraction of post-washout samples used for training.
+        washout: initial transient samples to drop entirely.
+
+    Returns:
+        ``(f_train, y_train, f_test, y_test)``.
+    """
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float).ravel()
+    if features.shape[0] != targets.shape[0]:
+        raise SimulationError("feature/target length mismatch")
+    if not 0.0 < train_fraction < 1.0:
+        raise SimulationError("train_fraction must be in (0, 1)")
+    features = features[washout:]
+    targets = targets[washout:]
+    n_train = int(len(targets) * train_fraction)
+    if n_train < 2 or len(targets) - n_train < 2:
+        raise SimulationError("too few samples after washout/split")
+    return (
+        features[:n_train],
+        targets[:n_train],
+        features[n_train:],
+        targets[n_train:],
+    )
+
+
+@dataclass
+class RidgeReadout:
+    """Linear readout ``y = F w + b`` fit by ridge regression.
+
+    Attributes:
+        alpha: L2 regularisation strength.
+    """
+
+    alpha: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise SimulationError("ridge alpha must be >= 0")
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeReadout":
+        """Solve ``(F^T F + alpha I) w = F^T y`` on centred data."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).ravel()
+        if features.shape[0] != targets.shape[0]:
+            raise SimulationError("feature/target length mismatch")
+        f_mean = features.mean(axis=0)
+        y_mean = targets.mean()
+        centred = features - f_mean
+        gram = centred.T @ centred + self.alpha * np.eye(features.shape[1])
+        self.weights = np.linalg.solve(gram, centred.T @ (targets - y_mean))
+        self.bias = float(y_mean - f_mean @ self.weights)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Apply the trained readout."""
+        if self.weights is None:
+            raise SimulationError("readout is not trained")
+        return np.asarray(features, dtype=float) @ self.weights + self.bias
+
+    def score_nmse(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """NMSE of the readout on given data."""
+        return nmse(self.predict(features), targets)

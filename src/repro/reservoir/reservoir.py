@@ -1,0 +1,127 @@
+"""The quantum reservoir: input feeding and feature extraction.
+
+Implements the processing loop of refs [25][27]: at each time step the
+input sample modulates a displacement drive on mode 1, the coupled lossy
+system evolves for one clock period, and the joint Fock populations
+``P(n_1, n_2)`` are read out as the feature vector — ``levels^2`` features,
+the "neurons" of the reservoir (81 for nine levels/mode).  Dissipation
+provides the fading memory; the beam-splitter coupling provides mixing;
+the number-basis readout provides the nonlinearity (populations are
+quadratic in amplitudes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from .oscillators import CoupledOscillators, SplitStepEvolver
+
+__all__ = ["QuantumReservoir"]
+
+
+class QuantumReservoir:
+    """Two-mode bosonic reservoir computer.
+
+    Args:
+        oscillators: physical parameters.
+        dt: clock period (evolution time per input sample).
+        input_gain: drive amplitude per unit input.
+        drive_bias: constant carrier amplitude added to the drive.  A
+            non-zero bias makes the Fock populations respond *linearly* to
+            the input (interference with the coherent carrier) instead of
+            quadratically, which dramatically improves the feature map —
+            the analog-QRC experiments drive around a carrier the same way.
+        feature_set: ``'populations'`` (levels^2 joint Fock populations,
+            the 81-neuron readout) or ``'moments'`` (a compact vector of
+            photon-number and quadrature moments, 8 features).
+    """
+
+    def __init__(
+        self,
+        oscillators: CoupledOscillators | None = None,
+        dt: float = 1.0,
+        input_gain: float = 1.0,
+        drive_bias: float = 1.0,
+        feature_set: str = "populations",
+    ) -> None:
+        if feature_set not in ("populations", "moments"):
+            raise SimulationError(f"unknown feature set {feature_set!r}")
+        self.osc = oscillators or CoupledOscillators()
+        self.dt = float(dt)
+        self.input_gain = float(input_gain)
+        self.drive_bias = float(drive_bias)
+        self.feature_set = feature_set
+        self._evolver = SplitStepEvolver(self.osc, self.dt)
+        self._moment_ops = self._build_moment_ops()
+
+    def _build_moment_ops(self) -> list[np.ndarray]:
+        a1, a2 = self.osc.a1(), self.osc.a2()
+        n1, n2 = self.osc.n1(), self.osc.n2()
+        x1 = (a1 + a1.conj().T) / np.sqrt(2)
+        p1 = -1j * (a1 - a1.conj().T) / np.sqrt(2)
+        x2 = (a2 + a2.conj().T) / np.sqrt(2)
+        p2 = -1j * (a2 - a2.conj().T) / np.sqrt(2)
+        return [n1, n2, x1, p1, x2, p2, n1 @ n1, n1 @ n2]
+
+    @property
+    def n_features(self) -> int:
+        """Feature-vector length ('neuron' count)."""
+        if self.feature_set == "populations":
+            return self.osc.dim
+        return len(self._moment_ops)
+
+    def features_of(self, rho: np.ndarray) -> np.ndarray:
+        """Feature vector of one state."""
+        if self.feature_set == "populations":
+            return np.real(np.diag(rho)).clip(min=0.0)
+        return np.array(
+            [float(np.real(np.trace(rho @ op))) for op in self._moment_ops]
+        )
+
+    def run(
+        self,
+        inputs: np.ndarray,
+        initial: np.ndarray | None = None,
+        reset: bool = True,
+    ) -> np.ndarray:
+        """Feed an input sequence; collect one feature vector per step.
+
+        Args:
+            inputs: 1-D input samples.
+            initial: starting density matrix (vacuum if omitted).
+            reset: ignored placeholder for API symmetry with ESNs (the
+                reservoir always starts from ``initial``).
+
+        Returns:
+            Feature matrix of shape ``(len(inputs), n_features)``.
+        """
+        inputs = np.asarray(inputs, dtype=float).ravel()
+        if inputs.size == 0:
+            raise SimulationError("empty input sequence")
+        rho = self.osc.vacuum() if initial is None else np.asarray(initial, complex)
+        out = np.empty((inputs.size, self.n_features))
+        for t, u in enumerate(inputs):
+            drive = self.drive_bias + self.input_gain * float(u)
+            rho = self._evolver.step(rho, drive)
+            out[t] = self.features_of(rho)
+        return out
+
+    def effective_neurons(self) -> int:
+        """The paper's neuron-equivalent count: joint Fock populations."""
+        return self.osc.dim
+
+
+def neuron_scaling(levels: int, n_modes: int) -> int:
+    """Joint-population neuron count ``levels ** n_modes`` (paper §II.C).
+
+    The paper's extrapolation: "with just two oscillators, up to around 9
+    levels are used to create a reservoir of effectively 81 neurons ...
+    ten oscillators could emulate millions of neurons, in principle" —
+    indeed ``9 ** 10 ~ 3.5 x 10^9``.  Only the 2-mode case is simulated
+    here; this helper is the capacity arithmetic behind Table I row 3's
+    "1000+ equivalent neurons".
+    """
+    if levels < 2 or n_modes < 1:
+        raise SimulationError("need levels >= 2 and n_modes >= 1")
+    return levels**n_modes

@@ -1,0 +1,275 @@
+"""Quantum state tomography via reservoir processing (paper §II.C, ref [28]).
+
+The pipeline of Krisnanda et al.: an unknown cavity state is processed by
+a *fixed* sequence of calibrated displacements, each followed by a
+transmon parity measurement; the resulting feature vector feeds a linear
+map trained on known states.  The learned map absorbs decoherence and
+control imperfections; a physicality projection (Smolin-Gambetta
+eigenvalue clipping) enforces a valid density matrix.
+
+Two feature families are provided: displaced-parity expectations
+``f_k = Tr( D(alpha_k) rho D(alpha_k)† P )`` (Wigner samples — rank
+deficient on a truncated space, kept for reference) and displaced
+photon-number populations (informationally complete; the tomograph's
+default).  Training states are random mixed states; testing reports
+reconstruction fidelity vs the training-set size (experiment E-TOMO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from ..core.gates import displacement, parity_op
+from ..core.random_ops import random_density_matrix
+
+__all__ = [
+    "displaced_parity_features",
+    "displaced_population_features",
+    "project_to_physical",
+    "ReservoirTomograph",
+    "state_fidelity",
+]
+
+
+def displaced_parity_features(
+    rho: np.ndarray,
+    alphas: np.ndarray,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Displaced-parity (Wigner-sample) feature vector of a cavity state.
+
+    Args:
+        rho: ``d x d`` density matrix.
+        alphas: complex displacement amplitudes (the processing sequence).
+        shots: if given, each parity expectation is estimated from this
+            many binary shots (binomial sampling).
+        rng: RNG for the shot sampling.
+
+    Returns:
+        Real feature vector of length ``len(alphas)``.
+    """
+    rho = np.asarray(rho, dtype=complex)
+    d = rho.shape[0]
+    parity = parity_op(d)
+    rng = rng or np.random.default_rng()
+    out = np.empty(len(alphas))
+    for k, alpha in enumerate(alphas):
+        disp = displacement(d, -complex(alpha))
+        value = float(np.real(np.trace(disp @ rho @ disp.conj().T @ parity)))
+        value = float(np.clip(value, -1.0, 1.0))
+        if shots is not None:
+            if shots < 1:
+                raise SimulationError("shots must be >= 1")
+            p_plus = (1.0 + value) / 2.0
+            value = 2.0 * rng.binomial(shots, p_plus) / shots - 1.0
+        out[k] = value
+    return out
+
+
+def displaced_population_features(
+    rho: np.ndarray,
+    alphas: np.ndarray,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Photon-number populations after each probe displacement.
+
+    For every probe amplitude the feature block is the full Fock
+    distribution ``p_n = <n| D(-alpha) rho D(-alpha)† |n>`` — the
+    photon-number-resolved transmon readout.  Unlike the single displaced
+    parity, these blocks are informationally complete on the truncated
+    space with a handful of probes (the truncated parity operator's
+    ``D† P D`` family is rank-deficient; see ``tests/reservoir``).
+
+    Args:
+        rho: ``d x d`` density matrix.
+        alphas: complex probe amplitudes.
+        shots: per-probe multinomial shot budget (None = exact).
+        rng: RNG for shot sampling.
+
+    Returns:
+        Feature vector of length ``len(alphas) * d``.
+    """
+    rho = np.asarray(rho, dtype=complex)
+    d = rho.shape[0]
+    rng = rng or np.random.default_rng()
+    out = np.empty(len(alphas) * d)
+    for k, alpha in enumerate(alphas):
+        disp = displacement(d, -complex(alpha))
+        populations = np.real(np.diag(disp @ rho @ disp.conj().T)).clip(min=0.0)
+        total = populations.sum()
+        if total > 0:
+            populations = populations / total
+        if shots is not None:
+            if shots < 1:
+                raise SimulationError("shots must be >= 1")
+            populations = rng.multinomial(shots, populations) / shots
+        out[k * d : (k + 1) * d] = populations
+    return out
+
+
+def project_to_physical(matrix: np.ndarray) -> np.ndarray:
+    """Nearest density matrix: Hermitise, clip eigenvalues, renormalise.
+
+    The Smolin-Gambetta-style maximum-likelihood projection used as the
+    "Bayesian inference step enforcing physical consistency" stand-in
+    (documented substitution in DESIGN.md).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    herm = (matrix + matrix.conj().T) / 2.0
+    eigvals, eigvecs = np.linalg.eigh(herm)
+    clipped = np.clip(eigvals, 0.0, None)
+    total = clipped.sum()
+    if total <= 1e-300:
+        # Degenerate input: fall back to the maximally mixed state.
+        d = matrix.shape[0]
+        return np.eye(d, dtype=complex) / d
+    clipped /= total
+    return (eigvecs * clipped) @ eigvecs.conj().T
+
+
+def state_fidelity(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Uhlmann fidelity ``(Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2``."""
+    rho = np.asarray(rho, dtype=complex)
+    sigma = np.asarray(sigma, dtype=complex)
+    eigvals, eigvecs = np.linalg.eigh(rho)
+    sqrt_rho = (eigvecs * np.sqrt(np.clip(eigvals, 0, None))) @ eigvecs.conj().T
+    inner = sqrt_rho @ sigma @ sqrt_rho
+    inner_eigs = np.linalg.eigvalsh(inner)
+    return float(np.sum(np.sqrt(np.clip(inner_eigs, 0.0, None))) ** 2)
+
+
+@dataclass
+class ReservoirTomograph:
+    """Learned linear map from displaced-population features to density matrices.
+
+    Args:
+        dim: cavity truncation of the states to reconstruct.
+        n_probes: number of displacement amplitudes in the fixed sequence.
+        probe_radius: maximum |alpha| of the probe grid.
+        ridge: regularisation of the linear map.
+        seed: RNG seed (probe layout + training-state generation).
+    """
+
+    dim: int = 4
+    n_probes: int | None = None
+    probe_radius: float = 1.6
+    ridge: float = 1e-6
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dim < 2:
+            raise SimulationError("cavity dimension must be >= 2")
+        rng = np.random.default_rng(self.seed)
+        # Each probe contributes d population features; 3d probes give a
+        # 3 d^2 feature vector, comfortably over the d^2 completeness bar.
+        n_probes = self.n_probes or 3 * self.dim
+        if n_probes * self.dim < self.dim**2:
+            raise SimulationError(
+                f"need >= d = {self.dim} probes for informational completeness"
+            )
+        radii = self.probe_radius * np.sqrt(rng.uniform(0.05, 1.0, size=n_probes))
+        angles = rng.uniform(0.0, 2.0 * np.pi, size=n_probes)
+        self.alphas = radii * np.exp(1j * angles)
+        self._map: np.ndarray | None = None
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # vectorisation helpers (real parameterisation of Hermitian matrices)
+    # ------------------------------------------------------------------
+    def _rho_to_real(self, rho: np.ndarray) -> np.ndarray:
+        d = self.dim
+        out = []
+        for i in range(d):
+            out.append(np.real(rho[i, i]))
+        for i in range(d):
+            for j in range(i + 1, d):
+                out.append(np.real(rho[i, j]))
+                out.append(np.imag(rho[i, j]))
+        return np.asarray(out)
+
+    def _real_to_rho(self, params: np.ndarray) -> np.ndarray:
+        d = self.dim
+        rho = np.zeros((d, d), dtype=complex)
+        idx = 0
+        for i in range(d):
+            rho[i, i] = params[idx]
+            idx += 1
+        for i in range(d):
+            for j in range(i + 1, d):
+                rho[i, j] = params[idx] + 1j * params[idx + 1]
+                rho[j, i] = params[idx] - 1j * params[idx + 1]
+                idx += 2
+        return rho
+
+    # ------------------------------------------------------------------
+    # training / reconstruction
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        n_training_states: int = 60,
+        shots: int | None = None,
+    ) -> "ReservoirTomograph":
+        """Fit the linear map on random known states.
+
+        Args:
+            n_training_states: training-set size (the paper's selling point
+                is that this can be small).
+            shots: per-probe shot budget (None = exact expectations).
+        """
+        if n_training_states < 2:
+            raise SimulationError("need at least 2 training states")
+        feats = []
+        labels = []
+        for _ in range(n_training_states):
+            rho = random_density_matrix(self.dim, rng=self._rng)
+            feats.append(
+                displaced_population_features(rho, self.alphas, shots, self._rng)
+            )
+            labels.append(self._rho_to_real(rho))
+        f = np.asarray(feats)
+        y = np.asarray(labels)
+        # Augment with a bias column, ridge-solve the multi-output map.
+        f_aug = np.hstack([f, np.ones((f.shape[0], 1))])
+        gram = f_aug.T @ f_aug + self.ridge * np.eye(f_aug.shape[1])
+        self._map = np.linalg.solve(gram, f_aug.T @ y)
+        return self
+
+    def reconstruct(
+        self, rho_true: np.ndarray, shots: int | None = None
+    ) -> np.ndarray:
+        """Measure an unknown state and reconstruct it.
+
+        Args:
+            rho_true: the state being measured (used only to generate the
+                feature vector, as the physical cavity would).
+            shots: per-probe shot budget.
+
+        Returns:
+            Physical density matrix estimate.
+        """
+        if self._map is None:
+            raise SimulationError("tomograph is not trained")
+        features = displaced_population_features(
+            rho_true, self.alphas, shots, self._rng
+        )
+        f_aug = np.concatenate([features, [1.0]])
+        params = f_aug @ self._map
+        return project_to_physical(self._real_to_rho(params))
+
+    def evaluate(
+        self,
+        n_test_states: int = 20,
+        shots: int | None = None,
+    ) -> float:
+        """Mean reconstruction fidelity over random test states."""
+        fidelities = []
+        for _ in range(n_test_states):
+            rho = random_density_matrix(self.dim, rng=self._rng)
+            estimate = self.reconstruct(rho, shots)
+            fidelities.append(state_fidelity(rho, estimate))
+        return float(np.mean(fidelities))

@@ -1,0 +1,142 @@
+"""Mass-gap extraction from real-time rotor dynamics.
+
+Ref [11]'s programme, reproduced here: prepare a state overlapping the
+ground and first-excited sectors, evolve in real time, and read the gap
+off the dominant oscillation frequency of a local observable.  The exact-
+diagonalisation gap provides the ground truth the noisy estimates are
+scored against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.fitting import dominant_frequency
+from ..core.density import DensityMatrix
+from ..core.exceptions import SimulationError
+from ..core.statevector import Statevector
+from .encodings import QuditEncoding, insert_depolarizing_noise
+from .rotor import RotorChain
+from .trotter import evolve_observable_trajectory, exact_observable_trajectory
+
+__all__ = [
+    "gap_probe_state",
+    "exact_gap_trajectory",
+    "trotter_gap_trajectory",
+    "estimate_mass_gap",
+    "MassGapResult",
+]
+
+
+def gap_probe_state(chain: RotorChain) -> np.ndarray:
+    """A probe state overlapping the two lowest eigenstates.
+
+    Uses ``(|g> + |e>) / sqrt(2)`` built from exact eigenvectors — the
+    idealised version of the adiabatic/variational preparation a hardware
+    run would use.  Guarantees the gap frequency dominates the signal.
+    """
+    eigvals, eigvecs = np.linalg.eigh(chain.to_matrix())
+    psi = (eigvecs[:, 0] + eigvecs[:, 1]) / np.sqrt(2.0)
+    return psi
+
+
+def exact_gap_trajectory(
+    chain: RotorChain, observable: np.ndarray, times: np.ndarray
+) -> np.ndarray:
+    """Reference ``<O(t)>`` under exact evolution from the probe state."""
+    return exact_observable_trajectory(
+        chain.to_matrix(), observable, gap_probe_state(chain), times
+    )
+
+
+def trotter_gap_trajectory(
+    chain: RotorChain,
+    observable: np.ndarray,
+    t_total: float,
+    n_steps: int,
+    epsilon: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``<O(t)>`` under (optionally noisy) Trotter evolution.
+
+    Args:
+        chain: rotor model.
+        observable: dense operator over the register.
+        t_total: total time.
+        n_steps: Trotter steps (also the sampling grid).
+        epsilon: per-entangling-gate depolarising strength (0 = noiseless).
+
+    Returns:
+        ``(times, values)`` arrays of length ``n_steps + 1``.
+    """
+    encoding = QuditEncoding(chain)
+    step = encoding.trotter_step(t_total / n_steps)
+    if epsilon > 0:
+        step = insert_depolarizing_noise(step, encoding, epsilon)
+    psi0 = gap_probe_state(chain)
+    initial = DensityMatrix.from_statevector(Statevector(psi0, chain.dims))
+    values = evolve_observable_trajectory(step, n_steps, observable, initial)
+    times = np.linspace(0.0, t_total, n_steps + 1)
+    return times, values
+
+
+class MassGapResult:
+    """Outcome of a mass-gap measurement campaign."""
+
+    def __init__(self, gap_exact, gap_estimated, relative_error, times, values):
+        self.gap_exact = float(gap_exact)
+        self.gap_estimated = float(gap_estimated)
+        self.relative_error = float(relative_error)
+        self.times = times
+        self.values = values
+
+    def __repr__(self) -> str:
+        return (
+            f"MassGapResult(exact={self.gap_exact:.4f}, "
+            f"estimated={self.gap_estimated:.4f}, "
+            f"rel_err={self.relative_error:.3%})"
+        )
+
+
+def estimate_mass_gap(
+    chain: RotorChain,
+    t_total: float | None = None,
+    n_steps: int | None = None,
+    epsilon: float = 0.0,
+    observable: np.ndarray | None = None,
+    max_dt: float = 0.2,
+) -> MassGapResult:
+    """Full pipeline: evolve, extract the dominant frequency, compare to ED.
+
+    Args:
+        chain: rotor model (small enough for dense linear algebra).
+        t_total: evolution window; defaults to ~4 gap periods.
+        n_steps: Trotter steps; defaults to ``ceil(t_total / max_dt)`` so
+            the Trotter error stays well below the gap frequency.
+        epsilon: depolarising noise strength per entangling gate.
+        observable: probe observable; defaults to the link operator
+            ``U + U†`` on site 0 (the diagonal electric operators cannot
+            connect the charge sectors and give a flat signal).
+        max_dt: Trotter step-size cap used when ``n_steps`` is derived.
+
+    Returns:
+        A :class:`MassGapResult`.
+
+    Raises:
+        SimulationError: if the chain gap vanishes (no frequency to find).
+    """
+    gap = chain.mass_gap()
+    if gap < 1e-9:
+        raise SimulationError("chain is gapless; nothing to extract")
+    if t_total is None:
+        t_total = 4.0 * 2.0 * np.pi / gap
+    if n_steps is None:
+        n_steps = max(32, int(np.ceil(t_total / max_dt)))
+    encoding = QuditEncoding(chain)
+    if observable is None:
+        observable = encoding.local_link_operator(0)
+    times, values = trotter_gap_trajectory(
+        chain, observable, t_total, n_steps, epsilon
+    )
+    omega = dominant_frequency(times, values)
+    rel_err = abs(omega - gap) / gap
+    return MassGapResult(gap, omega, rel_err, times, values)

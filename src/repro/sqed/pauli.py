@@ -1,0 +1,218 @@
+"""Pauli-string machinery for the qubit-encoding baseline.
+
+The encoding-comparison study (claim C1) needs an *honest* qubit
+compilation of the rotor Hamiltonian: embed each d-level site into
+``ceil(log2 d)`` qubits, expand every Hamiltonian term in the Pauli basis,
+and Trotterise each string with the textbook basis-change + CNOT-ladder +
+Rz construction.  The CNOT count that falls out of this pipeline — not a
+hand-waved constant — is what drives the qubit encoding's noise
+sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.circuit import QuditCircuit
+from ..core.exceptions import DimensionError
+from ..core.gates import csum
+
+__all__ = [
+    "PAULIS",
+    "PauliTerm",
+    "matrix_to_pauli_terms",
+    "pauli_terms_to_matrix",
+    "pauli_rotation_circuit",
+    "trotter_step_circuit",
+]
+
+#: Single-qubit Pauli matrices, indexed by label.
+PAULIS: dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+_HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+#: Basis change sending Y -> Z:  (HS†) Y (HS†)† = Z.
+_Y_BASIS = _HADAMARD @ np.diag([1.0, -1j])
+
+
+@dataclass(frozen=True)
+class PauliTerm:
+    """A real coefficient times a Pauli string, e.g. ``0.5 * XZY``.
+
+    Attributes:
+        coefficient: real weight (Hermitian operators only).
+        string: label like ``"XZI"``; length = number of qubits.
+    """
+
+    coefficient: float
+    string: str
+
+    def __post_init__(self) -> None:
+        for ch in self.string:
+            if ch not in PAULIS:
+                raise DimensionError(f"invalid Pauli label {ch!r}")
+
+    @property
+    def n_qubits(self) -> int:
+        """Number of qubits the string is written over."""
+        return len(self.string)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity factors."""
+        return sum(1 for ch in self.string if ch != "I")
+
+    def matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix of the full term."""
+        out = np.array([[self.coefficient]], dtype=complex)
+        for ch in self.string:
+            out = np.kron(out, PAULIS[ch])
+        return out
+
+
+def matrix_to_pauli_terms(
+    matrix: np.ndarray, n_qubits: int, tol: float = 1e-12
+) -> list[PauliTerm]:
+    """Expand a Hermitian matrix in the n-qubit Pauli basis.
+
+    Args:
+        matrix: Hermitian ``2^n x 2^n`` matrix.
+        n_qubits: number of qubits.
+        tol: coefficients below this are dropped.
+
+    Returns:
+        Pauli terms with real coefficients, sorted by descending |coeff|.
+
+    Raises:
+        DimensionError: on shape mismatch or non-Hermitian input.
+    """
+    dim = 2**n_qubits
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (dim, dim):
+        raise DimensionError(f"matrix shape {matrix.shape} != ({dim}, {dim})")
+    if not np.allclose(matrix, matrix.conj().T, atol=1e-9):
+        raise DimensionError("Pauli expansion requires a Hermitian matrix")
+    labels = ["I", "X", "Y", "Z"]
+    terms: list[PauliTerm] = []
+
+    def recurse(prefix: str, partial: np.ndarray) -> None:
+        if len(prefix) == n_qubits:
+            coeff = partial[0, 0]
+            if abs(coeff) > tol:
+                terms.append(PauliTerm(float(coeff.real), prefix))
+            return
+        # Partial trace against each Pauli on the next qubit.
+        size = partial.shape[0]
+        half = size // 2
+        blocks = {
+            (0, 0): partial[:half, :half],
+            (0, 1): partial[:half, half:],
+            (1, 0): partial[half:, :half],
+            (1, 1): partial[half:, half:],
+        }
+        for label in labels:
+            p = PAULIS[label]
+            reduced = sum(
+                p.conj()[i, j] * blocks[(i, j)] for i in range(2) for j in range(2)
+            ) / 2.0
+            if np.abs(reduced).max() > tol:
+                recurse(prefix + label, reduced)
+
+    recurse("", matrix)
+    return sorted(terms, key=lambda t: -abs(t.coefficient))
+
+
+def pauli_terms_to_matrix(terms: list[PauliTerm]) -> np.ndarray:
+    """Sum the dense matrices of a term list."""
+    if not terms:
+        raise DimensionError("empty term list")
+    out = terms[0].matrix()
+    for term in terms[1:]:
+        out = out + term.matrix()
+    return out
+
+
+def pauli_rotation_circuit(
+    circuit: QuditCircuit,
+    term: PauliTerm,
+    angle: float,
+    qubits: list[int],
+) -> int:
+    """Append ``exp(-i angle P)`` to ``circuit`` via the CNOT-ladder construction.
+
+    Basis-change each non-identity factor to Z, entangle down the ladder
+    with CNOTs, apply Rz(2 * angle * coefficient) on the last active qubit,
+    then uncompute.
+
+    Args:
+        circuit: target circuit (the listed wires must be qubits).
+        term: Pauli string (its ``coefficient`` multiplies the angle).
+        angle: Trotter angle.
+        qubits: wire indices for each character of the string.
+
+    Returns:
+        Number of CNOTs appended (2 * (weight - 1), or 0 for weight-0).
+    """
+    if len(qubits) != term.n_qubits:
+        raise DimensionError("qubit list length != Pauli string length")
+    active = [
+        (qubits[pos], ch) for pos, ch in enumerate(term.string) if ch != "I"
+    ]
+    theta = angle * term.coefficient
+    if not active:
+        return 0  # global phase
+    # Basis changes into the Z basis: with B Y B† = Z the decomposition is
+    # exp(-i t P) = B† exp(-i t Z...Z) B, so B is applied first.
+    for wire, ch in active:
+        if ch == "X":
+            circuit.unitary(_HADAMARD, wire, name="h")
+        elif ch == "Y":
+            circuit.unitary(_Y_BASIS, wire, name="ybasis")
+    wires = [wire for wire, _ in active]
+    n_cnots = 0
+    for a, b in zip(wires, wires[1:]):
+        circuit.unitary(csum(2), (a, b), name="cnot")
+        n_cnots += 1
+    # Rz(2 theta) = diag(e^{-i theta}, e^{i theta}) up to global phase.
+    circuit.unitary(
+        np.diag([np.exp(-1j * theta), np.exp(1j * theta)]),
+        wires[-1],
+        name="rz",
+        theta=theta,
+    )
+    for a, b in reversed(list(zip(wires, wires[1:]))):
+        circuit.unitary(csum(2), (a, b), name="cnot")
+        n_cnots += 1
+    for wire, ch in reversed(active):
+        if ch == "X":
+            circuit.unitary(_HADAMARD, wire, name="h")
+        elif ch == "Y":
+            circuit.unitary(_Y_BASIS.conj().T, wire, name="ybasis_dg")
+    return n_cnots
+
+
+def trotter_step_circuit(
+    terms: list[PauliTerm], dt: float, qubits: list[int], dims_total: int
+) -> tuple[QuditCircuit, int]:
+    """First-order Trotter step ``prod_P exp(-i dt c_P P)`` over qubit wires.
+
+    Args:
+        terms: Pauli expansion of the Hamiltonian block.
+        dt: time step.
+        qubits: wires the strings act on.
+        dims_total: total number of qubit wires in the circuit.
+
+    Returns:
+        ``(circuit, n_cnots)``.
+    """
+    qc = QuditCircuit([2] * dims_total, name="pauli-trotter")
+    n_cnots = 0
+    for term in terms:
+        n_cnots += pauli_rotation_circuit(qc, term, dt, qubits)
+    return qc, n_cnots

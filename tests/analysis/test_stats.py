@@ -1,0 +1,72 @@
+"""Tests for bootstrap statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import bootstrap_mean, bootstrap_ratio
+from repro.core.exceptions import SimulationError
+
+
+class TestBootstrapMean:
+    def test_estimate_is_sample_mean(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        result = bootstrap_mean(samples, seed=0)
+        assert abs(result.estimate - 2.5) < 1e-12
+
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(1)
+        result = bootstrap_mean(rng.normal(5.0, 1.0, size=50), seed=2)
+        assert result.low <= result.estimate <= result.high
+
+    def test_interval_shrinks_with_samples(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_mean(rng.normal(0, 1, size=10), seed=4)
+        large = bootstrap_mean(rng.normal(0, 1, size=1000), seed=4)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_coverage_sanity(self):
+        """~95% of intervals cover the true mean."""
+        rng = np.random.default_rng(5)
+        hits = 0
+        trials = 200
+        for k in range(trials):
+            result = bootstrap_mean(
+                rng.normal(1.0, 1.0, size=30), n_resamples=300, seed=k
+            )
+            hits += result.low <= 1.0 <= result.high
+        assert hits / trials > 0.85
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            bootstrap_mean([1.0])
+        with pytest.raises(SimulationError):
+            bootstrap_mean([1.0, 2.0], confidence=1.5)
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_interval_ordering_property(self, samples):
+        result = bootstrap_mean(samples, n_resamples=200, seed=0)
+        assert result.low <= result.high
+
+
+class TestBootstrapRatio:
+    def test_point_estimate(self):
+        result = bootstrap_ratio([4.0, 6.0], [1.0, 3.0], seed=0)
+        assert abs(result.estimate - 2.5) < 1e-12
+
+    def test_interval_contains_truth_typically(self):
+        rng = np.random.default_rng(6)
+        num = rng.normal(10.0, 1.0, size=40)
+        den = rng.normal(2.0, 0.3, size=40)
+        result = bootstrap_ratio(num, den, seed=7)
+        assert result.low < 5.0 < result.high
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(SimulationError):
+            bootstrap_ratio([1.0, 2.0], [0.0, 0.0])
+
+    def test_too_few_samples(self):
+        with pytest.raises(SimulationError):
+            bootstrap_ratio([1.0], [1.0, 2.0])

@@ -1,0 +1,117 @@
+"""Tests for CSUM compilation and two-qudit synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.compile.synthesis.csum import csum_circuit, csum_cost
+from repro.compile.synthesis.twoqudit import (
+    entangling_count_upper_bound,
+    is_diagonal_unitary,
+    synthesize_two_qudit,
+)
+from repro.core.exceptions import SynthesisError
+from repro.core.gates import beamsplitter, controlled_phase, csum
+from repro.core.random_ops import haar_unitary
+from repro.hardware import DeviceNoiseModel, linear_cavity_array
+
+
+class TestCsumCircuit:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_fourier_route_exact(self, d):
+        qc = csum_circuit(d)
+        np.testing.assert_allclose(qc.to_unitary(), csum(d), atol=1e-10)
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_inverse_route(self, d):
+        qc = csum_circuit(d, inverse=True)
+        np.testing.assert_allclose(qc.to_unitary(), csum(d).conj().T, atol=1e-10)
+
+    def test_forward_then_inverse_is_identity(self):
+        qc = csum_circuit(3).compose(csum_circuit(3, inverse=True))
+        np.testing.assert_allclose(qc.to_unitary(), np.eye(9), atol=1e-10)
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(SynthesisError):
+            csum_circuit(2, 3)
+
+    def test_exactly_one_entangler(self):
+        assert csum_circuit(4).num_entangling() == 1
+
+
+class TestCsumCost:
+    @pytest.fixture()
+    def device(self):
+        return linear_cavity_array(3, 2, 4, seed=0)
+
+    def test_colocated_vs_adjacent(self, device):
+        coloc = csum_cost(device, 0, 1)
+        adjacent = csum_cost(device, 1, 2)
+        assert coloc.edge_kind == "colocated"
+        assert adjacent.edge_kind == "adjacent"
+        assert adjacent.fidelity < coloc.fidelity
+        assert adjacent.duration > coloc.duration
+
+    def test_counts_scale_with_dimension(self):
+        small = linear_cavity_array(1, 2, 3)
+        big = linear_cavity_array(1, 2, 8)
+        assert csum_cost(big, 0, 1).n_snap > csum_cost(small, 0, 1).n_snap
+
+    def test_disconnected_rejected(self, device):
+        with pytest.raises(SynthesisError):
+            csum_cost(device, 0, 5)  # cavities 0 and 2 are not adjacent
+
+    def test_explicit_noise_model_accepted(self, device):
+        nm = DeviceNoiseModel(device, transmon_error_fraction=0.1)
+        low = csum_cost(device, 0, 1, noise_model=nm)
+        high = csum_cost(
+            device, 0, 1, noise_model=DeviceNoiseModel(device, 1.0)
+        )
+        assert low.fidelity > high.fidelity
+
+
+class TestTwoQuditSynthesis:
+    def test_csum_reconstruction(self):
+        syn = synthesize_two_qudit(csum(3), 3, 3)
+        np.testing.assert_allclose(
+            syn.decomposition.reconstruct(), csum(3), atol=1e-9
+        )
+
+    def test_csum_rotations_are_target_local(self):
+        """CSUM only permutes the target digit: no cross rotations."""
+        syn = synthesize_two_qudit(csum(3), 3, 3)
+        assert syn.n_cross == 0
+        assert syn.n_local_control == 0
+        assert syn.n_local_target >= 1
+
+    def test_diagonal_detected_and_cheap(self):
+        syn = synthesize_two_qudit(controlled_phase(3, 3), 3, 3)
+        assert syn.diagonal
+        assert syn.entangling_cost() == 1
+
+    def test_beamsplitter_has_cross_rotations(self):
+        bs = beamsplitter(3, 3, 0.6)
+        syn = synthesize_two_qudit(bs, 3, 3)
+        assert syn.n_cross >= 1
+        np.testing.assert_allclose(syn.decomposition.reconstruct(), bs, atol=1e-8)
+
+    def test_random_unitary_cost_bounded(self):
+        u = haar_unitary(6, np.random.default_rng(0))
+        syn = synthesize_two_qudit(u, 2, 3)
+        assert syn.entangling_cost() <= entangling_count_upper_bound(2, 3)
+        np.testing.assert_allclose(syn.decomposition.reconstruct(), u, atol=1e-8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SynthesisError):
+            synthesize_two_qudit(np.eye(5, dtype=complex), 2, 3)
+
+    def test_non_unitary(self):
+        with pytest.raises(SynthesisError):
+            synthesize_two_qudit(np.ones((6, 6)), 2, 3)
+
+    def test_is_diagonal_unitary(self):
+        assert is_diagonal_unitary(controlled_phase(2, 2))
+        assert not is_diagonal_unitary(csum(2))
+
+    def test_upper_bound_validation(self):
+        with pytest.raises(SynthesisError):
+            entangling_count_upper_bound(1, 3)

@@ -1,0 +1,80 @@
+"""Tests for the exact Givens decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile.synthesis.givens import (
+    decompose_unitary,
+    givens_count,
+)
+from repro.core.exceptions import SynthesisError
+from repro.core.gates import fourier, snap, weyl_x
+from repro.core.random_ops import haar_unitary
+
+
+class TestDecomposition:
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_reconstruction_exact(self, d):
+        u = haar_unitary(d, np.random.default_rng(d))
+        dec = decompose_unitary(u)
+        np.testing.assert_allclose(dec.reconstruct(), u, atol=1e-9)
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_rotation_count_bound(self, d):
+        u = haar_unitary(d, np.random.default_rng(d + 100))
+        dec = decompose_unitary(u)
+        assert dec.n_rotations <= givens_count(d)
+
+    def test_diagonal_needs_no_rotations(self):
+        u = snap(5, [0.1, 0.2, 0.3, 0.4, 0.5])
+        dec = decompose_unitary(u)
+        assert dec.n_rotations == 0
+        np.testing.assert_allclose(dec.reconstruct(), u, atol=1e-10)
+
+    def test_identity(self):
+        dec = decompose_unitary(np.eye(4, dtype=complex))
+        assert dec.n_rotations == 0
+        np.testing.assert_allclose(dec.phases, np.zeros(4), atol=1e-12)
+
+    def test_fourier_decomposes(self):
+        f = fourier(4)
+        dec = decompose_unitary(f)
+        np.testing.assert_allclose(dec.reconstruct(), f, atol=1e-9)
+        assert dec.n_rotations >= 1
+
+    def test_permutation_decomposes(self):
+        x = weyl_x(5)
+        dec = decompose_unitary(x)
+        np.testing.assert_allclose(dec.reconstruct(), x, atol=1e-9)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(SynthesisError):
+            decompose_unitary(np.ones((3, 3)))
+
+    def test_step_matrices_are_unitary(self):
+        from repro.core.gates import is_unitary
+
+        u = haar_unitary(5, np.random.default_rng(9))
+        dec = decompose_unitary(u)
+        for step in dec.steps:
+            assert is_unitary(step.matrix(5))
+
+    def test_pruning_removes_tiny_rotations(self):
+        u = np.eye(4, dtype=complex)
+        dec = decompose_unitary(u, prune=True)
+        assert dec.n_rotations == 0
+
+
+class TestGivensCount:
+    def test_values(self):
+        assert givens_count(2) == 1
+        assert givens_count(4) == 6
+        assert givens_count(10) == 45
+
+    def test_rejects_small(self):
+        with pytest.raises(SynthesisError):
+            givens_count(1)

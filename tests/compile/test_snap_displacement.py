@@ -1,0 +1,104 @@
+"""Tests for SNAP+displacement variational synthesis (kept small & fast)."""
+
+import numpy as np
+import pytest
+
+from repro.compile.synthesis.snap_displacement import (
+    SnapDisplacementSequence,
+    default_layer_count,
+    subspace_fidelity,
+    synthesize_unitary,
+)
+from repro.core.exceptions import SynthesisError
+from repro.core.gates import fourier, qudit_mixer
+
+
+class TestSubspaceFidelity:
+    def test_perfect_match(self):
+        target = fourier(3)
+        full = np.eye(6, dtype=complex)
+        full[:3, :3] = target
+        assert abs(subspace_fidelity(full, target, 3) - 1.0) < 1e-12
+
+    def test_orthogonal_block(self):
+        target = np.eye(2, dtype=complex)
+        full = np.zeros((4, 4), dtype=complex)
+        full[0, 1] = full[1, 0] = 1.0  # X on the subspace
+        assert subspace_fidelity(full, target, 2) < 1e-12
+
+    def test_global_phase_invariance(self):
+        target = fourier(3)
+        full = np.zeros((5, 5), dtype=complex)
+        full[:3, :3] = np.exp(1j * 0.77) * target
+        assert abs(subspace_fidelity(full, target, 3) - 1.0) < 1e-12
+
+    def test_leakage_penalised(self):
+        """A unitary that leaks out of the subspace scores < 1."""
+        target = np.eye(2, dtype=complex)
+        full = np.eye(4, dtype=complex)
+        # rotate |1> partially into |2>
+        c, s = np.cos(0.4), np.sin(0.4)
+        full[1, 1], full[1, 2], full[2, 1], full[2, 2] = c, -s, s, c
+        assert subspace_fidelity(full, target, 2) < 1.0
+
+
+class TestSequence:
+    def test_matrix_shape_and_counts(self):
+        seq = SnapDisplacementSequence(
+            d_sim=5,
+            d_target=3,
+            alphas=(0.1 + 0j, 0.2 + 0j),
+            snap_phases=((0.0,) * 5,),
+        )
+        assert seq.matrix().shape == (5, 5)
+        assert seq.gate_counts() == {"snap": 1, "disp": 2}
+        assert seq.n_layers == 1
+
+    def test_zero_sequence_is_near_identity(self):
+        seq = SnapDisplacementSequence(
+            d_sim=4, d_target=2, alphas=(0j, 0j), snap_phases=((0.0,) * 4,)
+        )
+        np.testing.assert_allclose(seq.matrix(), np.eye(4), atol=1e-12)
+
+
+class TestSynthesis:
+    def test_qubit_mixer_converges(self):
+        res = synthesize_unitary(
+            qudit_mixer(2, 0.7), seed=0, max_restarts=2, maxiter=200
+        )
+        assert res.infidelity < 1e-3
+
+    def test_qutrit_fourier_converges(self):
+        res = synthesize_unitary(fourier(3), seed=1, max_restarts=2, maxiter=300)
+        assert res.infidelity < 1e-2
+
+    def test_achieved_unitary_close_to_target(self):
+        target = qudit_mixer(2, 0.5)
+        res = synthesize_unitary(target, seed=2, max_restarts=2, maxiter=200)
+        achieved = res.achieved_unitary()
+        # compare up to global phase via the fidelity itself
+        overlap = abs(np.trace(target.conj().T @ achieved)) / 2
+        assert overlap > 0.99
+
+    def test_result_metadata(self):
+        res = synthesize_unitary(
+            qudit_mixer(2, 0.3), seed=3, max_restarts=1, maxiter=50
+        )
+        assert res.n_restarts_used == 1
+        assert res.n_iterations >= 1
+        assert abs(res.fidelity + res.infidelity - 1.0) < 1e-12
+
+    def test_layer_count_heuristic(self):
+        assert default_layer_count(4) == 5
+        with pytest.raises(SynthesisError):
+            default_layer_count(1)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SynthesisError):
+            synthesize_unitary(np.ones((2, 3)))
+
+    def test_custom_layer_count_respected(self):
+        res = synthesize_unitary(
+            qudit_mixer(2, 0.3), n_layers=2, seed=4, max_restarts=1, maxiter=30
+        )
+        assert res.sequence.n_layers == 2

@@ -1,0 +1,157 @@
+"""Tests for the density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import DensityMatrix, QuditCircuit, Statevector, gates
+from repro.core.channels import dephasing, depolarizing, photon_loss
+from repro.core.exceptions import DimensionError
+from repro.core.random_ops import random_statevector
+
+
+def _bell_circuit(d=3):
+    qc = QuditCircuit([d, d])
+    qc.fourier(0)
+    qc.csum(0, 1)
+    return qc
+
+
+class TestConstructors:
+    def test_zero(self):
+        dm = DensityMatrix.zero([3, 3])
+        assert abs(dm.matrix[0, 0] - 1.0) < 1e-12
+        assert abs(dm.trace() - 1.0) < 1e-12
+
+    def test_from_statevector_purity(self):
+        rng = np.random.default_rng(0)
+        sv = Statevector(random_statevector(9, rng), [3, 3])
+        dm = DensityMatrix.from_statevector(sv)
+        assert abs(dm.purity() - 1.0) < 1e-10
+
+    def test_maximally_mixed(self):
+        dm = DensityMatrix.maximally_mixed([3, 3])
+        assert abs(dm.purity() - 1.0 / 9.0) < 1e-12
+
+    def test_shape_validation(self):
+        with pytest.raises(DimensionError):
+            DensityMatrix(np.eye(8), [3, 3])
+
+
+class TestUnitaryEvolution:
+    def test_matches_statevector(self):
+        qc = _bell_circuit()
+        dm = DensityMatrix.zero([3, 3]).evolve(qc)
+        sv = Statevector.zero([3, 3]).evolve(qc)
+        np.testing.assert_allclose(
+            dm.matrix, np.outer(sv.vector, sv.vector.conj()), atol=1e-10
+        )
+
+    def test_apply_unitary_on_second_wire(self):
+        dm = DensityMatrix.zero([2, 3]).apply_unitary(gates.weyl_x(3), 1)
+        assert abs(dm.matrix[1, 1] - 1.0) < 1e-12
+
+    def test_purity_preserved(self):
+        dm = DensityMatrix.zero([3, 3]).evolve(_bell_circuit())
+        assert abs(dm.purity() - 1.0) < 1e-10
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionError):
+            DensityMatrix.zero([3, 4]).evolve(_bell_circuit())
+
+
+class TestChannelEvolution:
+    def test_depolarizing_reduces_purity(self):
+        dm = DensityMatrix.zero([3, 3]).evolve(_bell_circuit())
+        noisy = dm.apply_channel(depolarizing(3, 0.2), 0)
+        assert noisy.purity() < dm.purity()
+        assert abs(noisy.trace() - 1.0) < 1e-10
+
+    def test_channel_instruction_in_circuit(self):
+        qc = _bell_circuit()
+        qc.channel(depolarizing(3, 0.2).kraus, 0, name="depol")
+        dm = DensityMatrix.zero([3, 3]).evolve(qc)
+        assert dm.purity() < 1.0
+        assert abs(dm.trace() - 1.0) < 1e-10
+
+    def test_photon_loss_on_one_mode(self):
+        """Loss on one mode of |2,2> lowers only that mode's mean photon."""
+        dm = DensityMatrix.basis([4, 4], (2, 2))
+        noisy = dm.apply_channel(photon_loss(4, 0.5), 0)
+        n0 = np.real(np.trace(noisy.partial_trace([0]) @ gates.number_op(4)))
+        n1 = np.real(np.trace(noisy.partial_trace([1]) @ gates.number_op(4)))
+        assert abs(n0 - 1.0) < 1e-10
+        assert abs(n1 - 2.0) < 1e-10
+
+    def test_dephasing_kills_bell_coherence(self):
+        dm = DensityMatrix.zero([3, 3]).evolve(_bell_circuit())
+        heavy = dm
+        for _ in range(40):
+            heavy = heavy.apply_channel(dephasing(3, 0.5), 0)
+        # Off-diagonal Bell coherences vanish; populations survive.
+        assert abs(heavy.matrix[0, 4]) < 1e-6
+        assert abs(heavy.matrix[0, 0] - 1.0 / 3.0) < 1e-10
+
+    def test_reset_instruction(self):
+        qc = QuditCircuit([3])
+        qc.x(0)
+        qc.reset(0)
+        dm = DensityMatrix.zero([3]).evolve(qc)
+        assert abs(dm.matrix[0, 0] - 1.0) < 1e-10
+
+
+class TestObservables:
+    def test_expectation_global(self):
+        dm = DensityMatrix.maximally_mixed([2, 2])
+        op = np.diag([0.0, 1.0, 2.0, 3.0]).astype(complex)
+        assert abs(dm.expectation(op) - 1.5) < 1e-12
+
+    def test_expectation_local(self):
+        dm = DensityMatrix.basis([3, 4], (1, 3))
+        assert abs(dm.expectation(gates.number_op(4), 1) - 3.0) < 1e-12
+
+    def test_expectation_global_shape_check(self):
+        dm = DensityMatrix.zero([3, 3])
+        with pytest.raises(DimensionError):
+            dm.expectation(np.eye(3))
+
+    def test_fidelity_with_pure(self):
+        qc = _bell_circuit()
+        sv = Statevector.zero([3, 3]).evolve(qc)
+        dm = DensityMatrix.zero([3, 3]).evolve(qc)
+        assert abs(dm.fidelity_with_pure(sv) - 1.0) < 1e-10
+
+    def test_fidelity_degrades_with_noise(self):
+        qc = _bell_circuit()
+        sv = Statevector.zero([3, 3]).evolve(qc)
+        dm = DensityMatrix.zero([3, 3]).evolve(qc)
+        noisy = dm.apply_channel(depolarizing(3, 0.3), 0)
+        assert noisy.fidelity_with_pure(sv) < 1.0
+
+    def test_probability_of(self):
+        dm = DensityMatrix.basis([3, 3], (2, 1))
+        assert abs(dm.probability_of((2, 1)) - 1.0) < 1e-12
+        assert dm.probability_of((0, 0)) < 1e-12
+
+
+class TestPartialTrace:
+    def test_bell_reduction_maximally_mixed(self):
+        dm = DensityMatrix.zero([3, 3]).evolve(_bell_circuit())
+        np.testing.assert_allclose(dm.partial_trace([0]), np.eye(3) / 3, atol=1e-10)
+
+    def test_keep_order(self):
+        dm = DensityMatrix.basis([2, 3], (1, 2))
+        rho = dm.partial_trace([1, 0])  # dims (3, 2), state |2,1>
+        assert abs(rho[2 * 2 + 1, 2 * 2 + 1] - 1.0) < 1e-10
+
+    def test_trace_preserved(self):
+        dm = DensityMatrix.maximally_mixed([2, 3, 2])
+        assert abs(np.trace(dm.partial_trace([1])) - 1.0) < 1e-10
+
+
+class TestSampling:
+    def test_sample_bell_correlations(self):
+        rng = np.random.default_rng(1)
+        dm = DensityMatrix.zero([3, 3]).evolve(_bell_circuit())
+        counts = dm.sample(300, rng=rng)
+        assert all(a == b for (a, b) in counts)
+        assert sum(counts.values()) == 300

@@ -1,0 +1,131 @@
+"""Tests for mixed-radix index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import dims as dims_mod
+from repro.core.exceptions import DimensionError
+
+dims_strategy = st.lists(st.integers(min_value=2, max_value=6), min_size=1, max_size=5)
+
+
+class TestValidateDims:
+    def test_accepts_valid(self):
+        assert dims_mod.validate_dims([2, 3, 10]) == (2, 3, 10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionError):
+            dims_mod.validate_dims([])
+
+    def test_rejects_dimension_one(self):
+        with pytest.raises(DimensionError):
+            dims_mod.validate_dims([3, 1])
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(DimensionError):
+            dims_mod.validate_dims([0])
+        with pytest.raises(DimensionError):
+            dims_mod.validate_dims([-2])
+
+    def test_coerces_numpy_ints(self):
+        out = dims_mod.validate_dims(np.array([2, 3]))
+        assert out == (2, 3)
+        assert all(isinstance(d, int) for d in out)
+
+
+class TestTotalDim:
+    def test_homogeneous(self):
+        assert dims_mod.total_dim([3, 3, 3]) == 27
+
+    def test_mixed(self):
+        assert dims_mod.total_dim([2, 3, 10]) == 60
+
+    def test_single(self):
+        assert dims_mod.total_dim([7]) == 7
+
+
+class TestStrides:
+    def test_big_endian_place_values(self):
+        assert dims_mod.strides([2, 3, 4]) == (12, 4, 1)
+
+    def test_single_qudit(self):
+        assert dims_mod.strides([5]) == (1,)
+
+    def test_strides_reconstruct_index(self):
+        dims = (3, 4, 2)
+        s = dims_mod.strides(dims)
+        digits = (2, 1, 1)
+        expected = sum(k * w for k, w in zip(digits, s))
+        assert dims_mod.digits_to_index(digits, dims) == expected
+
+
+class TestIndexDigitsConversion:
+    def test_known_values(self):
+        assert dims_mod.index_to_digits(0, [3, 3]) == (0, 0)
+        assert dims_mod.index_to_digits(4, [3, 3]) == (1, 1)
+        assert dims_mod.index_to_digits(8, [3, 3]) == (2, 2)
+
+    def test_mixed_dims(self):
+        # |1, 2> in dims (2, 5) -> 1*5 + 2 = 7
+        assert dims_mod.digits_to_index((1, 2), [2, 5]) == 7
+        assert dims_mod.index_to_digits(7, [2, 5]) == (1, 2)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(DimensionError):
+            dims_mod.index_to_digits(9, [3, 3])
+        with pytest.raises(DimensionError):
+            dims_mod.index_to_digits(-1, [3, 3])
+
+    def test_out_of_range_digit(self):
+        with pytest.raises(DimensionError):
+            dims_mod.digits_to_index((3, 0), [3, 3])
+
+    def test_wrong_digit_count(self):
+        with pytest.raises(DimensionError):
+            dims_mod.digits_to_index((0,), [3, 3])
+
+    @given(dims_strategy, st.data())
+    def test_roundtrip_property(self, dims, data):
+        dim = dims_mod.total_dim(dims)
+        index = data.draw(st.integers(min_value=0, max_value=dim - 1))
+        digits = dims_mod.index_to_digits(index, dims)
+        assert dims_mod.digits_to_index(digits, dims) == index
+
+    @given(dims_strategy)
+    def test_enumeration_order(self, dims):
+        """all_digit_tuples yields exactly flat-index order."""
+        tuples = list(dims_mod.all_digit_tuples(dims))
+        assert len(tuples) == dims_mod.total_dim(dims)
+        for i, digits in enumerate(tuples):
+            assert dims_mod.digits_to_index(digits, dims) == i
+
+
+class TestBasisLabels:
+    def test_compact_labels(self):
+        assert dims_mod.basis_labels([2, 2]) == ["|00>", "|01>", "|10>", "|11>"]
+
+    def test_separator_for_big_dims(self):
+        labels = dims_mod.basis_labels([12])
+        assert labels[10] == "|10>"
+        assert labels[2] == "|2>"
+        # two-qudit case must be comma separated to stay unambiguous
+        labels2 = dims_mod.basis_labels([12, 2])
+        assert labels2[-1] == "|11,1>"
+
+
+class TestDigitMatrix:
+    def test_matches_iterator(self):
+        dims = (2, 3, 2)
+        mat = dims_mod.digit_matrix(dims)
+        expected = np.array(list(dims_mod.all_digit_tuples(dims)))
+        np.testing.assert_array_equal(mat, expected)
+
+    @given(dims_strategy)
+    def test_rows_in_range(self, dims):
+        mat = dims_mod.digit_matrix(dims)
+        assert mat.shape == (dims_mod.total_dim(dims), len(dims))
+        for col, d in enumerate(dims):
+            assert mat[:, col].min() >= 0
+            assert mat[:, col].max() == d - 1

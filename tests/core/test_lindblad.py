@@ -1,0 +1,164 @@
+"""Tests for the Lindblad master-equation integrator."""
+
+import numpy as np
+import pytest
+
+from repro.core import gates
+from repro.core.exceptions import DimensionError, SimulationError
+from repro.core.lindblad import (
+    LindbladPropagator,
+    evolve_lindblad,
+    liouvillian,
+    unvectorize_density,
+    vectorize_density,
+)
+from repro.core.random_ops import random_density_matrix
+
+
+class TestVectorization:
+    def test_roundtrip(self):
+        rho = random_density_matrix(5, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(
+            unvectorize_density(vectorize_density(rho)), rho, atol=1e-14
+        )
+
+    def test_bad_length(self):
+        with pytest.raises(DimensionError):
+            unvectorize_density(np.zeros(5))
+
+    def test_column_stacking_identity(self):
+        """vec(A rho B) = (B^T kron A) vec(rho)."""
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+        b = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+        rho = random_density_matrix(3, rng=rng)
+        lhs = vectorize_density(a @ rho @ b)
+        rhs = np.kron(b.T, a) @ vectorize_density(rho)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+
+class TestLiouvillian:
+    def test_unitary_part_matches_schrodinger(self):
+        """Pure Hamiltonian evolution: compare against exact exp(-iHt)."""
+        rng = np.random.default_rng(2)
+        from repro.core.random_ops import random_hermitian
+
+        ham = random_hermitian(4, rng)
+        rho = random_density_matrix(4, rng=rng)
+        t = 0.37
+        out = evolve_lindblad(rho, ham, [], t, n_steps=1)
+        from scipy.linalg import expm
+
+        u = expm(-1j * ham * t)
+        np.testing.assert_allclose(out, u @ rho @ u.conj().T, atol=1e-9)
+
+    def test_trace_preservation(self):
+        """1^T L = 0: the generator annihilates the trace functional."""
+        rng = np.random.default_rng(3)
+        from repro.core.random_ops import random_hermitian
+
+        d = 4
+        ham = random_hermitian(d, rng)
+        jump = np.sqrt(0.5) * gates.annihilation(d)
+        gen = liouvillian(ham, [jump])
+        trace_vec = vectorize_density(np.eye(d))
+        np.testing.assert_allclose(trace_vec @ gen, np.zeros(d * d), atol=1e-10)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            liouvillian(np.eye(3), [np.eye(4)])
+
+
+class TestDecay:
+    def test_exponential_photon_decay(self):
+        """d<n>/dt = -kappa <n> for a lossy free oscillator."""
+        d, kappa, t = 8, 0.4, 1.3
+        rho = np.zeros((d, d), dtype=complex)
+        rho[5, 5] = 1.0
+        out = evolve_lindblad(
+            rho, np.zeros((d, d)), [np.sqrt(kappa) * gates.annihilation(d)], t
+        )
+        n_final = float(np.real(np.trace(out @ gates.number_op(d))))
+        assert abs(n_final - 5 * np.exp(-kappa * t)) < 1e-8
+
+    def test_dephasing_steady_state(self):
+        """Number dephasing kills coherences, keeps populations."""
+        d = 4
+        rho = np.full((d, d), 0.25, dtype=complex)
+        out = evolve_lindblad(
+            rho, np.zeros((d, d)), [np.sqrt(2.0) * gates.number_op(d)], 20.0
+        )
+        np.testing.assert_allclose(np.diag(out).real, np.full(d, 0.25), atol=1e-8)
+        assert abs(out[0, 1]) < 1e-6
+
+
+class TestPropagator:
+    def test_step_preserves_trace_and_positivity(self):
+        d = 6
+        prop = LindbladPropagator(
+            gates.number_op(d), [np.sqrt(0.1) * gates.annihilation(d)], dt=0.2
+        )
+        rho = random_density_matrix(d, rng=np.random.default_rng(4))
+        for _ in range(5):
+            rho = prop.step(rho)
+        assert abs(np.trace(rho) - 1.0) < 1e-10
+        assert np.linalg.eigvalsh(rho).min() > -1e-10
+
+    def test_drive_changes_dynamics(self):
+        d = 6
+        drive_op = gates.position_quadrature(d)
+        prop = LindbladPropagator(
+            gates.number_op(d),
+            [np.sqrt(0.05) * gates.annihilation(d)],
+            dt=0.3,
+            drive_op=drive_op,
+        )
+        vac = np.zeros((d, d), dtype=complex)
+        vac[0, 0] = 1.0
+        undriven = prop.step(vac, drive=0.0)
+        driven = prop.step(vac, drive=1.5)
+        n_undriven = np.real(np.trace(undriven @ gates.number_op(d)))
+        n_driven = np.real(np.trace(driven @ gates.number_op(d)))
+        assert n_driven > n_undriven + 1e-3
+
+    def test_propagator_cache_hits(self):
+        d = 4
+        prop = LindbladPropagator(
+            np.zeros((d, d)),
+            [np.sqrt(0.1) * gates.annihilation(d)],
+            dt=0.1,
+            drive_op=gates.position_quadrature(d),
+            cache_size=2,
+        )
+        vac = np.zeros((d, d), dtype=complex)
+        vac[0, 0] = 1.0
+        prop.step(vac, 0.5)
+        assert 0.5 in prop._cache
+        prop.step(vac, 0.6)
+        prop.step(vac, 0.7)  # evicts 0.5
+        assert len(prop._cache) == 2
+
+    def test_run_returns_per_step_states(self):
+        d = 4
+        prop = LindbladPropagator(
+            np.zeros((d, d)),
+            [np.sqrt(0.1) * gates.annihilation(d)],
+            dt=0.1,
+            drive_op=gates.position_quadrature(d),
+        )
+        vac = np.zeros((d, d), dtype=complex)
+        vac[0, 0] = 1.0
+        states = prop.run(vac, [0.2, 0.4, 0.0])
+        assert len(states) == 3
+        for rho in states:
+            assert abs(np.trace(rho) - 1.0) < 1e-10
+
+    def test_invalid_dt(self):
+        with pytest.raises(SimulationError):
+            LindbladPropagator(np.zeros((3, 3)), [], dt=0.0)
+
+    def test_evolve_validation(self):
+        with pytest.raises(SimulationError):
+            evolve_lindblad(np.eye(3) / 3, np.zeros((3, 3)), [], -1.0)
+        with pytest.raises(SimulationError):
+            evolve_lindblad(np.eye(3) / 3, np.zeros((3, 3)), [], 1.0, n_steps=0)

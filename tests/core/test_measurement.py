@@ -1,0 +1,82 @@
+"""Tests for shot-based measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import measurement as meas
+from repro.core.exceptions import SimulationError
+
+
+class TestSampleProbabilities:
+    def test_total_shots(self):
+        rng = np.random.default_rng(0)
+        counts = meas.sample_probabilities(
+            np.full(9, 1 / 9), 500, [3, 3], rng=rng
+        )
+        assert sum(counts.values()) == 500
+
+    def test_deterministic_distribution(self):
+        probs = np.zeros(9)
+        probs[4] = 1.0
+        counts = meas.sample_probabilities(probs, 50, [3, 3])
+        assert counts == {(1, 1): 50}
+
+    def test_negative_probabilities_clipped(self):
+        probs = np.array([1.0, -1e-12, 0.0])
+        counts = meas.sample_probabilities(probs, 10, [3])
+        assert counts == {(0,): 10}
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(SimulationError):
+            meas.sample_probabilities(np.zeros(3), 10, [3])
+
+    def test_zero_shots_rejected(self):
+        with pytest.raises(SimulationError):
+            meas.sample_probabilities(np.ones(3) / 3, 0, [3])
+
+
+class TestCountsHelpers:
+    def test_frequencies(self):
+        freqs = meas.counts_to_frequencies({(0,): 30, (1,): 70})
+        assert abs(freqs[(0,)] - 0.3) < 1e-12
+        assert abs(freqs[(1,)] - 0.7) < 1e-12
+
+    def test_empty_counts(self):
+        with pytest.raises(SimulationError):
+            meas.counts_to_frequencies({})
+
+    def test_expectation_from_counts(self):
+        counts = {(0,): 50, (2,): 50}
+        value = meas.estimate_expectation_from_counts(
+            counts, lambda outcome: outcome[0]
+        )
+        assert abs(value - 1.0) < 1e-12
+
+
+class TestShotNoiseModel:
+    def test_unbiased_mean(self):
+        rng = np.random.default_rng(1)
+        draws = [
+            meas.sampled_expectation(0.5, shots=100, scale=1.0, rng=rng)
+            for _ in range(2000)
+        ]
+        assert abs(np.mean(draws) - 0.5) < 0.01
+
+    def test_error_scales_inverse_sqrt(self):
+        rng = np.random.default_rng(2)
+        few = np.std(
+            [meas.sampled_expectation(0.0, 16, rng=rng) for _ in range(3000)]
+        )
+        many = np.std(
+            [meas.sampled_expectation(0.0, 1600, rng=rng) for _ in range(3000)]
+        )
+        assert abs(few / many - 10.0) < 1.5
+
+    def test_sigma_formula(self):
+        assert abs(meas.shot_noise_sigma(2.0, 400) - 0.1) < 1e-12
+
+    def test_invalid_shots(self):
+        with pytest.raises(SimulationError):
+            meas.sampled_expectation(0.0, 0)
+        with pytest.raises(SimulationError):
+            meas.shot_noise_sigma(1.0, 0)

@@ -1,0 +1,82 @@
+"""Tests for random operator/state generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gates, random_ops
+from repro.core.exceptions import DimensionError
+
+dim_strategy = st.integers(min_value=2, max_value=8)
+
+
+class TestHaarUnitary:
+    @given(dim_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_unitary(self, d):
+        assert gates.is_unitary(random_ops.haar_unitary(d, np.random.default_rng(d)))
+
+    def test_seeded_reproducibility(self):
+        u1 = random_ops.haar_unitary(4, np.random.default_rng(5))
+        u2 = random_ops.haar_unitary(4, np.random.default_rng(5))
+        np.testing.assert_allclose(u1, u2, atol=1e-15)
+
+    def test_first_moment_vanishes(self):
+        """Haar average of U is 0 — crude distribution sanity check."""
+        rng = np.random.default_rng(6)
+        acc = np.zeros((3, 3), dtype=complex)
+        for _ in range(600):
+            acc += random_ops.haar_unitary(3, rng)
+        assert np.abs(acc / 600).max() < 0.1
+
+    def test_rejects_dim_zero(self):
+        with pytest.raises(DimensionError):
+            random_ops.haar_unitary(0)
+
+
+class TestSpecialUnitary:
+    @given(dim_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_unit_determinant(self, d):
+        u = random_ops.random_special_unitary(d, np.random.default_rng(d))
+        assert abs(np.linalg.det(u) - 1.0) < 1e-9
+        assert gates.is_unitary(u, atol=1e-9)
+
+
+class TestRandomState:
+    @given(dim_strategy)
+    def test_normalized(self, d):
+        vec = random_ops.random_statevector(d, np.random.default_rng(d))
+        assert abs(np.linalg.norm(vec) - 1.0) < 1e-12
+
+
+class TestRandomHermitian:
+    @given(dim_strategy)
+    def test_hermitian(self, d):
+        mat = random_ops.random_hermitian(d, np.random.default_rng(d))
+        assert gates.is_hermitian(mat)
+
+    def test_scale(self):
+        rng = np.random.default_rng(7)
+        small = random_ops.random_hermitian(4, rng, scale=1e-3)
+        assert np.abs(small).max() < 0.1
+
+
+class TestRandomDensity:
+    @given(dim_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_valid_state(self, d):
+        rho = random_ops.random_density_matrix(d, rng=np.random.default_rng(d))
+        assert abs(np.trace(rho) - 1.0) < 1e-10
+        assert np.linalg.eigvalsh(rho).min() > -1e-12
+
+    def test_rank_one_is_pure(self):
+        rho = random_ops.random_density_matrix(
+            5, rank=1, rng=np.random.default_rng(8)
+        )
+        assert abs(np.trace(rho @ rho) - 1.0) < 1e-10
+
+    def test_invalid_rank(self):
+        with pytest.raises(DimensionError):
+            random_ops.random_density_matrix(3, rank=4)

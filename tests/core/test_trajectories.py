@@ -1,0 +1,103 @@
+"""Tests for the Monte-Carlo trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import DensityMatrix, QuditCircuit, Statevector, TrajectorySimulator
+from repro.core.channels import depolarizing, photon_loss
+from repro.core.exceptions import SimulationError
+
+
+def _noisy_bell(p=0.2):
+    qc = QuditCircuit([3, 3])
+    qc.fourier(0)
+    qc.csum(0, 1)
+    qc.channel(depolarizing(3, p).kraus, 0, name="depol")
+    return qc
+
+
+class TestSampling:
+    def test_noiseless_matches_statevector(self):
+        qc = QuditCircuit([3, 3])
+        qc.fourier(0)
+        qc.csum(0, 1)
+        counts = TrajectorySimulator(qc, seed=0).sample(300)
+        # only correlated outcomes appear
+        assert all(a == b for (a, b) in counts)
+
+    def test_seeded_reproducibility(self):
+        qc = _noisy_bell()
+        c1 = TrajectorySimulator(qc, seed=42).sample(50)
+        c2 = TrajectorySimulator(qc, seed=42).sample(50)
+        assert c1 == c2
+
+    def test_noise_breaks_correlations(self):
+        counts = TrajectorySimulator(_noisy_bell(0.5), seed=1).sample(400)
+        uncorrelated = sum(n for (a, b), n in counts.items() if a != b)
+        assert uncorrelated > 0
+
+    def test_custom_initial_state(self):
+        qc = QuditCircuit([3])
+        counts = TrajectorySimulator(qc, seed=2).sample(
+            20, initial=Statevector.basis([3], (2,))
+        )
+        assert counts == {(2,): 20}
+
+
+class TestAverageDensity:
+    def test_converges_to_exact(self):
+        qc = _noisy_bell(0.3)
+        avg = TrajectorySimulator(qc, seed=3).average_density(600)
+        exact = DensityMatrix.zero([3, 3]).evolve(qc).matrix
+        assert np.abs(avg - exact).max() < 0.03
+
+    def test_rejects_large_register(self):
+        qc = QuditCircuit([10, 10, 10])
+        with pytest.raises(SimulationError):
+            TrajectorySimulator(qc, seed=0).average_density(2)
+
+
+class TestExpectation:
+    def test_mean_and_stderr(self):
+        qc = _noisy_bell(0.2)
+
+        def prob_correlated(state):
+            probs = state.probabilities()
+            return float(probs[0] + probs[4] + probs[8])
+
+        mean, err = TrajectorySimulator(qc, seed=4).expectation(
+            prob_correlated, n_trajectories=200
+        )
+        exact_dm = DensityMatrix.zero([3, 3]).evolve(qc)
+        exact = sum(exact_dm.probability_of((k, k)) for k in range(3))
+        assert abs(mean - exact) < 5 * max(err, 0.01)
+
+    def test_single_trajectory_zero_stderr(self):
+        qc = QuditCircuit([3])
+        mean, err = TrajectorySimulator(qc, seed=5).expectation(
+            lambda s: 1.0, n_trajectories=1
+        )
+        assert err == 0.0
+
+    def test_requires_positive_trajectories(self):
+        qc = QuditCircuit([3])
+        with pytest.raises(SimulationError):
+            TrajectorySimulator(qc, seed=6).expectation(lambda s: 1.0, 0)
+
+
+class TestPhotonLossTrajectories:
+    def test_loss_attractor_statistics(self):
+        """Heavy loss drives samples toward the all-zero outcome."""
+        qc = QuditCircuit([4])
+        qc.x(0, power=3)  # prepare |3>
+        for _ in range(10):
+            qc.channel(photon_loss(4, 0.4).kraus, 0, name="loss")
+        counts = TrajectorySimulator(qc, seed=7).sample(200)
+        assert counts.get((0,), 0) > 150
+
+    def test_reset_instruction(self):
+        qc = QuditCircuit([3])
+        qc.fourier(0)
+        qc.reset(0)
+        counts = TrajectorySimulator(qc, seed=8).sample(50)
+        assert counts == {(0,): 50}

@@ -1,0 +1,94 @@
+"""Tests for text-mode visualisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuditCircuit
+from repro.core.channels import depolarizing
+from repro.core.exceptions import DimensionError
+from repro.core.visualization import draw_circuit, wigner_function, wigner_text
+
+
+class TestDrawCircuit:
+    def test_one_line_per_wire(self):
+        qc = QuditCircuit([3, 3, 4])
+        qc.fourier(0)
+        qc.csum(0, 1)
+        text = draw_circuit(qc)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("q0(d=3)")
+        assert lines[2].startswith("q2(d=4)")
+
+    def test_gate_labels_present(self):
+        qc = QuditCircuit([3, 3])
+        qc.fourier(0)
+        qc.csum(0, 1)
+        text = draw_circuit(qc)
+        assert "[fourier]" in text
+        assert "[csum]" in text
+        assert "[*]" in text  # second wire of csum
+
+    def test_channel_and_measure_decoration(self):
+        qc = QuditCircuit([3])
+        qc.channel(depolarizing(3, 0.1).kraus, 0, name="depol")
+        qc.measure(0)
+        text = draw_circuit(qc)
+        assert "{depol}" in text
+        assert "<measure>" in text
+
+    def test_truncation(self):
+        qc = QuditCircuit([2])
+        for _ in range(40):
+            qc.fourier(0)
+        text = draw_circuit(qc, max_columns=5)
+        assert "..." in text
+
+
+class TestWigner:
+    def test_vacuum_gaussian_positive(self):
+        d = 24  # window edge |alpha| = 2, far below the cutoff
+        vac = np.zeros((d, d), dtype=complex)
+        vac[0, 0] = 1.0
+        grid = np.linspace(-2, 2, 9)
+        wigner = wigner_function(vac, grid, grid)
+        assert wigner.min() > -1e-4  # vacuum is non-negative
+        centre = wigner[4, 4]
+        assert abs(centre - 1.0 / np.pi) < 0.01  # W(0) = 1/pi for vacuum
+
+    def test_fock1_negative_at_origin(self):
+        """|1> has W(0) = -1/pi — the textbook negativity."""
+        d = 12
+        rho = np.zeros((d, d), dtype=complex)
+        rho[1, 1] = 1.0
+        wigner = wigner_function(rho, np.array([0.0]), np.array([0.0]))
+        assert abs(wigner[0, 0] + 1.0 / np.pi) < 0.01
+
+    def test_normalisation_coarse(self):
+        """Integral of W over a window covering the vacuum ~ 1.
+
+        The window edge must stay far below the Fock cutoff: truncated
+        displacements at |alpha|^2 ~ d are badly non-unitary and corrupt
+        the displaced parity (physics of the truncation, not a bug).
+        """
+        d = 30
+        vac = np.zeros((d, d), dtype=complex)
+        vac[0, 0] = 1.0
+        grid = np.linspace(-3, 3, 31)
+        wigner = wigner_function(vac, grid, grid)
+        step = grid[1] - grid[0]
+        assert abs(wigner.sum() * step * step - 1.0) < 0.02
+
+    def test_shape_validation(self):
+        with pytest.raises(DimensionError):
+            wigner_function(np.ones((2, 3)), np.array([0.0]), np.array([0.0]))
+
+    def test_text_rendering(self):
+        d = 10
+        rho = np.zeros((d, d), dtype=complex)
+        rho[1, 1] = 1.0
+        art = wigner_text(rho, extent=2.5, resolution=11)
+        lines = art.splitlines()
+        assert len(lines) == 11
+        # Fock-1 negativity at the centre renders as a negative glyph
+        assert lines[5][5] in "-="

@@ -1,0 +1,161 @@
+"""Tests for coloring instances and the QAOA circuits/optimizer."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import Statevector
+from repro.core.exceptions import CircuitError, DimensionError
+from repro.qaoa import (
+    ColoringProblem,
+    edge_phase_matrix,
+    expected_clashes,
+    greedy_coloring_cost,
+    linear_ramp_schedule,
+    optimize_qaoa,
+    qaoa_circuit,
+    qaoa_state,
+    random_coloring_instance,
+)
+
+
+@pytest.fixture()
+def triangle():
+    return ColoringProblem(nx.cycle_graph(3), 3)
+
+
+class TestColoringProblem:
+    def test_cost_counts_monochromatic_edges(self, triangle):
+        assert triangle.cost([0, 1, 2]) == 0
+        assert triangle.cost([0, 0, 1]) == 1
+        assert triangle.cost([2, 2, 2]) == 3
+
+    def test_cost_validation(self, triangle):
+        with pytest.raises(DimensionError):
+            triangle.cost([0, 1])
+        with pytest.raises(DimensionError):
+            triangle.cost([0, 1, 3])
+
+    def test_cost_vector_matches_pointwise(self, triangle):
+        from repro.core.dims import index_to_digits
+
+        vector = triangle.cost_vector()
+        for index in range(27):
+            digits = index_to_digits(index, triangle.dims)
+            assert vector[index] == triangle.cost(digits)
+
+    def test_best_cost_triangle(self, triangle):
+        assert triangle.best_cost() == 0
+        # 2-coloring a triangle must clash once
+        assert ColoringProblem(nx.cycle_graph(3), 2).best_cost() == 1
+
+    def test_approximation_ratio(self, triangle):
+        assert triangle.approximation_ratio(0) == 1.0
+        assert triangle.approximation_ratio(3) == 0.0
+        assert 0 < triangle.approximation_ratio(1) < 1
+
+    def test_cost_vector_guard(self):
+        problem = random_coloring_instance(16, 3, seed=0)
+        with pytest.raises(DimensionError):
+            problem.cost_vector()
+
+    def test_random_instance_shape(self):
+        problem = random_coloring_instance(9, 3, degree=4, seed=1)
+        assert problem.n_nodes == 9
+        assert problem.n_colors == 3
+
+    def test_random_instance_odd_degree_adjusted(self):
+        problem = random_coloring_instance(5, 3, degree=3, seed=2)
+        assert problem.n_nodes == 5  # 5*3 odd -> degree dropped to 2
+
+    def test_greedy_baseline_reasonable(self):
+        problem = random_coloring_instance(10, 3, degree=4, seed=3)
+        assert 0 <= greedy_coloring_cost(problem, seed=0) <= problem.n_edges
+
+    def test_needs_two_colors(self, triangle):
+        with pytest.raises(DimensionError):
+            ColoringProblem(nx.path_graph(3), 1)
+
+
+class TestQaoaCircuits:
+    def test_edge_phase_matrix_diagonal(self):
+        mat = edge_phase_matrix(3, 0.7)
+        assert np.allclose(mat, np.diag(np.diag(mat)))
+        # matching colors get the phase
+        assert abs(mat[0, 0] - np.exp(-0.7j)) < 1e-12
+        assert abs(mat[1, 1] - 1.0) < 1e-12
+
+    def test_edge_phase_with_permutation(self):
+        """Remapped separator penalises pi_u(a) == pi_v(b)."""
+        perm_u = [1, 2, 0]
+        perm_v = [0, 1, 2]
+        mat = edge_phase_matrix(3, 0.5, (perm_u, perm_v))
+        # a=0 maps to 1, so penalty sits at b with perm_v(b)=1 -> b=1
+        assert abs(mat[0 * 3 + 1, 0 * 3 + 1] - np.exp(-0.5j)) < 1e-12
+        assert abs(mat[0, 0] - 1.0) < 1e-12
+
+    def test_circuit_structure(self, triangle):
+        qc = qaoa_circuit(triangle, [0.3], [0.2])
+        ops = qc.count_ops()
+        assert ops["fourier"] == 3
+        assert ops["phase_sep"] == 3
+        assert ops["mixer"] == 3
+
+    def test_layer_mismatch(self, triangle):
+        with pytest.raises(CircuitError):
+            qaoa_circuit(triangle, [0.1, 0.2], [0.1])
+
+    def test_zero_angles_uniform_state(self, triangle):
+        state = qaoa_state(triangle, [0.0], [0.0])
+        np.testing.assert_allclose(
+            state.probabilities(), np.full(27, 1 / 27), atol=1e-10
+        )
+
+    def test_expected_clashes_uniform(self, triangle):
+        """Uniform state: each edge clashes with probability 1/3."""
+        state = Statevector.uniform(triangle.dims)
+        assert abs(expected_clashes(triangle, state) - 1.0) < 1e-10
+
+    def test_qaoa_improves_over_uniform(self, triangle):
+        result = optimize_qaoa(triangle, p=1, maxiter=80)
+        assert result.expected_cost < 1.0  # uniform baseline
+        assert result.approximation_ratio > 0.5
+
+
+class TestOptimizer:
+    def test_linear_ramp_shapes(self):
+        gammas, betas = linear_ramp_schedule(3)
+        assert len(gammas) == len(betas) == 3
+        assert gammas[0] < gammas[-1]
+        assert betas[0] > betas[-1]
+
+    def test_invalid_depth(self):
+        from repro.core.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            linear_ramp_schedule(0)
+
+    def test_deeper_is_no_worse(self, triangle):
+        p1 = optimize_qaoa(triangle, p=1, maxiter=100)
+        p2 = optimize_qaoa(
+            triangle,
+            p=2,
+            maxiter=150,
+            initial=(
+                np.array(list(p1.gammas) + [0.1]),
+                np.array(list(p1.betas) + [0.05]),
+            ),
+        )
+        assert p2.expected_cost <= p1.expected_cost + 0.05
+
+    def test_result_bookkeeping(self, triangle):
+        result = optimize_qaoa(triangle, p=1, maxiter=30)
+        assert result.n_evaluations >= 1
+        assert len(result.gammas) == 1
+
+    def test_permutation_invariance_of_optimum(self, triangle):
+        """A color relabelling is a gauge: optimal value is unchanged."""
+        base = optimize_qaoa(triangle, p=1, maxiter=80)
+        perms = [[1, 2, 0], [2, 0, 1], [0, 1, 2]]
+        remapped = optimize_qaoa(triangle, p=1, maxiter=80, permutations=perms)
+        assert abs(base.expected_cost - remapped.expected_cost) < 0.05

@@ -1,0 +1,131 @@
+"""Tests for reservoir-processing state tomography."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.core.random_ops import random_density_matrix
+from repro.reservoir import (
+    ReservoirTomograph,
+    displaced_parity_features,
+    project_to_physical,
+    state_fidelity,
+)
+
+
+class TestFeatures:
+    def test_vacuum_parity_is_one_at_origin(self):
+        d = 6
+        vac = np.zeros((d, d), dtype=complex)
+        vac[0, 0] = 1.0
+        feats = displaced_parity_features(vac, np.array([0.0 + 0j]))
+        assert abs(feats[0] - 1.0) < 1e-10
+
+    def test_fock1_parity_is_minus_one(self):
+        d = 6
+        rho = np.zeros((d, d), dtype=complex)
+        rho[1, 1] = 1.0
+        feats = displaced_parity_features(rho, np.array([0.0 + 0j]))
+        assert abs(feats[0] + 1.0) < 1e-10
+
+    def test_features_bounded(self):
+        rho = random_density_matrix(5, rng=np.random.default_rng(0))
+        alphas = np.array([0.3, 0.5j, -0.2 + 0.4j])
+        feats = displaced_parity_features(rho, alphas)
+        assert (np.abs(feats) <= 1.0 + 1e-12).all()
+
+    def test_shot_sampling_unbiased(self):
+        rho = random_density_matrix(4, rng=np.random.default_rng(1))
+        alphas = np.array([0.4 + 0j])
+        exact = displaced_parity_features(rho, alphas)[0]
+        rng = np.random.default_rng(2)
+        draws = [
+            displaced_parity_features(rho, alphas, shots=200, rng=rng)[0]
+            for _ in range(300)
+        ]
+        assert abs(np.mean(draws) - exact) < 0.02
+
+    def test_invalid_shots(self):
+        rho = random_density_matrix(3, rng=np.random.default_rng(3))
+        with pytest.raises(SimulationError):
+            displaced_parity_features(rho, np.array([0.1 + 0j]), shots=0)
+
+
+class TestPhysicalProjection:
+    def test_valid_state_unchanged(self):
+        rho = random_density_matrix(4, rng=np.random.default_rng(4))
+        np.testing.assert_allclose(project_to_physical(rho), rho, atol=1e-10)
+
+    def test_negative_eigenvalues_clipped(self):
+        bad = np.diag([0.9, 0.4, -0.3]).astype(complex)
+        fixed = project_to_physical(bad)
+        eigs = np.linalg.eigvalsh(fixed)
+        assert eigs.min() >= -1e-12
+        assert abs(np.trace(fixed) - 1.0) < 1e-12
+
+    def test_degenerate_input_falls_back(self):
+        fixed = project_to_physical(np.zeros((3, 3)))
+        np.testing.assert_allclose(fixed, np.eye(3) / 3, atol=1e-12)
+
+    def test_hermitises(self):
+        rng = np.random.default_rng(5)
+        raw = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+        fixed = project_to_physical(raw)
+        np.testing.assert_allclose(fixed, fixed.conj().T, atol=1e-12)
+
+
+class TestStateFidelity:
+    def test_identical_states(self):
+        rho = random_density_matrix(4, rng=np.random.default_rng(6))
+        assert abs(state_fidelity(rho, rho) - 1.0) < 1e-8
+
+    def test_orthogonal_pure_states(self):
+        a = np.diag([1.0, 0.0]).astype(complex)
+        b = np.diag([0.0, 1.0]).astype(complex)
+        assert state_fidelity(a, b) < 1e-10
+
+    def test_pure_state_overlap(self):
+        psi = np.array([1.0, 1.0]) / np.sqrt(2)
+        rho = np.outer(psi, psi.conj())
+        sigma = np.diag([1.0, 0.0]).astype(complex)
+        assert abs(state_fidelity(rho, sigma) - 0.5) < 1e-10
+
+
+class TestTomograph:
+    def test_training_and_reconstruction(self):
+        tomograph = ReservoirTomograph(dim=3, seed=0).train(n_training_states=80)
+        fidelity = tomograph.evaluate(n_test_states=10)
+        assert fidelity > 0.95
+
+    def test_more_training_data_helps(self):
+        small = ReservoirTomograph(dim=3, seed=1).train(n_training_states=12)
+        large = ReservoirTomograph(dim=3, seed=1).train(n_training_states=120)
+        assert large.evaluate(12) >= small.evaluate(12) - 0.02
+
+    def test_reconstruction_is_physical(self):
+        tomograph = ReservoirTomograph(dim=3, seed=2).train(n_training_states=50)
+        rho = random_density_matrix(3, rng=np.random.default_rng(7))
+        estimate = tomograph.reconstruct(rho)
+        assert abs(np.trace(estimate) - 1.0) < 1e-10
+        assert np.linalg.eigvalsh(estimate).min() >= -1e-12
+
+    def test_shot_noise_degrades(self):
+        tomograph = ReservoirTomograph(dim=3, seed=3).train(n_training_states=60)
+        exact = tomograph.evaluate(8)
+        noisy = tomograph.evaluate(8, shots=20)
+        assert noisy <= exact + 0.02
+
+    def test_untrained_rejects(self):
+        tomograph = ReservoirTomograph(dim=3, seed=4)
+        with pytest.raises(SimulationError):
+            tomograph.reconstruct(np.eye(3) / 3)
+
+    def test_probe_completeness_guard(self):
+        with pytest.raises(SimulationError):
+            ReservoirTomograph(dim=4, n_probes=3, seed=5)
+
+    def test_roundtrip_parameterisation(self):
+        tomograph = ReservoirTomograph(dim=4, seed=6)
+        rho = random_density_matrix(4, rng=np.random.default_rng(8))
+        params = tomograph._rho_to_real(rho)
+        np.testing.assert_allclose(tomograph._real_to_rho(params), rho, atol=1e-12)

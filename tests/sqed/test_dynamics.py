@@ -1,0 +1,155 @@
+"""Tests for Trotter evolution, mass-gap extraction, and the noise study."""
+
+import numpy as np
+import pytest
+
+from repro.core import DensityMatrix, Statevector
+from repro.core.exceptions import SimulationError
+from repro.sqed import (
+    QubitEncoding,
+    QuditEncoding,
+    RotorChain,
+    RotorLadder2D,
+    estimate_mass_gap,
+    exact_gap_trajectory,
+    gap_probe_state,
+    noise_threshold,
+    trajectory_damage,
+    trotter_circuit,
+)
+from repro.sqed.trotter import (
+    evolve_observable_trajectory,
+    exact_observable_trajectory,
+    second_order_step_from_terms,
+    trotter_step_from_terms,
+)
+
+
+@pytest.fixture()
+def chain():
+    return RotorChain(2, spin=1, g2=1.0, hopping=0.3)
+
+
+class TestTrotterCircuits:
+    def test_first_order_converges(self, chain):
+        from scipy.linalg import expm
+
+        exact = expm(-1j * chain.to_matrix() * 1.0)
+        coarse = trotter_circuit(chain, 1.0, 4).to_unitary()
+        fine = trotter_circuit(chain, 1.0, 32).to_unitary()
+        assert np.abs(fine - exact).max() < np.abs(coarse - exact).max()
+
+    def test_second_order_beats_first(self, chain):
+        from scipy.linalg import expm
+
+        exact = expm(-1j * chain.to_matrix() * 1.0)
+        first = trotter_circuit(chain, 1.0, 8, order=1).to_unitary()
+        second = trotter_circuit(chain, 1.0, 8, order=2).to_unitary()
+        assert np.abs(second - exact).max() < np.abs(first - exact).max()
+
+    def test_works_for_2d_model(self):
+        lattice = RotorLadder2D(2, 2, spin=1)
+        qc = trotter_circuit(lattice, 0.5, 2)
+        assert qc.num_qudits == 4
+
+    def test_invalid_order(self, chain):
+        with pytest.raises(SimulationError):
+            trotter_circuit(chain, 1.0, 2, order=3)
+
+    def test_invalid_steps(self, chain):
+        with pytest.raises(SimulationError):
+            trotter_circuit(chain, 1.0, 0)
+
+
+class TestTrajectories:
+    def test_exact_trajectory_constant_for_eigenstate(self, chain):
+        ham = chain.to_matrix()
+        _, vecs = np.linalg.eigh(ham)
+        obs = QuditEncoding(chain).local_link_operator(0)
+        times = np.linspace(0, 5, 20)
+        traj = exact_observable_trajectory(ham, obs, vecs[:, 0], times)
+        assert np.ptp(traj) < 1e-10
+
+    def test_evolve_observable_length(self, chain):
+        encoding = QuditEncoding(chain)
+        step = encoding.trotter_step(0.1)
+        obs = encoding.local_lz_operator(0)
+        initial = DensityMatrix.zero(encoding.dims)
+        traj = evolve_observable_trajectory(step, 5, obs, initial)
+        assert traj.shape == (6,)
+
+    def test_trotter_matches_exact_trajectory(self, chain):
+        encoding = QuditEncoding(chain)
+        obs = encoding.local_link_operator(0)
+        psi0 = gap_probe_state(chain)
+        times = np.linspace(0, 2.0, 21)
+        exact = exact_observable_trajectory(chain.to_matrix(), obs, psi0, times)
+        step = encoding.trotter_step(0.1)
+        initial = DensityMatrix.from_statevector(Statevector(psi0, chain.dims))
+        trotter = evolve_observable_trajectory(step, 20, obs, initial)
+        assert np.abs(exact - trotter).max() < 0.02
+
+
+class TestMassGap:
+    def test_noiseless_extraction_accurate(self):
+        chain = RotorChain(3, spin=1, g2=1.0, hopping=0.3)
+        result = estimate_mass_gap(chain)
+        assert result.relative_error < 0.05
+
+    def test_probe_state_overlaps_both_levels(self, chain):
+        psi = gap_probe_state(chain)
+        _, vecs = np.linalg.eigh(chain.to_matrix())
+        assert abs(vecs[:, 0].conj() @ psi) > 0.5
+        assert abs(vecs[:, 1].conj() @ psi) > 0.5
+
+    def test_noise_degrades_estimate(self):
+        chain = RotorChain(2, spin=1, g2=1.0, hopping=0.3)
+        clean = estimate_mass_gap(chain, n_steps=150)
+        noisy = estimate_mass_gap(chain, n_steps=150, epsilon=0.05)
+        assert noisy.relative_error >= clean.relative_error
+
+    def test_exact_gap_trajectory_oscillates_at_gap(self, chain):
+        from repro.analysis.fitting import dominant_frequency
+
+        gap = chain.mass_gap()
+        times = np.linspace(0, 4 * 2 * np.pi / gap, 240)
+        obs = QuditEncoding(chain).local_link_operator(0)
+        traj = exact_gap_trajectory(chain, obs, times)
+        omega = dominant_frequency(times, traj)
+        assert abs(omega - gap) / gap < 0.03
+
+
+class TestNoiseStudy:
+    def test_damage_zero_at_zero_noise(self, chain):
+        encoding = QuditEncoding(chain)
+        assert trajectory_damage(encoding, 0.0, t_total=1.0, n_steps=3) == 0.0
+
+    def test_damage_monotone(self, chain):
+        encoding = QuditEncoding(chain)
+        lo = trajectory_damage(encoding, 0.01, t_total=2.0, n_steps=4)
+        hi = trajectory_damage(encoding, 0.2, t_total=2.0, n_steps=4)
+        assert hi > lo > 0
+
+    def test_qubit_encoding_more_fragile(self, chain):
+        """Same epsilon hurts the binary encoding much more — claim C1."""
+        eps = 0.01
+        qudit_damage = trajectory_damage(
+            QuditEncoding(chain), eps, t_total=2.0, n_steps=4
+        )
+        qubit_damage = trajectory_damage(
+            QubitEncoding(chain), eps, t_total=2.0, n_steps=4
+        )
+        assert qubit_damage > 2 * qudit_damage
+
+    def test_threshold_brackets(self, chain):
+        encoding = QuditEncoding(chain)
+        threshold = noise_threshold(
+            encoding, damage_tol=0.05, t_total=2.0, n_steps=4, bisection_steps=6
+        )
+        assert 0 < threshold <= 0.5
+        below = trajectory_damage(encoding, threshold * 0.9, t_total=2.0, n_steps=4)
+        assert below < 0.05 * 1.5  # near-threshold tolerance
+
+    def test_negative_epsilon_rejected(self, chain):
+        with pytest.raises(SimulationError):
+            trajectory_damage(QuditEncoding(chain), -0.1)

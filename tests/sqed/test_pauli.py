@@ -1,0 +1,139 @@
+"""Tests for the Pauli-string machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuditCircuit, Statevector
+from repro.core.exceptions import DimensionError
+from repro.core.random_ops import random_hermitian
+from repro.sqed.pauli import (
+    PAULIS,
+    PauliTerm,
+    matrix_to_pauli_terms,
+    pauli_rotation_circuit,
+    pauli_terms_to_matrix,
+    trotter_step_circuit,
+)
+from scipy.linalg import expm
+
+
+class TestPauliTerm:
+    def test_weight(self):
+        assert PauliTerm(1.0, "XIZ").weight == 2
+        assert PauliTerm(1.0, "III").weight == 0
+
+    def test_matrix_single(self):
+        np.testing.assert_allclose(PauliTerm(2.0, "X").matrix(), 2 * PAULIS["X"])
+
+    def test_matrix_kron_order(self):
+        term = PauliTerm(1.0, "XZ")
+        np.testing.assert_allclose(
+            term.matrix(), np.kron(PAULIS["X"], PAULIS["Z"]), atol=1e-12
+        )
+
+    def test_invalid_label(self):
+        with pytest.raises(DimensionError):
+            PauliTerm(1.0, "XA")
+
+
+class TestExpansion:
+    @given(st.integers(min_value=1, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_random_hermitian(self, n):
+        ham = random_hermitian(2**n, np.random.default_rng(n))
+        terms = matrix_to_pauli_terms(ham, n)
+        np.testing.assert_allclose(pauli_terms_to_matrix(terms), ham, atol=1e-9)
+
+    def test_known_expansion(self):
+        """ZZ has a single term with coefficient 1."""
+        zz = np.kron(PAULIS["Z"], PAULIS["Z"])
+        terms = matrix_to_pauli_terms(zz, 2)
+        assert len(terms) == 1
+        assert terms[0].string == "ZZ"
+        assert abs(terms[0].coefficient - 1.0) < 1e-12
+
+    def test_sparse_expansion_prunes_zeros(self):
+        ham = np.kron(PAULIS["X"], PAULIS["I"]) + 0.5 * np.kron(
+            PAULIS["I"], PAULIS["Y"]
+        )
+        terms = matrix_to_pauli_terms(ham, 2)
+        assert {t.string for t in terms} == {"XI", "IY"}
+
+    def test_rejects_non_hermitian(self):
+        with pytest.raises(DimensionError):
+            matrix_to_pauli_terms(np.array([[0, 1], [0, 0]], dtype=complex), 1)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            matrix_to_pauli_terms(np.eye(3), 2)
+
+    def test_sorted_by_magnitude(self):
+        ham = 0.1 * np.kron(PAULIS["X"], PAULIS["I"]) + 2.0 * np.kron(
+            PAULIS["Z"], PAULIS["Z"]
+        )
+        terms = matrix_to_pauli_terms(ham, 2)
+        assert terms[0].string == "ZZ"
+
+
+class TestRotationCircuit:
+    @pytest.mark.parametrize("string", ["Z", "X", "Y", "ZZ", "XY", "XZY"])
+    def test_matches_exact_exponential(self, string):
+        n = len(string)
+        term = PauliTerm(0.7, string)
+        angle = 0.3
+        qc = QuditCircuit([2] * n)
+        pauli_rotation_circuit(qc, term, angle, list(range(n)))
+        expected = expm(-1j * angle * term.matrix())
+        actual = qc.to_unitary()
+        # allow a global phase
+        overlap = abs(np.trace(expected.conj().T @ actual)) / 2**n
+        assert overlap > 1 - 1e-9
+
+    def test_cnot_count(self):
+        qc = QuditCircuit([2, 2, 2])
+        n = pauli_rotation_circuit(qc, PauliTerm(1.0, "XZY"), 0.1, [0, 1, 2])
+        assert n == 4  # 2 * (weight - 1)
+
+    def test_identity_string_is_free(self):
+        qc = QuditCircuit([2, 2])
+        n = pauli_rotation_circuit(qc, PauliTerm(1.0, "II"), 0.5, [0, 1])
+        assert n == 0
+        assert len(qc) == 0
+
+    def test_wire_selection(self):
+        """String applied to non-contiguous wires acts on the right qubits."""
+        qc = QuditCircuit([2, 2, 2])
+        pauli_rotation_circuit(qc, PauliTerm(1.0, "ZZ"), np.pi / 2, [0, 2])
+        state = Statevector.basis([2, 2, 2], (1, 0, 1)).evolve(qc)
+        # exp(-i pi/2 Z0 Z2)|101> = e^{-i pi/2}|101>: probability unchanged
+        assert abs(state.probabilities()[5] - 1.0) < 1e-10
+
+    def test_length_mismatch(self):
+        qc = QuditCircuit([2, 2])
+        with pytest.raises(DimensionError):
+            pauli_rotation_circuit(qc, PauliTerm(1.0, "ZZ"), 0.1, [0])
+
+
+class TestTrotterStep:
+    def test_first_order_error_scaling(self):
+        """Trotter error of [X, Z] terms shrinks linearly in dt."""
+        terms = [PauliTerm(1.0, "X"), PauliTerm(1.0, "Z")]
+        ham = pauli_terms_to_matrix(terms)
+
+        def error(dt):
+            qc, _ = trotter_step_circuit(terms, dt, [0], 1)
+            exact = expm(-1j * dt * ham)
+            diff = qc.to_unitary() - exact
+            # remove global phase before comparing
+            return np.abs(
+                qc.to_unitary() @ exact.conj().T - np.eye(2)
+            ).max()
+
+        assert error(0.01) < error(0.1) / 5
+
+    def test_counts_accumulate(self):
+        terms = [PauliTerm(0.5, "ZZ"), PauliTerm(0.3, "XX")]
+        _, n = trotter_step_circuit(terms, 0.1, [0, 1], 2)
+        assert n == 4

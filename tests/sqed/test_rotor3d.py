@@ -1,0 +1,105 @@
+"""Tests for the 3D rotor extension and swap-network embedding."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DimensionError
+from repro.core.gates import is_hermitian
+from repro.sqed import RotorLattice3D, swap_network_overhead
+
+
+class TestRotorLattice3D:
+    def test_shape(self):
+        lattice = RotorLattice3D(2, 2, 2, spin=1)
+        assert lattice.n_sites == 8
+        assert lattice.site_dim == 3
+        assert lattice.dims == (3,) * 8
+
+    def test_site_index(self):
+        lattice = RotorLattice3D(2, 2, 2)
+        assert lattice.site_index(0, 0, 0) == 0
+        assert lattice.site_index(1, 1, 1) == 7
+        with pytest.raises(DimensionError):
+            lattice.site_index(2, 0, 0)
+
+    def test_bond_count(self):
+        """Open Lx x Ly x Lz grid bond count."""
+        lattice = RotorLattice3D(2, 2, 2)
+        # 3 axes * (L-1) * L * L = 3 * 1*2*2 = 12
+        assert len(lattice.bonds()) == 12
+
+    def test_asymmetric_bond_count(self):
+        lattice = RotorLattice3D(3, 2, 1)
+        # x: 2*2*1=4, y: 3*1*1=3, z: 0
+        assert len(lattice.bonds()) == 7
+
+    def test_hamiltonian_hermitian_small(self):
+        lattice = RotorLattice3D(2, 2, 1, spin=1)
+        assert is_hermitian(lattice.to_matrix())
+
+    def test_gap_positive(self):
+        assert RotorLattice3D(2, 2, 1, spin=1).mass_gap() > 0
+
+    def test_2d_limit_matches_ladder(self):
+        """Lz = 1 reduces to the 2D lattice (same spectrum, no boundary field)."""
+        from repro.sqed import RotorLadder2D
+
+        flat = RotorLattice3D(3, 2, 1, spin=1, g2=1.0, kappa=0.4)
+        ladder = RotorLadder2D(3, 2, spin=1, g2=1.0, kappa=0.4, boundary_field=False)
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(flat.to_matrix()),
+            np.linalg.eigvalsh(ladder.to_matrix()),
+            atol=1e-9,
+        )
+
+    def test_dense_guard(self):
+        with pytest.raises(DimensionError):
+            RotorLattice3D(3, 3, 3, spin=1).to_matrix()
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            RotorLattice3D(1, 1, 1)
+
+
+class TestSwapNetworkOverhead:
+    def test_column_embedding_covers_all_bonds(self):
+        lattice = RotorLattice3D(3, 2, 2)
+        estimate = swap_network_overhead(lattice)
+        assert estimate.n_columns == 3
+        assert estimate.modes_per_cavity_needed == 4
+        assert estimate.direct_bonds == len(lattice.bonds())
+        assert estimate.networked_bonds == 0
+
+    def test_swap_layer_count(self):
+        lattice = RotorLattice3D(4, 2, 2)
+        estimate = swap_network_overhead(lattice)
+        assert estimate.swap_layers == 4
+        assert estimate.total_swaps > 0
+
+    def test_forecast_device_feasibility(self):
+        """A 2x2x2 lattice fits one forecast cavity pair (4 modes each)."""
+        from repro.hardware import forecast_device
+
+        lattice = RotorLattice3D(2, 2, 2, spin=1)
+        estimate = swap_network_overhead(lattice)
+        device = forecast_device()
+        modes_per_cavity = device.n_modes // device.n_cavities
+        assert estimate.modes_per_cavity_needed <= modes_per_cavity
+        assert estimate.n_columns <= device.n_cavities
+
+
+class TestNeuronScaling:
+    def test_paper_numbers(self):
+        from repro.reservoir import neuron_scaling
+
+        assert neuron_scaling(9, 2) == 81  # Table I row 3 basis
+        assert neuron_scaling(9, 10) > 1_000_000  # "millions, in principle"
+
+    def test_validation(self):
+        from repro.core.exceptions import SimulationError
+        from repro.reservoir import neuron_scaling
+
+        with pytest.raises(SimulationError):
+            neuron_scaling(1, 2)
+        with pytest.raises(SimulationError):
+            neuron_scaling(3, 0)

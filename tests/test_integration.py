@@ -1,0 +1,185 @@
+"""Cross-module integration tests: full pipelines at toy sizes.
+
+Each test exercises a complete workflow the way the examples and
+benchmarks do — compile + simulate + score — rather than a single module.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DensityMatrix, QuditCircuit, Statevector
+from repro.compile import estimate_resources, transpile
+from repro.compile.synthesis import csum_circuit, decompose_unitary, synthesize_two_qudit
+from repro.core.gates import csum
+from repro.hardware import DeviceNoiseModel, forecast_device, linear_cavity_array
+from repro.qaoa import optimize_qaoa, random_coloring_instance, run_ndar
+from repro.reservoir import (
+    QuantumReservoir,
+    CoupledOscillators,
+    RidgeReadout,
+    narma_task,
+    train_test_split,
+)
+from repro.sqed import (
+    QuditEncoding,
+    RotorChain,
+    RotorLadder2D,
+    estimate_mass_gap,
+    trotter_circuit,
+)
+from repro.sqed.rotor2d import ladder_mode_layout
+
+
+class TestCompileAndSimulate:
+    def test_transpiled_circuit_preserves_state(self):
+        """Full transpile -> simulate: output state matches the logical one."""
+        device = linear_cavity_array(3, 2, 3, coherence_spread=0.3, seed=2)
+        qc = QuditCircuit([3, 3, 3])
+        qc.fourier(0)
+        qc.csum(0, 1)
+        qc.csum(1, 2)
+        result = transpile(qc, device, seed=0)
+        ideal = Statevector.zero([3, 3, 3]).evolve(qc)
+        actual = Statevector.zero([3, 3, 3]).evolve(result.circuit)
+        assert actual.fidelity(ideal) > 1 - 1e-9
+
+    def test_noise_model_on_transpiled_circuit(self):
+        """Transpiled circuit + device noise run end to end on rho."""
+        device = linear_cavity_array(2, 2, 3, seed=3)
+        qc = QuditCircuit([3, 3])
+        qc.fourier(0)
+        qc.csum(0, 1)
+        result = transpile(qc, device, seed=1)
+        noise = DeviceNoiseModel(device)
+        noisy = noise.apply_to_circuit(
+            result.circuit, layout=list(result.routing.initial_layout)
+        )
+        rho = DensityMatrix.zero([3, 3]).evolve(noisy)
+        ideal = Statevector.zero([3, 3]).evolve(qc)
+        fidelity = rho.fidelity_with_pure(ideal)
+        estimate = result.resources.fidelity
+        assert 0.5 < fidelity < 1.0
+        # first-order estimate is pessimistic (it counts lowered natives)
+        assert estimate <= fidelity + 0.05
+
+    def test_synthesized_csum_runs_in_circuit(self):
+        """Fourier-route CSUM spliced into a register behaves like csum()."""
+        route = csum_circuit(3)
+        qc = QuditCircuit([3, 3])
+        qc.fourier(0)
+        for inst in route:
+            qc.append(inst)
+        direct = QuditCircuit([3, 3])
+        direct.fourier(0)
+        direct.csum(0, 1)
+        a = Statevector.zero([3, 3]).evolve(qc)
+        b = Statevector.zero([3, 3]).evolve(direct)
+        assert a.fidelity(b) > 1 - 1e-9
+
+    def test_givens_synthesis_of_trotter_gate(self):
+        """A Trotter hop unitary decomposes and classifies cleanly."""
+        chain = RotorChain(2, spin=1, hopping=0.4)
+        hop = [t for t in chain.terms() if t.label == "hop"][0]
+        from scipy.linalg import expm
+
+        gate = expm(-1j * 0.3 * hop.operator)
+        syn = synthesize_two_qudit(gate, 3, 3)
+        np.testing.assert_allclose(
+            syn.decomposition.reconstruct(), gate, atol=1e-8
+        )
+        assert syn.entangling_cost() >= 1
+
+
+class TestSqedCampaign:
+    def test_mass_gap_on_forecast_device_budget(self):
+        """The 1D campaign circuit fits the forecast device's coherence."""
+        chain = RotorChain(3, spin=1, hopping=0.3)
+        device = forecast_device()
+        step = trotter_circuit(chain, t_total=0.5, n_steps=2)
+        est = estimate_resources(step, device, layout=[0, 1, 2])
+        assert est.coherence_fraction < 0.2
+
+    def test_2d_ladder_maps_to_cavity_chain(self):
+        lattice = RotorLadder2D(4, 2, spin=1)
+        device = forecast_device()
+        layout = ladder_mode_layout(lattice, modes_per_cavity=4)
+        step = trotter_circuit(lattice, 0.2, 1)
+        est = estimate_resources(step, device, layout)
+        assert est.n_entangling > 0
+        # vertical bonds land co-located
+        assert device.edge_kind(layout[0], layout[1]) == "colocated"
+        # horizontal neighbours land on adjacent cavities
+        assert device.edge_kind(layout[0], layout[2]) == "adjacent"
+
+    def test_gap_estimate_pipeline_small(self):
+        result = estimate_mass_gap(
+            RotorChain(2, spin=1, g2=1.5, hopping=0.2), n_steps=200
+        )
+        assert result.relative_error < 0.1
+
+
+class TestQaoaCampaign:
+    def test_qaoa_then_ndar_consistency(self):
+        """NDAR warm-started with optimised angles beats random sampling."""
+        problem = random_coloring_instance(5, 3, degree=2, seed=9)
+        qaoa = optimize_qaoa(problem, p=1, maxiter=60)
+        ndar = run_ndar(
+            problem,
+            n_rounds=2,
+            shots=25,
+            loss_per_layer=0.15,
+            angles=(list(qaoa.gammas), list(qaoa.betas)),
+            seed=4,
+        )
+        # random assignment expects n_edges / 3 clashes
+        assert ndar.best_cost <= problem.n_edges / 3.0
+
+    def test_every_sample_is_a_valid_coloring(self):
+        """Qudit encoding: even heavy noise cannot break one-hot validity."""
+        problem = random_coloring_instance(4, 3, degree=2, seed=10)
+        from repro.qaoa import sample_noisy_qaoa
+
+        counts = sample_noisy_qaoa(
+            problem, [0.4], [0.3], loss_per_layer=0.6, shots=30, seed=0
+        )
+        for outcome in counts:
+            problem.cost(outcome)  # raises if any digit out of range
+
+
+class TestReservoirCampaign:
+    def test_full_prediction_pipeline_small(self):
+        task = narma_task(180, order=2, seed=1)
+        osc = CoupledOscillators(levels=5)
+        reservoir = QuantumReservoir(osc)
+        features = reservoir.run(task.inputs)
+        f_tr, y_tr, f_te, y_te = train_test_split(features, task.targets, washout=20)
+        score = RidgeReadout(1e-7).fit(f_tr, y_tr).score_nmse(f_te, y_te)
+        assert score < 0.5  # clearly better than predicting the mean
+
+    def test_reservoir_features_feed_shot_model(self):
+        from repro.reservoir import shot_noise_sweep
+
+        task = narma_task(150, order=2, seed=2)
+        features = QuantumReservoir(CoupledOscillators(levels=4)).run(task.inputs)
+        sweep = shot_noise_sweep(features, task.targets, [50], washout=15, seed=0)
+        assert sweep[0].nmse >= sweep[-1].nmse * 0.5
+
+
+class TestDeviceScaleGuards:
+    def test_forecast_device_rejects_oversized_register(self):
+        """Dense simulation refuses paper-scale registers loudly."""
+        from repro.core.exceptions import CircuitError
+
+        qc = QuditCircuit([10] * 40)
+        with pytest.raises(CircuitError):
+            qc.to_unitary()
+
+    def test_resource_estimator_handles_paper_scale(self):
+        """Estimation (not simulation) works at full Table I size."""
+        lattice = RotorLadder2D(9, 2, spin=2)
+        device = forecast_device()
+        layout = ladder_mode_layout(lattice, modes_per_cavity=4)
+        step = trotter_circuit(lattice, 0.2, 1)
+        est = estimate_resources(step, device, layout)
+        assert est.total_duration > 0
+        assert 0 <= est.fidelity < 1

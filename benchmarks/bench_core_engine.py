@@ -1,0 +1,260 @@
+"""Core-engine throughput benchmark — structured fast paths + batched trajectories.
+
+Measures the two hot paths the fast-path engine optimises, against the
+*seed* implementation (dense ``tensordot`` per gate, Python loop per
+trajectory) kept in-tree as ``apply_matrix_dense`` / a faithful reference
+simulator below:
+
+1. **Gate application**: diagonal (Weyl ``Z``, cross-Kerr) and permutation
+   (Weyl ``X``, CSUM) gates on a 7-qutrit register, structured kernel vs
+   dense contraction.
+2. **Noisy-trajectory throughput**: 200 trajectories of a 7-qutrit
+   NDAR-style circuit (QAOA layer + per-layer photon loss), batched engine
+   vs the seed per-trajectory loop.
+
+Run as a script to (re)generate the committed ``BENCH_core.json`` at the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_core_engine.py
+
+The ``bench_smoke`` tier-1 tests call :func:`run_benchmarks` at tiny sizes
+to catch fast-path regressions without slowing the suite; full-size runs
+stay opt-in.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import QuditCircuit, Statevector, TrajectorySimulator
+from repro.core.dims import index_to_digits, total_dim
+from repro.core.statevector import apply_matrix, apply_matrix_dense
+from repro.core.structure import classify_gate
+from repro.core import gates
+from repro.qaoa import random_coloring_instance
+from repro.qaoa.circuits import add_photon_loss, qaoa_circuit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_core.json"
+
+
+# ----------------------------------------------------------------------
+# seed-reference trajectory simulator (dense path + Python loop per shot)
+# ----------------------------------------------------------------------
+class _SeedReferenceSimulator:
+    """Faithful re-implementation of the seed (pre-fast-path) simulator.
+
+    Mirrors the original ``TrajectorySimulator`` line for line: every gate
+    goes through the dense ``tensordot`` contraction wrapped in a fresh
+    ``Statevector``, every Kraus branch is applied to compute its Born
+    weight, and every trajectory is a separate Python loop over the
+    circuit — exactly the seed hot path this PR replaced.
+    """
+
+    def __init__(self, circuit: QuditCircuit, seed: int) -> None:
+        self.circuit = circuit
+        self._rng = np.random.default_rng(seed)
+
+    def _apply(self, state: Statevector, matrix, targets) -> Statevector:
+        tensor = apply_matrix_dense(
+            state.tensor, matrix, self.circuit.dims, targets
+        )
+        return Statevector(tensor.reshape(-1), self.circuit.dims)
+
+    def _jump(self, state, kraus, targets) -> Statevector:
+        weights, candidates = [], []
+        for op in kraus:
+            new = self._apply(state, op, targets)
+            weights.append(new.norm() ** 2)
+            candidates.append(new)
+        weights = np.asarray(weights)
+        choice = int(self._rng.choice(len(kraus), p=weights / weights.sum()))
+        return candidates[choice].normalized()
+
+    def _run_single(self, initial: Statevector) -> Statevector:
+        state = initial
+        for instruction in self.circuit:
+            if instruction.kind == "unitary":
+                state = self._apply(state, instruction.matrix, instruction.qudits)
+            elif instruction.kind == "channel":
+                state = self._jump(state, instruction.kraus, instruction.qudits)
+            elif instruction.kind == "measure":
+                continue
+            else:
+                raise ValueError(f"unsupported kind {instruction.kind}")
+        return state
+
+    def sample(self, shots: int) -> dict[tuple[int, ...], int]:
+        dims = self.circuit.dims
+        initial = Statevector.zero(dims)
+        counts: dict[tuple[int, ...], int] = {}
+        for _ in range(shots):
+            final = self._run_single(initial)
+            probs = final.probabilities()
+            index = int(
+                self._rng.choice(len(probs), p=probs / probs.sum())
+            )
+            digits = index_to_digits(index, dims)
+            counts[digits] = counts.get(digits, 0) + 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+# timing helpers
+# ----------------------------------------------------------------------
+def _time_loop(fn, repeats: int) -> float:
+    """Best-of-3 mean seconds per call over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return best
+
+
+def _bench_gate_apply(n_qutrits: int, repeats: int) -> tuple[dict, float]:
+    """Structured kernels vs dense contraction on one register; returns
+    (per-gate results + category summaries, max |fast - dense| error).
+
+    Structures are classified once and reused across calls — exactly how
+    the simulators use the per-instruction cache.
+    """
+    dims = (3,) * n_qutrits
+    rng = np.random.default_rng(0)
+    state = rng.normal(size=dims) + 1j * rng.normal(size=dims)
+    state /= np.linalg.norm(state)
+    mid = n_qutrits // 2
+    cases = {
+        "weyl_z_diagonal_1wire": (gates.weyl_z(3), (0,), "diagonal"),
+        "snap_diagonal_1wire": (gates.snap(3, [0.3, 0.1]), (mid,), "diagonal"),
+        "cross_kerr_diagonal_2wire": (
+            gates.cross_kerr(3, 3, 0.4), (0, n_qutrits - 1), "diagonal",
+        ),
+        "cphase_diagonal_2wire": (
+            gates.controlled_phase(3, 3), (1, mid), "diagonal",
+        ),
+        "weyl_x_permutation_1wire": (gates.weyl_x(3), (mid,), "permutation"),
+        "weyl_x_permutation_last_wire": (
+            gates.weyl_x(3), (n_qutrits - 1,), "permutation",
+        ),
+        "csum_permutation_2wire": (
+            gates.csum(3, 3), (1, n_qutrits - 1), "permutation",
+        ),
+    }
+    out = {}
+    max_error = 0.0
+    by_category: dict[str, list[float]] = {}
+    for name, (matrix, targets, category) in cases.items():
+        structure = classify_gate(matrix)
+        fast = apply_matrix(state, matrix, dims, targets, structure=structure)
+        dense = apply_matrix_dense(state, matrix, dims, targets)
+        max_error = max(max_error, float(np.abs(fast - dense).max()))
+        fast_s = _time_loop(
+            lambda m=matrix, t=targets, s=structure: apply_matrix(
+                state, m, dims, t, structure=s
+            ),
+            repeats,
+        )
+        dense_s = _time_loop(
+            lambda m=matrix, t=targets: apply_matrix_dense(state, m, dims, t),
+            repeats,
+        )
+        speedup = dense_s / fast_s
+        by_category.setdefault(category, []).append(speedup)
+        out[name] = {
+            "fast_us": round(fast_s * 1e6, 3),
+            "dense_us": round(dense_s * 1e6, 3),
+            "speedup": round(speedup, 2),
+        }
+    for category, speedups in by_category.items():
+        out[f"{category}_geomean_speedup"] = round(
+            float(np.exp(np.mean(np.log(speedups)))), 2
+        )
+    return out, max_error
+
+
+def _ndar_style_circuit(n_nodes: int, loss: float) -> QuditCircuit:
+    """One NDAR round's circuit: p=1 qutrit QAOA + per-layer photon loss."""
+    problem = random_coloring_instance(n_nodes, 3, degree=min(4, n_nodes - 1), seed=21)
+    circuit = qaoa_circuit(problem, [0.6], [0.4])
+    return add_photon_loss(circuit, loss)
+
+
+def _bench_trajectories(n_nodes: int, n_trajectories: int) -> dict:
+    circuit = _ndar_style_circuit(n_nodes, loss=0.15)
+    batched = TrajectorySimulator(circuit, seed=7)
+    batched.sample(min(8, n_trajectories))  # warm structure/plan caches
+    batched_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batched.sample(n_trajectories)
+        batched_s = min(batched_s, time.perf_counter() - start)
+    reference = _SeedReferenceSimulator(circuit, seed=7)
+    reference.sample(min(8, n_trajectories))
+    start = time.perf_counter()
+    reference.sample(n_trajectories)
+    seed_loop_s = time.perf_counter() - start
+    return {
+        "register": [3] * n_nodes,
+        "n_trajectories": n_trajectories,
+        "n_instructions": len(circuit),
+        "batched_s": round(batched_s, 4),
+        "seed_loop_s": round(seed_loop_s, 4),
+        "speedup": round(seed_loop_s / batched_s, 2),
+        "batched_traj_per_s": round(n_trajectories / batched_s, 1),
+        "seed_loop_traj_per_s": round(n_trajectories / seed_loop_s, 1),
+    }
+
+
+def run_benchmarks(
+    n_qutrits: int = 7,
+    gate_repeats: int = 300,
+    n_traj_nodes: int = 7,
+    n_trajectories: int = 200,
+    out_path: Path | str | None = None,
+) -> dict:
+    """Run the core-engine benchmark suite and optionally emit JSON.
+
+    Args:
+        n_qutrits: register size for the gate-apply section.
+        gate_repeats: timed repetitions per gate kernel.
+        n_traj_nodes: qutrits in the NDAR-style trajectory circuit.
+        n_trajectories: trajectory count for the throughput section.
+        out_path: where to write the JSON report (``None`` = don't write).
+
+    Returns:
+        The report dictionary (also written to ``out_path`` if given).
+    """
+    gate_apply, max_error = _bench_gate_apply(n_qutrits, gate_repeats)
+    trajectories = _bench_trajectories(n_traj_nodes, n_trajectories)
+    report = {
+        "meta": {
+            "benchmark": "bench_core_engine",
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "gate_register_dim": total_dim((3,) * n_qutrits),
+            "gate_repeats": gate_repeats,
+        },
+        "gate_apply": gate_apply,
+        "trajectories": {"ndar_style": trajectories},
+        "correctness": {"max_fastpath_vs_dense_error": max_error},
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    report = run_benchmarks(out_path=BENCH_JSON)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

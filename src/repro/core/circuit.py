@@ -23,6 +23,7 @@ import numpy as np
 from . import gates
 from .dims import total_dim, validate_dims
 from .exceptions import CircuitError
+from .structure import GateStructure, classify_gate
 
 __all__ = ["Instruction", "QuditCircuit"]
 
@@ -64,6 +65,36 @@ class Instruction:
     def num_qudits(self) -> int:
         """Number of wires this instruction touches."""
         return len(self.qudits)
+
+    def structure(self) -> GateStructure | None:
+        """Cached fast-path structure of a unitary's matrix.
+
+        Classified once on first use (the instruction is immutable, so the
+        result is stashed on the instance); simulators pass it to
+        :func:`~repro.core.statevector.apply_matrix` so Trotter circuits
+        that repeat the same instruction never re-classify or re-reshape
+        the gate.  ``None`` for non-unitary instructions.
+        """
+        if self.kind != "unitary":
+            return None
+        cached = self.__dict__.get("_structure")
+        if cached is None:
+            cached = classify_gate(self.matrix)
+            object.__setattr__(self, "_structure", cached)
+        return cached
+
+    def kraus_structures(self) -> tuple[GateStructure, ...] | None:
+        """Cached fast-path structures of a channel's Kraus operators.
+
+        ``None`` for non-channel instructions.
+        """
+        if self.kind != "channel":
+            return None
+        cached = self.__dict__.get("_kraus_structures")
+        if cached is None:
+            cached = tuple(classify_gate(op) for op in self.kraus)
+            object.__setattr__(self, "_kraus_structures", cached)
+        return cached
 
     def is_entangling(self) -> bool:
         """True for unitaries touching two or more wires."""

@@ -17,6 +17,7 @@ from .channels import QuditChannel
 from .circuit import QuditCircuit
 from .dims import digits_to_index, index_to_digits, total_dim, validate_dims
 from .exceptions import DimensionError, SimulationError
+from .rng import ensure_rng
 from .statevector import Statevector, apply_matrix
 
 __all__ = ["DensityMatrix"]
@@ -204,7 +205,7 @@ class DensityMatrix:
         self, shots: int, rng: np.random.Generator | None = None
     ) -> dict[tuple[int, ...], int]:
         """Sample computational-basis outcomes from the diagonal."""
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         probs = self.probabilities()
         probs = probs / probs.sum()
         outcomes = rng.multinomial(shots, probs)

@@ -14,6 +14,7 @@ import numpy as np
 
 from .dims import index_to_digits
 from .exceptions import SimulationError
+from .rng import ensure_rng
 
 __all__ = [
     "counts_to_frequencies",
@@ -33,7 +34,7 @@ def sample_probabilities(
     """Multinomial sample of basis outcomes from a probability vector."""
     if shots < 1:
         raise SimulationError("shots must be >= 1")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     probs = np.asarray(probabilities, dtype=float).clip(min=0.0)
     total = probs.sum()
     if total <= 0:
@@ -84,7 +85,7 @@ def sampled_expectation(
     """
     if shots < 1:
         raise SimulationError("shots must be >= 1")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     return float(exact_value + rng.normal(0.0, scale / np.sqrt(shots)))
 
 

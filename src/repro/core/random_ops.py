@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .exceptions import DimensionError
+from .rng import ensure_rng
 
 __all__ = [
     "haar_unitary",
@@ -24,7 +25,7 @@ def haar_unitary(d: int, rng: np.random.Generator | None = None) -> np.ndarray:
     """Haar-distributed ``d x d`` unitary via QR of a Ginibre matrix."""
     if d < 1:
         raise DimensionError(f"dimension must be >= 1, got {d}")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     ginibre = rng.normal(size=(d, d)) + 1j * rng.normal(size=(d, d))
     q, r = np.linalg.qr(ginibre)
     # Fix the phase ambiguity so the distribution is exactly Haar.
@@ -48,7 +49,7 @@ def random_statevector(
     """Haar-random pure state amplitudes of dimension ``d``."""
     if d < 1:
         raise DimensionError(f"dimension must be >= 1, got {d}")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     vec = rng.normal(size=d) + 1j * rng.normal(size=d)
     return vec / np.linalg.norm(vec)
 
@@ -59,7 +60,7 @@ def random_hermitian(
     """GUE-like random Hermitian matrix."""
     if d < 1:
         raise DimensionError(f"dimension must be >= 1, got {d}")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     mat = rng.normal(size=(d, d)) + 1j * rng.normal(size=(d, d))
     return scale * (mat + mat.conj().T) / 2.0
 
@@ -70,7 +71,7 @@ def random_density_matrix(
     """Random density matrix from a Ginibre purification of given rank."""
     if d < 1:
         raise DimensionError(f"dimension must be >= 1, got {d}")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     rank = d if rank is None else int(rank)
     if not 1 <= rank <= d:
         raise DimensionError(f"rank {rank} outside [1, {d}]")

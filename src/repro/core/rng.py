@@ -1,0 +1,57 @@
+"""Shared random-number-generator plumbing for reproducible noisy runs.
+
+Historically every sampler in the toolkit fell back to a *fresh unseeded*
+``np.random.default_rng()`` when no generator was passed, so an end-to-end
+noisy study mixed many unrelated streams and could never be replayed.  All
+call sites now route through :func:`ensure_rng`, which resolves ``None`` to
+one process-wide generator: seed it once with :func:`set_global_seed` and
+every downstream sampler — trajectory jumps, terminal measurement, shot
+noise, tomography — draws from the same reproducible stream.
+
+``ensure_rng`` also accepts a plain integer seed anywhere a generator is
+accepted, so APIs can expose a single ``rng`` argument instead of parallel
+``seed``/``rng`` parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "global_rng", "set_global_seed"]
+
+_GLOBAL_RNG: np.random.Generator | None = None
+
+
+def set_global_seed(seed: int | None) -> np.random.Generator:
+    """(Re)seed the process-wide fallback generator and return it.
+
+    Call once at program start to make every unseeded sampler in the
+    toolkit reproducible end to end.
+    """
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+    return _GLOBAL_RNG
+
+
+def global_rng() -> np.random.Generator:
+    """The process-wide fallback generator (created on first use)."""
+    global _GLOBAL_RNG
+    if _GLOBAL_RNG is None:
+        _GLOBAL_RNG = np.random.default_rng()
+    return _GLOBAL_RNG
+
+
+def ensure_rng(
+    rng: np.random.Generator | int | None,
+) -> np.random.Generator:
+    """Resolve an ``rng`` argument to a concrete generator.
+
+    Args:
+        rng: a generator (returned as-is), an integer seed (wraps a fresh
+            seeded generator), or ``None`` (the shared global generator).
+    """
+    if rng is None:
+        return global_rng()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng

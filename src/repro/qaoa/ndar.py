@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.exceptions import SimulationError
+from ..core.rng import ensure_rng
 from ..core.trajectories import TrajectorySimulator
 from .circuits import add_photon_loss, qaoa_circuit
 from .coloring import ColoringProblem
@@ -35,9 +36,12 @@ def sample_noisy_qaoa(
     loss_per_layer: float,
     shots: int,
     permutations: list[list[int]] | None = None,
-    seed: int | None = None,
+    seed: int | np.random.Generator | None = None,
 ) -> dict[tuple[int, ...], int]:
-    """Sample a noisy QAOA circuit via quantum trajectories.
+    """Sample a noisy QAOA circuit via batched quantum trajectories.
+
+    All ``shots`` trajectories evolve together through the batched engine
+    (one vectorised kernel call per gate/channel).
 
     Args:
         problem: coloring instance.
@@ -46,7 +50,8 @@ def sample_noisy_qaoa(
         loss_per_layer: photon-loss probability inserted per mixing layer.
         shots: samples (= trajectories).
         permutations: NDAR gauge remap folded into the phase separator.
-        seed: RNG seed.
+        seed: integer seed or a generator to draw from — pass one generator
+            across rounds for end-to-end reproducibility.
     """
     circuit = qaoa_circuit(problem, gammas, betas, permutations)
     noisy = add_photon_loss(circuit, loss_per_layer)
@@ -106,7 +111,7 @@ def run_ndar(
     p: int = 1,
     adaptive: bool = True,
     angles: tuple | None = None,
-    seed: int | None = None,
+    seed: int | np.random.Generator | None = None,
 ) -> NdarResult:
     """Run the NDAR loop (or the vanilla baseline with ``adaptive=False``).
 
@@ -131,7 +136,7 @@ def run_ndar(
     """
     if n_rounds < 1 or shots < 1:
         raise SimulationError("need >= 1 round and >= 1 shot")
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     d = problem.n_colors
     gammas, betas = angles if angles is not None else linear_ramp_schedule(p)
     identity = [list(range(d)) for _ in range(problem.n_nodes)]
@@ -147,7 +152,7 @@ def run_ndar(
             loss_per_layer,
             shots,
             permutations=permutations if adaptive else None,
-            seed=int(rng.integers(0, 2**31 - 1)),
+            seed=rng,
         )
         round_best = None
         weighted_cost = 0.0

@@ -147,9 +147,13 @@ def validity_probability(
     epsilon: float,
     p: int = 1,
     shots: int = 100,
-    seed: int | None = None,
+    seed: int | np.random.Generator | None = None,
 ) -> float:
-    """Fraction of noisy samples satisfying every one-hot constraint."""
+    """Fraction of noisy samples satisfying every one-hot constraint.
+
+    The ``shots`` trajectories run as one batch through the trajectory
+    engine; ``seed`` may be a generator threaded from a larger study.
+    """
     gammas = [0.6] * p
     betas = [0.4] * p
     circuit = encoding.qaoa_circuit(gammas, betas)

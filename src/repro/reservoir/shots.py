@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.exceptions import SimulationError
+from ..core.rng import ensure_rng
 from .readout import RidgeReadout, nmse, train_test_split
 
 __all__ = ["sample_population_features", "ShotSweepPoint", "shot_noise_sweep"]
@@ -23,31 +24,33 @@ __all__ = ["sample_population_features", "ShotSweepPoint", "shot_noise_sweep"]
 def sample_population_features(
     features: np.ndarray,
     shots: int,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
     """Replace exact population features by ``shots``-shot multinomial estimates.
+
+    All time steps are drawn in one batched multinomial call (NumPy
+    broadcasts ``pvals`` over leading axes), so the cost is one vectorised
+    draw instead of a Python loop over the time series.
 
     Args:
         features: ``(T, F)`` matrix of per-step population vectors (rows
             are probability vectors up to numerical clipping).
         shots: projective measurements per time step.
-        rng: RNG.
+        rng: generator, integer seed, or ``None`` for the shared global
+            generator.
 
     Returns:
         Matrix of empirical frequencies, same shape.
     """
     if shots < 1:
         raise SimulationError("shots must be >= 1")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     features = np.asarray(features, dtype=float).clip(min=0.0)
-    out = np.empty_like(features)
-    for t in range(features.shape[0]):
-        row = features[t]
-        total = row.sum()
-        if total <= 0:
-            raise SimulationError(f"feature row {t} sums to zero")
-        out[t] = rng.multinomial(shots, row / total) / shots
-    return out
+    totals = features.sum(axis=1, keepdims=True)
+    bad = np.nonzero(totals.ravel() <= 0)[0]
+    if bad.size:
+        raise SimulationError(f"feature row {int(bad[0])} sums to zero")
+    return rng.multinomial(shots, features / totals) / shots
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.exceptions import SimulationError
+from ..core.rng import ensure_rng
 from ..core.gates import displacement, parity_op
 from ..core.random_ops import random_density_matrix
 
@@ -55,7 +56,7 @@ def displaced_parity_features(
     rho = np.asarray(rho, dtype=complex)
     d = rho.shape[0]
     parity = parity_op(d)
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     out = np.empty(len(alphas))
     for k, alpha in enumerate(alphas):
         disp = displacement(d, -complex(alpha))
@@ -96,7 +97,7 @@ def displaced_population_features(
     """
     rho = np.asarray(rho, dtype=complex)
     d = rho.shape[0]
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     out = np.empty(len(alphas) * d)
     for k, alpha in enumerate(alphas):
         disp = displacement(d, -complex(alpha))

@@ -25,7 +25,7 @@ from ..core.exceptions import SimulationError
 from ..core.statevector import Statevector
 from .encodings import QubitEncoding, QuditEncoding, insert_depolarizing_noise
 from .rotor import RotorChain
-from .trotter import evolve_observable_trajectory
+from .trotter import evolve_observable_trajectory, evolve_observable_trajectory_mc
 
 __all__ = [
     "trajectory_damage",
@@ -53,6 +53,9 @@ def trajectory_damage(
     t_total: float = 4.0,
     n_steps: int = 12,
     site: int = 0,
+    method: str = "density",
+    n_trajectories: int = 128,
+    rng: np.random.Generator | int | None = 0,
 ) -> float:
     """RMS deviation of the noisy <Lz_site(t)> trajectory from noiseless.
 
@@ -65,23 +68,48 @@ def trajectory_damage(
         t_total: evolution window.
         n_steps: Trotter steps.
         site: probed lattice site.
+        method: ``"density"`` for the exact density-matrix evolution (the
+            seed behaviour), ``"trajectories"`` for the batched Monte-Carlo
+            unravelling — the scalable path once ``D^2`` no longer fits.
+        n_trajectories: stochastic batch width (``"trajectories"`` only).
+        rng: generator / seed for the trajectory method (defaults to a
+            fixed seed so threshold bisection sees a deterministic score).
 
     Returns:
         RMS trajectory deviation (0 for epsilon = 0).
     """
     if epsilon < 0:
         raise SimulationError("epsilon must be >= 0")
+    if method not in ("density", "trajectories"):
+        raise SimulationError(f"unknown damage method {method!r}")
     chain = encoding.chain
     observable = encoding.local_lz_operator(site)
     m_values = _excitation_profile(chain.n_sites)
-    initial = _initial_density(encoding, m_values)
     dt = t_total / n_steps
     clean_step = encoding.trotter_step(dt)
-    clean = evolve_observable_trajectory(clean_step, n_steps, observable, initial)
+    if method == "density":
+        initial = _initial_density(encoding, m_values)
+        clean = evolve_observable_trajectory(
+            clean_step, n_steps, observable, initial
+        )
+    else:
+        digits = encoding.product_state_digits(m_values)
+        initial_sv = Statevector.basis(encoding.dims, digits)
+        # Noiseless step: a single trajectory is exact (no stochastic jumps).
+        clean = evolve_observable_trajectory_mc(
+            clean_step, n_steps, observable, initial_sv, 1, rng=rng
+        )
     if epsilon == 0:
         return 0.0
     noisy_step = insert_depolarizing_noise(clean_step, encoding, epsilon)
-    noisy = evolve_observable_trajectory(noisy_step, n_steps, observable, initial)
+    if method == "density":
+        noisy = evolve_observable_trajectory(
+            noisy_step, n_steps, observable, initial
+        )
+    else:
+        noisy = evolve_observable_trajectory_mc(
+            noisy_step, n_steps, observable, initial_sv, n_trajectories, rng=rng
+        )
     return float(np.sqrt(np.mean((noisy - clean) ** 2)))
 
 
@@ -92,6 +120,9 @@ def noise_threshold(
     n_steps: int = 12,
     eps_hi: float = 0.5,
     bisection_steps: int = 12,
+    method: str = "density",
+    n_trajectories: int = 128,
+    rng: np.random.Generator | int | None = 0,
 ) -> float:
     """Largest epsilon whose trajectory damage stays below ``damage_tol``.
 
@@ -100,23 +131,41 @@ def noise_threshold(
     lower bracket is walked down by decades until it is tolerable, then
     log-midpoint bisection refines it.
 
+    Args:
+        method, n_trajectories, rng: forwarded to
+            :func:`trajectory_damage` — ``method="trajectories"`` scores
+            damage with the batched Monte-Carlo engine for registers too
+            large for a density matrix.
+
     Returns:
         Threshold epsilon (clamped to ``eps_hi`` if never exceeded, and to
         ``1e-8`` from below if even that is intolerable).
     """
-    if trajectory_damage(encoding, eps_hi, t_total, n_steps) < damage_tol:
+
+    def _damage(eps: float) -> float:
+        return trajectory_damage(
+            encoding,
+            eps,
+            t_total,
+            n_steps,
+            method=method,
+            n_trajectories=n_trajectories,
+            rng=rng,
+        )
+
+    if _damage(eps_hi) < damage_tol:
         return eps_hi
     lo = eps_hi
     for _ in range(10):
         lo /= 10.0
         if lo < 1e-8:
             return 1e-8
-        if trajectory_damage(encoding, lo, t_total, n_steps) < damage_tol:
+        if _damage(lo) < damage_tol:
             break
     hi = lo * 10.0
     for _ in range(bisection_steps):
         mid = float(np.sqrt(lo * hi))
-        if trajectory_damage(encoding, mid, t_total, n_steps) < damage_tol:
+        if _damage(mid) < damage_tol:
             lo = mid
         else:
             hi = mid

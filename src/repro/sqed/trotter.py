@@ -16,12 +16,15 @@ from scipy.linalg import expm
 from ..core.circuit import QuditCircuit
 from ..core.density import DensityMatrix
 from ..core.exceptions import SimulationError
+from ..core.statevector import Statevector
+from ..core.trajectories import TrajectorySimulator
 
 __all__ = [
     "trotter_step_from_terms",
     "second_order_step_from_terms",
     "trotter_circuit",
     "evolve_observable_trajectory",
+    "evolve_observable_trajectory_mc",
     "exact_observable_trajectory",
 ]
 
@@ -98,6 +101,59 @@ def evolve_observable_trajectory(
     for step in range(n_steps):
         state = state.evolve(step_circuit)
         values[step + 1] = float(np.real(state.expectation(observable)))
+    return values
+
+
+def evolve_observable_trajectory_mc(
+    step_circuit: QuditCircuit,
+    n_steps: int,
+    observable: np.ndarray,
+    initial: Statevector,
+    n_trajectories: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Monte-Carlo analogue of :func:`evolve_observable_trajectory`.
+
+    Evolves ``n_trajectories`` stochastic pure-state trajectories *as one
+    batch* through the (noise-instrumented) step circuit, recording the
+    trajectory-averaged ``<psi|O|psi>`` after every step.  This is the
+    scalable path for registers whose density matrix no longer fits —
+    memory is ``O(D * n_trajectories)`` instead of ``O(D^2)``.
+
+    Args:
+        step_circuit: one (possibly noisy) Trotter step.
+        n_steps: repetitions.
+        observable: dense operator over the full register.
+        initial: starting pure state.
+        n_trajectories: batch width of the stochastic average.
+        rng: generator / seed threaded into every jump and measurement.
+
+    Returns:
+        Array of ``n_steps + 1`` real expectation values (index 0 is t=0).
+    """
+    if n_steps < 1:
+        raise SimulationError("need at least one step")
+    if n_trajectories < 1:
+        raise SimulationError("need at least one trajectory")
+    simulator = TrajectorySimulator(step_circuit, seed=rng)
+    observable = np.asarray(observable, dtype=complex)
+    dim = initial.dim
+    batch = np.ascontiguousarray(
+        np.broadcast_to(
+            initial.tensor[..., None], initial.tensor.shape + (n_trajectories,)
+        )
+    )
+    values = np.empty(n_steps + 1)
+
+    def _mean_expectation(states: np.ndarray) -> float:
+        flat = states.reshape(dim, n_trajectories)
+        vals = np.real(np.einsum("ib,ij,jb->b", flat.conj(), observable, flat))
+        return float(vals.mean())
+
+    values[0] = _mean_expectation(batch)
+    for step in range(n_steps):
+        batch = simulator.evolve_states(batch)
+        values[step + 1] = _mean_expectation(batch)
     return values
 
 

@@ -153,3 +153,33 @@ class TestNoiseStudy:
     def test_negative_epsilon_rejected(self, chain):
         with pytest.raises(SimulationError):
             trajectory_damage(QuditEncoding(chain), -0.1)
+
+    def test_unknown_method_rejected(self, chain):
+        with pytest.raises(SimulationError):
+            trajectory_damage(QuditEncoding(chain), 0.1, method="exact")
+
+    def test_trajectory_method_matches_density(self, chain):
+        """Batched Monte-Carlo damage converges to the density-matrix score."""
+        encoding = QuditEncoding(chain)
+        exact = trajectory_damage(encoding, 0.05, t_total=2.0, n_steps=4)
+        sampled = trajectory_damage(
+            encoding,
+            0.05,
+            t_total=2.0,
+            n_steps=4,
+            method="trajectories",
+            n_trajectories=512,
+            rng=0,
+        )
+        assert sampled > 0
+        assert abs(sampled - exact) < 0.1
+
+    def test_trajectory_method_clean_is_exact(self, chain):
+        """Without noise the MC path is deterministic and scores zero."""
+        encoding = QuditEncoding(chain)
+        assert (
+            trajectory_damage(
+                encoding, 0.0, t_total=1.0, n_steps=3, method="trajectories"
+            )
+            == 0.0
+        )

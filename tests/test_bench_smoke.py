@@ -1,0 +1,52 @@
+"""Tier-1 smoke invocations of the core-engine benchmark harness.
+
+These run the real benchmark code paths at tiny sizes so a regression in
+the structured fast paths or the batched trajectory engine fails tier-1,
+while the full-size benchmark (``python benchmarks/bench_core_engine.py``,
+which regenerates the committed ``BENCH_core.json``) stays opt-in.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+
+@pytest.mark.bench_smoke
+def test_core_engine_bench_smoke(tmp_path):
+    from bench_core_engine import run_benchmarks
+
+    out = tmp_path / "BENCH_core.json"
+    report = run_benchmarks(
+        n_qutrits=4,
+        gate_repeats=3,
+        n_traj_nodes=4,
+        n_trajectories=8,
+        out_path=out,
+    )
+    # Fast paths must agree with the dense reference on the benchmark state.
+    assert report["correctness"]["max_fastpath_vs_dense_error"] < 1e-12
+    trajectories = report["trajectories"]["ndar_style"]
+    assert trajectories["n_trajectories"] == 8
+    assert trajectories["batched_s"] > 0 and trajectories["seed_loop_s"] > 0
+    for key in ("diagonal_geomean_speedup", "permutation_geomean_speedup"):
+        assert report["gate_apply"][key] > 0
+    # The emitter round-trips through JSON.
+    assert json.loads(out.read_text())["meta"]["benchmark"] == "bench_core_engine"
+
+
+@pytest.mark.bench_smoke
+def test_committed_bench_core_json_meets_targets():
+    """The committed BENCH_core.json must document the required speedups."""
+    report = json.loads((REPO_ROOT / "BENCH_core.json").read_text())
+    gate = report["gate_apply"]
+    assert gate["diagonal_geomean_speedup"] >= 3.0
+    assert gate["permutation_geomean_speedup"] >= 3.0
+    assert report["trajectories"]["ndar_style"]["speedup"] >= 5.0
+    assert report["correctness"]["max_fastpath_vs_dense_error"] < 1e-12

@@ -1,0 +1,170 @@
+"""MPS backend benchmark — registers no dense backend can represent.
+
+Two sections:
+
+1. **Correctness anchor** (small register): a 6-qutrit NDAR-style noisy
+   QAOA circuit where the MPS backend at *unbounded* bond dimension must
+   match the dense statevector (noiseless part) to 1e-10 and the exact
+   density matrix (noisy expectations, many trajectories) within Monte-
+   Carlo error.
+
+2. **Scale demonstration**: a 20-qutrit NDAR-style circuit — register
+   dimension ``3^20 ≈ 3.5e9``, i.e. ~56 GB of complex128 for *one*
+   statevector, far beyond any dense engine here — evolved at bounded
+   bond dimension, reporting wall time, peak bond, cumulative truncation
+   error, sampling throughput, and the edge-local QAOA energy across a
+   chi sweep.
+
+Run as a script to (re)generate the committed ``BENCH_mps.json``::
+
+    PYTHONPATH=src python benchmarks/bench_mps.py
+
+The ``bench_smoke`` tier-1 tests call :func:`run_benchmarks` at tiny sizes
+so a regression in the MPS engine fails tier-1 without slowing the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DensityMatrix, Statevector, get_backend
+from repro.qaoa import random_coloring_instance, state_energy
+from repro.qaoa.circuits import add_photon_loss, qaoa_circuit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_mps.json"
+
+
+def _ndar_style_circuit(n_nodes: int, loss: float, seed: int = 21):
+    """One NDAR round: p=1 qutrit QAOA on a random graph + photon loss."""
+    problem = random_coloring_instance(
+        n_nodes, 3, degree=min(4, n_nodes - 1), seed=seed
+    )
+    circuit = qaoa_circuit(problem, [0.6], [0.4])
+    return problem, add_photon_loss(circuit, loss)
+
+
+def _bench_correctness(n_nodes: int, n_trajectories: int) -> dict:
+    """Unbounded-chi MPS vs the dense backends on a small register."""
+    problem, noisy = _ndar_style_circuit(n_nodes, loss=0.15)
+    noiseless = qaoa_circuit(problem, [0.6], [0.4])
+    sv = Statevector.zero(noiseless.dims).evolve(noiseless)
+    mps = get_backend("mps").run(noiseless)
+    sv_err = float(
+        np.abs(mps.states[0].to_statevector().vector - sv.vector).max()
+    )
+    exact = DensityMatrix.zero(noisy.dims).evolve(noisy)
+    op = np.diag([0.0, 1.0, 2.0])
+    exact_value = float(np.real(exact.expectation(op, 0)))
+    noisy_result = get_backend("mps").run(
+        noisy, n_trajectories=n_trajectories, rng=5
+    )
+    mc_value = noisy_result.expectation(op, 0)
+    return {
+        "register": [3] * n_nodes,
+        "noiseless_max_amplitude_error": sv_err,
+        "noisy_observable_exact": exact_value,
+        "noisy_observable_mc": mc_value,
+        "noisy_observable_abs_error": abs(mc_value - exact_value),
+        "n_trajectories": n_trajectories,
+        "full_chi_truncation_error": float(
+            max(s.truncation_error for s in noisy_result.states)
+        ),
+    }
+
+
+def _bench_scale(
+    n_nodes: int, bond_caps, loss: float, shots: int
+) -> dict:
+    """Bounded-chi evolution of a register far beyond dense reach."""
+    problem, noisy = _ndar_style_circuit(n_nodes, loss=loss)
+    dense_dim = 3**n_nodes
+    sweep = []
+    for max_bond in bond_caps:
+        backend = get_backend("mps", max_bond=int(max_bond))
+        start = time.perf_counter()
+        result = backend.run(noisy, rng=7)
+        evolve_s = time.perf_counter() - start
+        state = result.states[0]
+        start = time.perf_counter()
+        counts = result.sample(shots, rng=8)
+        sample_s = time.perf_counter() - start
+        start = time.perf_counter()
+        energy = state_energy(problem, result)
+        energy_s = time.perf_counter() - start
+        sweep.append(
+            {
+                "max_bond": int(max_bond),
+                "evolve_s": round(evolve_s, 4),
+                "sample_s": round(sample_s, 4),
+                "energy_s": round(energy_s, 4),
+                "peak_bond": int(max(state.bond_dimensions())),
+                "truncation_error": float(state.truncation_error),
+                "qaoa_energy": round(float(energy), 4),
+                "distinct_outcomes": len(counts),
+            }
+        )
+    return {
+        "register": [3] * n_nodes,
+        "n_qutrits": n_nodes,
+        "dense_dim": float(dense_dim),
+        "dense_statevector_gib": round(dense_dim * 16 / 2**30, 1),
+        "n_instructions": len(noisy),
+        "n_edges": len(problem.edges),
+        "shots": shots,
+        "chi_sweep": sweep,
+    }
+
+
+def run_benchmarks(
+    n_small: int = 6,
+    n_large: int = 20,
+    bond_caps=(8, 16, 32),
+    loss: float = 0.1,
+    n_trajectories: int = 400,
+    shots: int = 50,
+    out_path: Path | str | None = None,
+) -> dict:
+    """Run the MPS benchmark suite and optionally emit JSON.
+
+    Args:
+        n_small: qutrits in the correctness-anchor circuit (dense-checkable).
+        n_large: qutrits in the scale circuit (must exceed dense reach).
+        bond_caps: chi values for the bounded-chi sweep.
+        loss: per-layer photon-loss probability.
+        n_trajectories: Monte-Carlo width for the noisy correctness check.
+        shots: samples drawn from the large register.
+        out_path: where to write the JSON report (``None`` = don't write).
+
+    Returns:
+        The report dictionary (also written to ``out_path`` if given).
+    """
+    correctness = _bench_correctness(n_small, n_trajectories)
+    scale = _bench_scale(n_large, bond_caps, loss, shots)
+    report = {
+        "meta": {
+            "benchmark": "bench_mps",
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "correctness": correctness,
+        "scale": scale,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    report = run_benchmarks(out_path=BENCH_JSON)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

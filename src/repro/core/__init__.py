@@ -18,12 +18,33 @@ call per gate for the whole batch, vectorised Born branch selection per
 channel, and batched terminal sampling.  See ``BENCH_core.json`` at the
 repo root for the measured speedups over the seed implementation.
 
+**Matrix-product-state backend** (:mod:`repro.core.mps`): per-site tensors
+with a configurable bond-dimension cap and tracked cumulative truncation
+error — cost scales with entanglement instead of register size, reaching
+15-20+ qutrit circuits no dense backend can represent.  Structured
+(diagonal/permutation) two-site gates apply through a cached
+operator-Schmidt bond expansion with no state SVD; non-adjacent two-qudit
+gates route via swap insertion.
+
+**Backend registry** (:mod:`repro.core.backends`): one dispatch layer —
+``get_backend("statevector" | "density" | "trajectories" | "mps")`` — with
+a common ``run(circuit, ...) -> result`` protocol (``expectation``,
+``sample``, ``probabilities_of``) so workload layers never hard-code a
+simulator.
+
 **Reproducible randomness** (:mod:`repro.core.rng`): every sampler accepts
 a generator, an integer seed, or ``None`` for the shared process-wide
 generator — seed it once via :func:`set_global_seed` to replay an entire
 noisy study.
 """
 
+from .backends import (
+    BackendResult,
+    SimulationBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .channels import (
     QuditChannel,
     dephasing,
@@ -63,6 +84,7 @@ from .lindblad import (
     unvectorize_density,
     vectorize_density,
 )
+from .mps import MPSState, operator_schmidt_factors
 from .rng import ensure_rng, global_rng, set_global_seed
 from .statevector import Statevector, apply_matrix, apply_matrix_dense, embed_unitary
 from .structure import GateStructure, classify_gate
@@ -70,6 +92,13 @@ from .trajectories import TrajectorySimulator
 from .visualization import draw_circuit, wigner_function, wigner_text
 
 __all__ = [
+    "BackendResult",
+    "SimulationBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "MPSState",
+    "operator_schmidt_factors",
     "QuditChannel",
     "dephasing",
     "dephasing_probability_from_t2",

@@ -14,13 +14,28 @@ from collections.abc import Sequence
 import numpy as np
 
 from .channels import QuditChannel
-from .circuit import QuditCircuit
+from .circuit import Instruction, QuditCircuit
 from .dims import digits_to_index, index_to_digits, total_dim, validate_dims
 from .exceptions import DimensionError, SimulationError
 from .rng import ensure_rng
-from .statevector import Statevector, apply_matrix
+from .statevector import Statevector, apply_matrix, broadcast_over_targets
+from .structure import DIAGONAL, GateStructure, classify_gate
 
 __all__ = ["DensityMatrix"]
+
+
+def _conj_structure(structure: GateStructure) -> GateStructure:
+    """Structure of the complex conjugate of a classified matrix (cached).
+
+    Conjugation preserves the zero pattern, so a diagonal/permutation
+    classification carries over — the bra-side application of each Kraus
+    operator reuses the same fast path without re-classifying per call.
+    """
+    cached = structure.plans.get("conj")
+    if cached is None:
+        cached = classify_gate(structure.matrix.conj())
+        structure.plans["conj"] = cached
+    return cached
 
 
 class DensityMatrix:
@@ -91,18 +106,70 @@ class DensityMatrix:
     # evolution
     # ------------------------------------------------------------------
     def _apply_local(
-        self, matrices: Sequence[np.ndarray], targets: tuple[int, ...]
+        self,
+        matrices: Sequence[np.ndarray],
+        targets: tuple[int, ...],
+        structures: Sequence[GateStructure] | None = None,
     ) -> np.ndarray:
         """Apply ``sum_i K_i rho K_i†`` on local targets via tensor ops."""
         n = len(self.dims)
         tensor = self._matrix.reshape(self.dims + self.dims)
         out = np.zeros_like(tensor)
         bra_targets = tuple(t + n for t in targets)
-        for op in matrices:
-            term = apply_matrix(tensor, op, self.dims * 2, targets)
-            term = apply_matrix(term, op.conj(), self.dims * 2, bra_targets)
+        if structures is None:
+            structures = [None] * len(matrices)
+        for op, structure in zip(matrices, structures):
+            term = apply_matrix(
+                tensor, op, self.dims * 2, targets, structure=structure
+            )
+            term = apply_matrix(
+                term,
+                op.conj(),
+                self.dims * 2,
+                bra_targets,
+                structure=None if structure is None else _conj_structure(structure),
+            )
             out += term
         return out.reshape(self.dim, self.dim)
+
+    def _apply_diagonal_channel(
+        self, diags: np.ndarray, targets: tuple[int, ...]
+    ) -> np.ndarray:
+        """All-diagonal Kraus family as *one* elementwise multiply.
+
+        For ``K_i = diag(d_i)`` the channel acts elementwise on rho:
+        ``rho'[a, b] = rho[a, b] * sum_i d_i[a] conj(d_i[b])`` over the
+        joint target levels — the whole Kraus loop (two contractions per
+        operator) collapses into a single broadcast product.
+        """
+        n = len(self.dims)
+        weight = diags.T @ diags.conj()  # (d_gate, d_gate): ket x bra
+        axes = list(targets) + [t + n for t in targets]
+        factor = broadcast_over_targets(
+            weight.reshape(-1), self.dims * 2, axes
+        )
+        tensor = self._matrix.reshape(self.dims + self.dims) * factor
+        return tensor.reshape(self.dim, self.dim)
+
+    def _apply_channel_instruction(self, instruction: Instruction) -> "DensityMatrix":
+        """Channel application using the per-instruction structure cache.
+
+        Channels whose Kraus operators are *all* diagonal (dephasing,
+        Kerr-type noise, the phase branches of Weyl channels) vectorise to
+        one elementwise multiply; everything else runs the Kraus loop with
+        cached structures, so diagonal/permutation operators still hit the
+        O(D^2) fast kernels without per-call re-classification.
+        """
+        structures = instruction.kraus_structures()
+        targets = tuple(instruction.qudits)
+        if all(s.kind == DIAGONAL for s in structures):
+            diags = np.stack([s.diag for s in structures])
+            return DensityMatrix(
+                self._apply_diagonal_channel(diags, targets), self.dims
+            )
+        return DensityMatrix(
+            self._apply_local(instruction.kraus, targets, structures), self.dims
+        )
 
     def apply_unitary(
         self, matrix: np.ndarray, targets: int | Sequence[int]
@@ -129,7 +196,13 @@ class DensityMatrix:
         return self.apply_kraus(channel.kraus, targets)
 
     def evolve(self, circuit: QuditCircuit) -> "DensityMatrix":
-        """Run a circuit, honouring unitary, channel, and reset instructions."""
+        """Run a circuit, honouring unitary, channel, and reset instructions.
+
+        Unitaries and Kraus operators dispatch through the per-instruction
+        structure cache; channels whose operators are all diagonal collapse
+        to a single vectorised elementwise multiply
+        (:meth:`_apply_channel_instruction`).
+        """
         if circuit.dims != self.dims:
             raise DimensionError(
                 f"circuit dims {circuit.dims} != state dims {self.dims}"
@@ -137,9 +210,16 @@ class DensityMatrix:
         state = self
         for instruction in circuit:
             if instruction.kind == "unitary":
-                state = state.apply_unitary(instruction.matrix, instruction.qudits)
+                state = DensityMatrix(
+                    state._apply_local(
+                        [instruction.matrix],
+                        tuple(instruction.qudits),
+                        [instruction.structure()],
+                    ),
+                    state.dims,
+                )
             elif instruction.kind == "channel":
-                state = state.apply_kraus(instruction.kraus, instruction.qudits)
+                state = state._apply_channel_instruction(instruction)
             elif instruction.kind == "measure":
                 continue
             elif instruction.kind == "reset":

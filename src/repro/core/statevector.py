@@ -34,6 +34,7 @@ __all__ = [
     "apply_matrix",
     "apply_matrix_dense",
     "broadcast_over_targets",
+    "fused_instructions",
 ]
 
 
@@ -241,6 +242,63 @@ def apply_matrix(
     return apply_matrix_dense(tensor, matrix, dims, targets)
 
 
+def _flush_run(plan: list, run: list) -> None:
+    """Emit a pending same-wire run, fusing it when longer than one gate."""
+    if not run:
+        return
+    if len(run) == 1:
+        plan.append(run[0])
+    else:
+        from .circuit import Instruction  # local import avoids a cycle
+
+        fused = run[0].matrix
+        for instruction in run[1:]:
+            fused = instruction.matrix @ fused
+        plan.append(
+            Instruction(
+                name=f"fused[{len(run)}]",
+                kind="unitary",
+                qudits=run[0].qudits,
+                matrix=fused,
+                params={"fused": tuple(ins.name for ins in run)},
+            )
+        )
+    run.clear()
+
+
+def fused_instructions(circuit: QuditCircuit) -> tuple:
+    """Instruction stream with runs of same-wire single-qudit unitaries fused.
+
+    Consecutive single-wire unitaries on the *same* wire collapse into one
+    ``d x d`` product applied with a single kernel call — a run of dense
+    Givens/mixer pulses costs one contraction instead of many, and a
+    diagonal-times-permutation run collapses to one monomial gather.  Any
+    intervening instruction (another wire, a channel, a measurement) breaks
+    the run, so ordering semantics are preserved exactly.
+
+    The plan is cached on the circuit keyed by its length, so repeatedly
+    evolving the same (immutable-so-far) circuit — Trotter step loops —
+    fuses once; appending instructions invalidates the cache.
+    """
+    cached = getattr(circuit, "_fused_plan", None)
+    if cached is not None and cached[0] == len(circuit):
+        return cached[1]
+    plan: list = []
+    run: list = []
+    for instruction in circuit:
+        if instruction.kind == "unitary" and instruction.num_qudits == 1:
+            if run and run[-1].qudits != instruction.qudits:
+                _flush_run(plan, run)
+            run.append(instruction)
+            continue
+        _flush_run(plan, run)
+        plan.append(instruction)
+    _flush_run(plan, run)
+    out = tuple(plan)
+    circuit._fused_plan = (len(circuit), out)
+    return out
+
+
 def embed_unitary(
     matrix: np.ndarray, dims: Sequence[int], targets: Sequence[int]
 ) -> np.ndarray:
@@ -371,9 +429,11 @@ class Statevector:
     def evolve(self, circuit: QuditCircuit) -> "Statevector":
         """Run a (noise-free) circuit; channels/measure markers are rejected.
 
-        Unitary instructions are dispatched through their cached gate
-        structure, so repeated steps (Trotter circuits) classify each
-        distinct gate matrix only once.
+        Runs of consecutive single-qudit unitaries on the same wire are
+        fused into one matrix before application (see
+        :func:`fused_instructions`), and every instruction is dispatched
+        through its cached gate structure, so repeated steps (Trotter
+        circuits) classify each distinct gate matrix only once.
 
         Raises:
             SimulationError: on channel instructions — use the density-matrix
@@ -384,7 +444,7 @@ class Statevector:
                 f"circuit dims {circuit.dims} != state dims {self.dims}"
             )
         state = self
-        for instruction in circuit:
+        for instruction in fused_instructions(circuit):
             if instruction.kind == "unitary":
                 state = state.apply(
                     instruction.matrix,

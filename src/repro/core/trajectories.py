@@ -139,13 +139,16 @@ class TrajectorySimulator:
     def _execution_plan(self) -> list[tuple[str, object]]:
         """Instruction stream with consecutive diagonal unitaries fused.
 
-        A run of >= 2 diagonal unitaries collapses into one precomputed
+        Same-wire single-qudit runs are first collapsed by
+        :func:`~repro.core.statevector.fused_instructions`; then a run of
+        >= 2 diagonal unitaries collapses into one precomputed
         full-register diagonal tensor (``"fused_diagonal"`` step) — e.g. a
         14-edge QAOA phase separator becomes a single elementwise multiply.
         Rebuilt automatically when the circuit has grown since the last run.
         """
         if self._exec_plan is not None and self._exec_plan[0] == len(self.circuit):
             return self._exec_plan[1]
+        from .statevector import fused_instructions
         from .structure import DIAGONAL
 
         dims = self.circuit.dims
@@ -154,7 +157,7 @@ class TrajectorySimulator:
             return ins.kind == "unitary" and ins.structure().kind == DIAGONAL
 
         plan: list[tuple[str, object]] = []
-        instructions = list(self.circuit)
+        instructions = list(fused_instructions(self.circuit))
         i = 0
         while i < len(instructions):
             if _is_diagonal(instructions[i]):

@@ -8,6 +8,7 @@ from .circuits import (
     qaoa_state,
 )
 from .coloring import ColoringProblem, greedy_coloring_cost, random_coloring_instance
+from .energy import edge_clash_projector, qaoa_energy, state_energy
 from .ndar import NdarResult, NdarRound, run_ndar, sample_noisy_qaoa
 from .onehot import (
     OneHotEncoding,
@@ -27,6 +28,9 @@ __all__ = [
     "ColoringProblem",
     "greedy_coloring_cost",
     "random_coloring_instance",
+    "edge_clash_projector",
+    "qaoa_energy",
+    "state_energy",
     "NdarResult",
     "NdarRound",
     "run_ndar",

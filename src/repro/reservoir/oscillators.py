@@ -173,6 +173,14 @@ class SplitStepEvolver:
         self._cache[key] = u
         return u
 
+    def quantise_drive(self, drive: float) -> float:
+        """The drive value rounded to the propagator-cache resolution."""
+        return round(float(drive), self.drive_quantisation)
+
+    def unitary_for(self, drive: float) -> np.ndarray:
+        """The cached one-step joint unitary ``exp(-i dt (H + drive D))``."""
+        return self._unitary(drive)
+
     @staticmethod
     def _apply_kraus(rho: np.ndarray, kraus: list[np.ndarray]) -> np.ndarray:
         out = np.zeros_like(rho)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.circuit import QuditCircuit
 from ..core.exceptions import SimulationError
 from .oscillators import CoupledOscillators, SplitStepEvolver
 
@@ -35,6 +36,15 @@ class QuantumReservoir:
         feature_set: ``'populations'`` (levels^2 joint Fock populations,
             the 81-neuron readout) or ``'moments'`` (a compact vector of
             photon-number and quadrature moments, 8 features).
+        method: ``'splitstep'`` (the seed direct density-matrix propagator)
+            or any registered simulation backend name (``'density'``,
+            ``'mps'``, ...) — each clock period is then executed as a
+            two-wire circuit (driven unitary + per-mode loss channels)
+            through :mod:`repro.core.backends`.  ``'density'`` reproduces
+            the split-step physics exactly; ``'mps'`` is the template for
+            multi-mode reservoirs whose joint space outgrows dense storage.
+        backend_options: engine knobs for non-splitstep methods
+            (``max_bond``, ``n_trajectories``, ``rng``, ...).
     """
 
     def __init__(
@@ -44,6 +54,8 @@ class QuantumReservoir:
         input_gain: float = 1.0,
         drive_bias: float = 1.0,
         feature_set: str = "populations",
+        method: str = "splitstep",
+        backend_options: dict | None = None,
     ) -> None:
         if feature_set not in ("populations", "moments"):
             raise SimulationError(f"unknown feature set {feature_set!r}")
@@ -52,8 +64,11 @@ class QuantumReservoir:
         self.input_gain = float(input_gain)
         self.drive_bias = float(drive_bias)
         self.feature_set = feature_set
+        self.method = method
+        self.backend_options = dict(backend_options or {})
         self._evolver = SplitStepEvolver(self.osc, self.dt)
         self._moment_ops = self._build_moment_ops()
+        self._circuit_cache: dict[float, QuditCircuit] = {}
 
     def _build_moment_ops(self) -> list[np.ndarray]:
         a1, a2 = self.osc.a1(), self.osc.a2()
@@ -79,6 +94,52 @@ class QuantumReservoir:
             [float(np.real(np.trace(rho @ op))) for op in self._moment_ops]
         )
 
+    def _step_circuit(self, drive: float) -> QuditCircuit:
+        """One clock period as a two-wire circuit (cached per drive value).
+
+        Delegates drive quantisation and the propagator itself to the
+        split-step evolver, so both evolution paths share one unitary
+        cache and one rounding rule.
+        """
+        from ..core.channels import photon_loss
+
+        key = self._evolver.quantise_drive(drive)
+        cached = self._circuit_cache.get(key)
+        if cached is not None:
+            return cached
+        qc = QuditCircuit(self.osc.dims, name="reservoir-step")
+        qc.unitary(self._evolver.unitary_for(key), (0, 1), name="drive", drive=key)
+        d = self.osc.levels
+        for mode, kappa in ((0, self.osc.kappa_1), (1, self.osc.kappa_2)):
+            gamma = 1.0 - np.exp(-kappa * self.dt)
+            if gamma > 0:
+                qc.channel(photon_loss(d, gamma).kraus, mode, name="loss")
+        if len(self._circuit_cache) >= self._evolver._cache_size:
+            self._circuit_cache.pop(next(iter(self._circuit_cache)))
+        self._circuit_cache[key] = qc
+        return qc
+
+    def _features_from_result(self, result) -> np.ndarray:
+        """Feature vector of one backend result."""
+        if self.feature_set == "populations":
+            return np.asarray(result.probabilities(), dtype=float)
+        return np.array(
+            [result.expectation(op, (0, 1)) for op in self._moment_ops]
+        )
+
+    def _run_backend(self, inputs: np.ndarray) -> np.ndarray:
+        """Clock loop through the unified backend registry."""
+        from ..core.backends import get_backend
+
+        backend = get_backend(self.method, **self.backend_options)
+        state = backend.prepare(self.osc.dims)
+        out = np.empty((inputs.size, self.n_features))
+        for t, u in enumerate(inputs):
+            drive = self.drive_bias + self.input_gain * float(u)
+            state = backend.run(self._step_circuit(drive), initial=state)
+            out[t] = self._features_from_result(state)
+        return out
+
     def run(
         self,
         inputs: np.ndarray,
@@ -89,7 +150,8 @@ class QuantumReservoir:
 
         Args:
             inputs: 1-D input samples.
-            initial: starting density matrix (vacuum if omitted).
+            initial: starting density matrix (vacuum if omitted;
+                ``'splitstep'`` method only).
             reset: ignored placeholder for API symmetry with ESNs (the
                 reservoir always starts from ``initial``).
 
@@ -99,6 +161,12 @@ class QuantumReservoir:
         inputs = np.asarray(inputs, dtype=float).ravel()
         if inputs.size == 0:
             raise SimulationError("empty input sequence")
+        if self.method != "splitstep":
+            if initial is not None:
+                raise SimulationError(
+                    "initial states are only supported with method='splitstep'"
+                )
+            return self._run_backend(inputs)
         rho = self.osc.vacuum() if initial is None else np.asarray(initial, complex)
         out = np.empty((inputs.size, self.n_features))
         for t, u in enumerate(inputs):

@@ -84,6 +84,17 @@ class QuditEncoding:
             raise DimensionError(f"site {site} out of range")
         return embed_unitary(self.chain.ops.lz(), self.dims, (site,))
 
+    def local_lz(self, site: int) -> tuple[np.ndarray, tuple[int, ...]]:
+        """``Lz`` on one site as an *unembedded* ``(operator, wires)`` pair.
+
+        The local form is what scalable backends (MPS) consume — the
+        embedded full-register matrix of :meth:`local_lz_operator` cannot
+        even be allocated past ~9 qutrits.
+        """
+        if not 0 <= site < self.chain.n_sites:
+            raise DimensionError(f"site {site} out of range")
+        return self.chain.ops.lz(), (site,)
+
     def local_link_operator(self, site: int) -> np.ndarray:
         """Dense ``U + U†`` on one site — the gauge-field 'cosine' probe.
 
@@ -200,6 +211,11 @@ class QubitEncoding:
         """Dense embedded ``Lz`` on one site over the qubit register."""
         embedded = self._embed_site_operator(self.chain.ops.lz(), 1)
         return embed_unitary(embedded, self.dims, tuple(self.site_qubits(site)))
+
+    def local_lz(self, site: int) -> tuple[np.ndarray, tuple[int, ...]]:
+        """``Lz`` on one site as an ``(operator, wires)`` pair over its qubit group."""
+        embedded = self._embed_site_operator(self.chain.ops.lz(), 1)
+        return embedded, tuple(self.site_qubits(site))
 
     def local_link_operator(self, site: int) -> np.ndarray:
         """Dense embedded ``U + U†`` on one site over the qubit register."""

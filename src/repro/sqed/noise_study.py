@@ -25,7 +25,11 @@ from ..core.exceptions import SimulationError
 from ..core.statevector import Statevector
 from .encodings import QubitEncoding, QuditEncoding, insert_depolarizing_noise
 from .rotor import RotorChain
-from .trotter import evolve_observable_trajectory, evolve_observable_trajectory_mc
+from .trotter import (
+    evolve_observable_trajectory,
+    evolve_observable_trajectory_backend,
+    evolve_observable_trajectory_mc,
+)
 
 __all__ = [
     "trajectory_damage",
@@ -56,6 +60,7 @@ def trajectory_damage(
     method: str = "density",
     n_trajectories: int = 128,
     rng: np.random.Generator | int | None = 0,
+    max_bond: int | None = 64,
 ) -> float:
     """RMS deviation of the noisy <Lz_site(t)> trajectory from noiseless.
 
@@ -70,29 +75,42 @@ def trajectory_damage(
         site: probed lattice site.
         method: ``"density"`` for the exact density-matrix evolution (the
             seed behaviour), ``"trajectories"`` for the batched Monte-Carlo
-            unravelling — the scalable path once ``D^2`` no longer fits.
-        n_trajectories: stochastic batch width (``"trajectories"`` only).
-        rng: generator / seed for the trajectory method (defaults to a
+            unravelling once ``D^2`` no longer fits, or ``"mps"`` for the
+            bond-truncated matrix-product-state engine — the only path
+            whose memory is independent of ``D``, for long chains where
+            even one dense statevector is out of reach.
+        n_trajectories: stochastic batch width (``"trajectories"``/``"mps"``).
+        rng: generator / seed for the stochastic methods (defaults to a
             fixed seed so threshold bisection sees a deterministic score).
+        max_bond: MPS bond-dimension cap (``"mps"`` only).
 
     Returns:
         RMS trajectory deviation (0 for epsilon = 0).
     """
     if epsilon < 0:
         raise SimulationError("epsilon must be >= 0")
-    if method not in ("density", "trajectories"):
+    if method not in ("density", "trajectories", "mps"):
         raise SimulationError(f"unknown damage method {method!r}")
     chain = encoding.chain
-    observable = encoding.local_lz_operator(site)
     m_values = _excitation_profile(chain.n_sites)
     dt = t_total / n_steps
     clean_step = encoding.trotter_step(dt)
     if method == "density":
+        observable = encoding.local_lz_operator(site)
         initial = _initial_density(encoding, m_values)
         clean = evolve_observable_trajectory(
             clean_step, n_steps, observable, initial
         )
+    elif method == "mps":
+        local_op, op_targets = encoding.local_lz(site)
+        digits = encoding.product_state_digits(m_values)
+        # Noiseless step: deterministic, one trajectory is exact (up to chi).
+        clean = evolve_observable_trajectory_backend(
+            clean_step, n_steps, local_op, op_targets, digits,
+            method="mps", n_trajectories=1, rng=rng, max_bond=max_bond,
+        )
     else:
+        observable = encoding.local_lz_operator(site)
         digits = encoding.product_state_digits(m_values)
         initial_sv = Statevector.basis(encoding.dims, digits)
         # Noiseless step: a single trajectory is exact (no stochastic jumps).
@@ -105,6 +123,12 @@ def trajectory_damage(
     if method == "density":
         noisy = evolve_observable_trajectory(
             noisy_step, n_steps, observable, initial
+        )
+    elif method == "mps":
+        noisy = evolve_observable_trajectory_backend(
+            noisy_step, n_steps, local_op, op_targets, digits,
+            method="mps", n_trajectories=n_trajectories, rng=rng,
+            max_bond=max_bond,
         )
     else:
         noisy = evolve_observable_trajectory_mc(
@@ -123,6 +147,7 @@ def noise_threshold(
     method: str = "density",
     n_trajectories: int = 128,
     rng: np.random.Generator | int | None = 0,
+    max_bond: int | None = 64,
 ) -> float:
     """Largest epsilon whose trajectory damage stays below ``damage_tol``.
 
@@ -132,10 +157,12 @@ def noise_threshold(
     log-midpoint bisection refines it.
 
     Args:
-        method, n_trajectories, rng: forwarded to
+        method, n_trajectories, rng, max_bond: forwarded to
             :func:`trajectory_damage` — ``method="trajectories"`` scores
             damage with the batched Monte-Carlo engine for registers too
-            large for a density matrix.
+            large for a density matrix, ``method="mps"`` with the
+            bond-truncated MPS engine for chains too long for any dense
+            backend.
 
     Returns:
         Threshold epsilon (clamped to ``eps_hi`` if never exceeded, and to
@@ -151,6 +178,7 @@ def noise_threshold(
             method=method,
             n_trajectories=n_trajectories,
             rng=rng,
+            max_bond=max_bond,
         )
 
     if _damage(eps_hi) < damage_tol:

@@ -25,6 +25,7 @@ __all__ = [
     "trotter_circuit",
     "evolve_observable_trajectory",
     "evolve_observable_trajectory_mc",
+    "evolve_observable_trajectory_backend",
     "exact_observable_trajectory",
 ]
 
@@ -154,6 +155,58 @@ def evolve_observable_trajectory_mc(
     for step in range(n_steps):
         batch = simulator.evolve_states(batch)
         values[step + 1] = _mean_expectation(batch)
+    return values
+
+
+def evolve_observable_trajectory_backend(
+    step_circuit: QuditCircuit,
+    n_steps: int,
+    operator: np.ndarray,
+    targets: int | Sequence[int],
+    initial_digits: Sequence[int],
+    method: str = "mps",
+    n_trajectories: int = 1,
+    rng: np.random.Generator | int | None = None,
+    **backend_options,
+) -> np.ndarray:
+    """Backend-agnostic analogue of :func:`evolve_observable_trajectory`.
+
+    Evolves through the unified registry (:mod:`repro.core.backends`), so
+    the same driver records ``<O(t)>`` on any engine — in particular the
+    MPS backend, whose *local* ``(operator, targets)`` observable form is
+    the only one that scales past ~9 qutrits (a dense embedded operator
+    can no longer be built there).
+
+    Args:
+        step_circuit: one (possibly noise-instrumented) Trotter step.
+        n_steps: repetitions.
+        operator: local operator over the ``targets`` wires only.
+        targets: wire(s) the operator acts on.
+        initial_digits: computational-basis digits of the starting state.
+        method: registered backend name (``"mps"``, ``"density"``, ...).
+        n_trajectories: stochastic width for unravelling backends.
+        rng: generator / seed threaded through all stochastic draws.
+        **backend_options: engine knobs (``max_bond``, ``svd_tol``, ...).
+
+    Returns:
+        Array of ``n_steps + 1`` real expectation values (index 0 is t=0).
+    """
+    from ..core.backends import get_backend
+
+    if n_steps < 1:
+        raise SimulationError("need at least one step")
+    backend = get_backend(method, **backend_options)
+    state = backend.prepare(
+        step_circuit.dims,
+        digits=initial_digits,
+        n_trajectories=n_trajectories,
+        rng=rng,
+    )
+    values = np.empty(n_steps + 1)
+    values[0] = state.expectation(operator, targets)
+    for step in range(n_steps):
+        state = backend.run(step_circuit, initial=state)
+        values[step + 1] = state.expectation(operator, targets)
     return values
 
 

@@ -1,0 +1,113 @@
+"""Tests for single-wire gate-run fusion (statevector + trajectory engines)."""
+
+import numpy as np
+
+from repro.core import QuditCircuit, Statevector, TrajectorySimulator, gates
+from repro.core.random_ops import haar_unitary, random_statevector
+from repro.core.statevector import fused_instructions
+from repro.core.structure import DIAGONAL, PERMUTATION
+
+
+def _reference_evolve(state, circuit):
+    for instruction in circuit:
+        if instruction.kind == "unitary":
+            state = state.apply(instruction.matrix, instruction.qudits)
+    return state
+
+
+class TestFusedInstructions:
+    def test_runs_fused_and_breaks_on_interleaving(self):
+        dims = (3, 4, 2)
+        qc = QuditCircuit(dims)
+        qc.fourier(0)
+        qc.z(0)
+        qc.x(0)  # run of 3 on wire 0
+        qc.csum(0, 1)  # breaks the run
+        qc.z(1)
+        qc.mixer(1, 0.3)  # run of 2 on wire 1
+        qc.fourier(2)  # lone gate stays as-is
+        plan = fused_instructions(qc)
+        assert [p.name for p in plan] == ["fused[3]", "csum", "fused[2]", "fourier"]
+        assert plan[0].qudits == (0,)
+        assert plan[0].params["fused"] == ("fourier", "z", "x")
+
+    def test_fused_product_order_is_correct(self):
+        """Fusion multiplies in application order: last gate leftmost."""
+        dims = (3,)
+        qc = QuditCircuit(dims)
+        qc.fourier(0)
+        qc.z(0)
+        plan = fused_instructions(qc)
+        expected = gates.weyl_z(3) @ gates.fourier(3)
+        np.testing.assert_allclose(plan[0].matrix, expected, atol=1e-14)
+
+    def test_structured_runs_stay_structured(self):
+        """diag*diag stays diagonal; diag*perm collapses to one monomial."""
+        qc = QuditCircuit([4])
+        qc.z(0)
+        qc.snap(0, [0.1, 0.2, 0.3])
+        assert fused_instructions(qc)[0].structure().kind == DIAGONAL
+        qc2 = QuditCircuit([4])
+        qc2.z(0)
+        qc2.x(0)
+        assert fused_instructions(qc2)[0].structure().kind == PERMUTATION
+
+    def test_plan_cached_until_circuit_grows(self):
+        qc = QuditCircuit([3])
+        qc.z(0)
+        qc.x(0)
+        plan = fused_instructions(qc)
+        assert fused_instructions(qc) is plan
+        qc.fourier(0)
+        assert len(fused_instructions(qc)) == 1  # re-fused into one run of 3
+        assert fused_instructions(qc)[0].params["fused"] == ("z", "x", "fourier")
+
+    def test_channels_and_measure_break_runs(self):
+        from repro.core.channels import dephasing
+
+        qc = QuditCircuit([3])
+        qc.z(0)
+        qc.channel(dephasing(3, 0.2).kraus, 0, name="deph")
+        qc.x(0)
+        plan = fused_instructions(qc)
+        assert [p.name for p in plan] == ["z", "deph", "x"]
+
+
+class TestFusedEvolution:
+    def test_statevector_evolve_matches_unfused(self):
+        rng = np.random.default_rng(0)
+        dims = (3, 2, 4)
+        qc = QuditCircuit(dims)
+        for _ in range(3):
+            for wire in (0, 1, 2):
+                qc.unitary(haar_unitary(dims[wire], rng), wire, name="u")
+                qc.z(wire)
+        qc.csum(0, 1)
+        for _ in range(2):
+            qc.unitary(haar_unitary(4, rng), 2, name="u")
+        sv = Statevector(random_statevector(24, rng), dims)
+        np.testing.assert_allclose(
+            sv.evolve(qc).vector,
+            _reference_evolve(sv, qc).vector,
+            atol=1e-12,
+        )
+
+    def test_trajectory_engine_uses_fusion(self):
+        rng = np.random.default_rng(1)
+        dims = (3, 3)
+        qc = QuditCircuit(dims)
+        qc.unitary(haar_unitary(3, rng), 0, name="a")
+        qc.unitary(haar_unitary(3, rng), 0, name="b")
+        qc.csum(0, 1)
+        simulator = TrajectorySimulator(qc, seed=0)
+        plan = simulator._execution_plan()
+        names = [
+            payload.name
+            for kind, payload in plan
+            if kind == "instruction"
+        ]
+        assert "fused[2]" in names
+        final = simulator.run_batch(3)
+        expected = Statevector.zero(dims).evolve(qc).vector
+        for b in range(3):
+            np.testing.assert_allclose(final[:, b], expected, atol=1e-12)

@@ -1,0 +1,87 @@
+"""Tests for backend-agnostic QAOA energy evaluation (repro.qaoa.energy)."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_backend
+from repro.core.exceptions import SimulationError
+from repro.qaoa import (
+    edge_clash_projector,
+    expected_clashes,
+    qaoa_energy,
+    qaoa_state,
+    random_coloring_instance,
+    state_energy,
+)
+
+
+@pytest.fixture
+def problem():
+    return random_coloring_instance(5, 3, degree=3, seed=4)
+
+
+class TestEdgeClashProjector:
+    def test_projects_matching_pairs(self):
+        projector = edge_clash_projector(3)
+        diag = np.diag(projector)
+        matching = [a * 3 + a for a in range(3)]
+        assert all(diag[i] == 1.0 for i in matching)
+        assert diag.sum() == 3
+
+    def test_permutations_remap_pairs(self):
+        perm = ([1, 2, 0], [0, 1, 2])
+        projector = edge_clash_projector(3, perm)
+        diag = np.diag(projector)
+        # pi_u(a) == pi_v(b): a=0 -> 1 matches b=1, etc.
+        assert diag[0 * 3 + 1] == 1.0
+        assert diag[0 * 3 + 0] == 0.0
+        assert diag.sum() == 3
+
+
+class TestQaoaEnergy:
+    def test_statevector_matches_dense_expected_clashes(self, problem):
+        gammas, betas = [0.5, 0.3], [0.4, 0.2]
+        dense = expected_clashes(problem, qaoa_state(problem, gammas, betas))
+        via_backend = qaoa_energy(problem, gammas, betas, method="statevector")
+        assert via_backend == pytest.approx(dense, abs=1e-10)
+
+    def test_mps_full_chi_matches_dense(self, problem):
+        gammas, betas = [0.5], [0.4]
+        dense = expected_clashes(problem, qaoa_state(problem, gammas, betas))
+        via_mps = qaoa_energy(problem, gammas, betas, method="mps")
+        assert via_mps == pytest.approx(dense, abs=1e-8)
+
+    def test_permutations_match_remapped_cost(self, problem):
+        from repro.qaoa.optimizer import _remap_cost_vector
+
+        gammas, betas = [0.5], [0.4]
+        rng = np.random.default_rng(0)
+        perms = [list(rng.permutation(3)) for _ in range(problem.n_nodes)]
+        cost = _remap_cost_vector(problem, problem.cost_vector(), perms)
+        state = qaoa_state(problem, gammas, betas, perms)
+        dense = float(np.dot(state.probabilities(), cost))
+        via_backend = qaoa_energy(
+            problem, gammas, betas, method="statevector", permutations=perms
+        )
+        assert via_backend == pytest.approx(dense, abs=1e-10)
+
+    def test_state_energy_from_result(self, problem):
+        from repro.qaoa import qaoa_circuit
+
+        gammas, betas = [0.6], [0.3]
+        circuit = qaoa_circuit(problem, gammas, betas)
+        result = get_backend("statevector").run(circuit)
+        assert state_energy(problem, result) == pytest.approx(
+            qaoa_energy(problem, gammas, betas), abs=1e-10
+        )
+
+    def test_mismatched_angles_rejected(self, problem):
+        with pytest.raises(SimulationError):
+            qaoa_energy(problem, [0.1, 0.2], [0.1])
+
+    def test_large_instance_through_mps(self):
+        """16 nodes: 3^16 ≈ 43M amplitudes — dense cost vector is out."""
+        big = random_coloring_instance(16, 3, degree=3, seed=7)
+        energy = qaoa_energy(big, [0.6], [0.4], method="mps", max_bond=12)
+        # The energy is a sum of edge clash probabilities in [0, 1].
+        assert 0.0 <= energy <= len(big.edges)

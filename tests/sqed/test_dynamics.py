@@ -183,3 +183,82 @@ class TestNoiseStudy:
             )
             == 0.0
         )
+
+    def test_mps_method_matches_density(self, chain):
+        """MPS-unravelled damage converges to the density-matrix score."""
+        encoding = QuditEncoding(chain)
+        exact = trajectory_damage(encoding, 0.05, t_total=2.0, n_steps=4)
+        sampled = trajectory_damage(
+            encoding,
+            0.05,
+            t_total=2.0,
+            n_steps=4,
+            method="mps",
+            n_trajectories=256,
+            rng=0,
+        )
+        assert sampled > 0
+        assert abs(sampled - exact) < 0.1
+
+    def test_mps_method_clean_is_exact(self, chain):
+        encoding = QuditEncoding(chain)
+        assert (
+            trajectory_damage(
+                encoding, 0.0, t_total=1.0, n_steps=3, method="mps"
+            )
+            == 0.0
+        )
+
+    def test_mps_method_scales_past_dense_reach(self):
+        """A 12-site chain (D = 3^12 ≈ 531k, rho = 2.2 TB) scores damage."""
+        chain12 = RotorChain(n_sites=12, spin=1)
+        encoding = QuditEncoding(chain12)
+        damage = trajectory_damage(
+            encoding,
+            0.05,
+            t_total=1.0,
+            n_steps=3,
+            method="mps",
+            n_trajectories=4,
+            rng=1,
+            max_bond=16,
+        )
+        assert damage > 0
+
+
+class TestBackendObservableDriver:
+    def test_backend_driver_matches_density_driver(self, chain):
+        from repro.core import DensityMatrix, Statevector
+        from repro.sqed.trotter import (
+            evolve_observable_trajectory,
+            evolve_observable_trajectory_backend,
+        )
+
+        encoding = QuditEncoding(chain)
+        step = encoding.trotter_step(0.25)
+        digits = encoding.product_state_digits([1] + [0] * (chain.n_sites - 1))
+        initial = DensityMatrix.from_statevector(
+            Statevector.basis(encoding.dims, digits)
+        )
+        reference = evolve_observable_trajectory(
+            step, 5, encoding.local_lz_operator(0), initial
+        )
+        operator, targets = encoding.local_lz(0)
+        for method in ("density", "mps"):
+            values = evolve_observable_trajectory_backend(
+                step, 5, operator, targets, digits, method=method
+            )
+            np.testing.assert_allclose(values, reference, atol=1e-8)
+
+    def test_qubit_encoding_local_lz_runs_through_mps(self, chain):
+        from repro.sqed.trotter import evolve_observable_trajectory_backend
+
+        encoding = QubitEncoding(chain)
+        operator, targets = encoding.local_lz(0)
+        assert list(targets) == encoding.site_qubits(0)
+        digits = encoding.product_state_digits([0] * chain.n_sites)
+        values = evolve_observable_trajectory_backend(
+            encoding.trotter_step(0.25), 3, operator, targets, digits,
+            method="mps",
+        )
+        assert values.shape == (4,)

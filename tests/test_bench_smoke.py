@@ -42,6 +42,52 @@ def test_core_engine_bench_smoke(tmp_path):
 
 
 @pytest.mark.bench_smoke
+def test_mps_bench_smoke(tmp_path):
+    from bench_mps import run_benchmarks
+
+    out = tmp_path / "BENCH_mps.json"
+    report = run_benchmarks(
+        n_small=4,
+        n_large=10,
+        bond_caps=(4, 8),
+        n_trajectories=32,
+        shots=10,
+        out_path=out,
+    )
+    # Unbounded-chi MPS must match the dense statevector on the anchor.
+    assert report["correctness"]["noiseless_max_amplitude_error"] < 1e-10
+    assert report["correctness"]["full_chi_truncation_error"] < 1e-12
+    scale = report["scale"]
+    assert scale["n_qutrits"] == 10
+    sweep = scale["chi_sweep"]
+    assert [point["max_bond"] for point in sweep] == [4, 8]
+    for point in sweep:
+        assert point["evolve_s"] > 0
+        assert point["peak_bond"] <= point["max_bond"]
+        assert point["truncation_error"] >= 0.0
+        assert 0.0 <= point["qaoa_energy"] <= scale["n_edges"]
+    assert json.loads(out.read_text())["meta"]["benchmark"] == "bench_mps"
+
+
+@pytest.mark.bench_smoke
+def test_committed_bench_mps_json_meets_targets():
+    """The committed BENCH_mps.json must document the scale claim:
+
+    a >= 15-qutrit circuit — beyond any dense backend here — evolved at
+    bounded chi with the truncation error on record.
+    """
+    report = json.loads((REPO_ROOT / "BENCH_mps.json").read_text())
+    assert report["correctness"]["noiseless_max_amplitude_error"] < 1e-10
+    scale = report["scale"]
+    assert scale["n_qutrits"] >= 15
+    # Dense representation is genuinely out of reach (> 1 GiB of amplitudes).
+    assert scale["dense_statevector_gib"] > 1.0
+    for point in scale["chi_sweep"]:
+        assert point["truncation_error"] >= 0.0
+        assert point["peak_bond"] <= point["max_bond"]
+
+
+@pytest.mark.bench_smoke
 def test_committed_bench_core_json_meets_targets():
     """The committed BENCH_core.json must document the required speedups."""
     report = json.loads((REPO_ROOT / "BENCH_core.json").read_text())

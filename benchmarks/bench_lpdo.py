@@ -1,0 +1,212 @@
+"""LPDO backend benchmark — exact noisy evolution past dense-density reach.
+
+Three sections:
+
+1. **Correctness anchor** (small register): a noisy NDAR-style qutrit QAOA
+   circuit where the LPDO backend at *unbounded* bond/Kraus dimension must
+   match the dense density matrix entrywise to 1e-8 — channels applied
+   exactly, zero Monte-Carlo error.  The same observable scored by the MPS
+   backend's stochastic unravelling is recorded alongside, documenting the
+   sampling noise the LPDO engine eliminates.
+
+2. **Scale demonstration**: a 12-qutrit noisy circuit — the dense density
+   matrix would hold ``3^24 ≈ 2.8e11`` entries (~4.1 TiB), far beyond any
+   dense engine — evolved at bounded bond/Kraus caps, reporting wall time,
+   peak legs, and the separate ``truncation_error`` (bond) and
+   ``purification_error`` (Kraus leg) accounts.
+
+3. **sQED noise study**: the paper's encoding-damage score
+   (:func:`repro.sqed.noise_study.trajectory_damage`) on a 12-site rotor
+   chain with ``method="lpdo"`` — exact mixed-state evolution of a
+   register whose density matrix could never be allocated, with no
+   stochastic unravelling in the score.
+
+Run as a script to (re)generate the committed ``BENCH_lpdo.json``::
+
+    PYTHONPATH=src python benchmarks/bench_lpdo.py
+
+The ``bench_smoke`` tier-1 tests call :func:`run_benchmarks` at tiny sizes
+so a regression in the LPDO engine fails tier-1 without slowing the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DensityMatrix, get_backend
+from repro.qaoa import random_coloring_instance
+from repro.qaoa.circuits import add_photon_loss, qaoa_circuit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_lpdo.json"
+
+
+def _ndar_style_circuit(n_nodes: int, loss: float, seed: int = 21):
+    """One NDAR round: p=1 qutrit QAOA on a random graph + photon loss."""
+    problem = random_coloring_instance(
+        n_nodes, 3, degree=min(4, n_nodes - 1), seed=seed
+    )
+    circuit = qaoa_circuit(problem, [0.6], [0.4])
+    return problem, add_photon_loss(circuit, loss)
+
+
+def _bench_correctness(n_nodes: int, n_trajectories: int) -> dict:
+    """Unbounded LPDO vs the dense density matrix on a small register."""
+    _, noisy = _ndar_style_circuit(n_nodes, loss=0.15)
+    exact = DensityMatrix.zero(noisy.dims).evolve(noisy)
+    start = time.perf_counter()
+    lpdo = get_backend("lpdo").run(noisy)
+    lpdo_s = time.perf_counter() - start
+    rho_err = float(
+        np.abs(lpdo.state.to_density_matrix().matrix - exact.matrix).max()
+    )
+    op = np.diag([0.0, 1.0, 2.0])
+    exact_value = float(np.real(exact.expectation(op, 0)))
+    lpdo_value = lpdo.expectation(op, 0)
+    mps = get_backend("mps").run(noisy, n_trajectories=n_trajectories, rng=5)
+    mc_value = mps.expectation(op, 0)
+    return {
+        "register": [3] * n_nodes,
+        "max_density_matrix_error": rho_err,
+        "observable_exact": exact_value,
+        "observable_lpdo": lpdo_value,
+        "observable_lpdo_abs_error": abs(lpdo_value - exact_value),
+        "observable_mps_mc": mc_value,
+        "observable_mps_mc_abs_error": abs(mc_value - exact_value),
+        "mps_n_trajectories": n_trajectories,
+        "lpdo_evolve_s": round(lpdo_s, 4),
+        "truncation_error": lpdo.truncation_error,
+        "purification_error": lpdo.purification_error,
+    }
+
+
+def _bench_scale(
+    n_nodes: int, max_bond: int, max_kraus: int, loss: float, shots: int
+) -> dict:
+    """Bounded-cap exact noisy evolution far beyond dense-density reach."""
+    _, noisy = _ndar_style_circuit(n_nodes, loss=loss)
+    backend = get_backend("lpdo", max_bond=max_bond, max_kraus=max_kraus)
+    start = time.perf_counter()
+    result = backend.run(noisy)
+    evolve_s = time.perf_counter() - start
+    state = result.state
+    start = time.perf_counter()
+    counts = result.sample(shots, rng=8)
+    sample_s = time.perf_counter() - start
+    op = np.diag([0.0, 1.0, 2.0])
+    expectation = result.expectation(op, n_nodes // 2)
+    return {
+        "register": [3] * n_nodes,
+        "n_qutrits": n_nodes,
+        "dense_rho_entries": float(3.0 ** (2 * n_nodes)),
+        "dense_rho_tib": round(3.0 ** (2 * n_nodes) * 16 / 2**40, 1),
+        "n_instructions": len(noisy),
+        "max_bond": max_bond,
+        "max_kraus": max_kraus,
+        "evolve_s": round(evolve_s, 4),
+        "sample_s": round(sample_s, 4),
+        "peak_bond": int(max(state.bond_dimensions())),
+        "peak_kraus": int(max(state.kraus_dimensions())),
+        "truncation_error": float(state.truncation_error),
+        "purification_error": float(state.purification_error),
+        "trace": float(state.trace()),
+        "observable": expectation,
+        "shots": shots,
+        "distinct_outcomes": len(counts),
+    }
+
+
+def _bench_sqed(
+    n_sites: int, epsilon: float, n_steps: int, max_bond: int, max_kraus: int
+) -> dict:
+    """The paper's damage score at a chain length no dense backend reaches."""
+    from repro.sqed.encodings import QuditEncoding
+    from repro.sqed.noise_study import trajectory_damage
+    from repro.sqed.rotor import RotorChain
+
+    chain = RotorChain(n_sites=n_sites, spin=1)
+    encoding = QuditEncoding(chain)
+    start = time.perf_counter()
+    damage = trajectory_damage(
+        encoding,
+        epsilon,
+        t_total=1.0,
+        n_steps=n_steps,
+        method="lpdo",
+        max_bond=max_bond,
+        max_kraus=max_kraus,
+    )
+    damage_s = time.perf_counter() - start
+    return {
+        "n_sites": n_sites,
+        "site_dim": chain.site_dim,
+        "epsilon": epsilon,
+        "n_steps": n_steps,
+        "max_bond": max_bond,
+        "max_kraus": max_kraus,
+        "damage": float(damage),
+        "damage_s": round(damage_s, 4),
+        "stochastic_unravelling": False,
+    }
+
+
+def run_benchmarks(
+    n_small: int = 5,
+    n_large: int = 12,
+    max_bond: int = 24,
+    max_kraus: int = 8,
+    loss: float = 0.1,
+    n_trajectories: int = 200,
+    shots: int = 25,
+    sqed_sites: int = 12,
+    sqed_steps: int = 2,
+    out_path: Path | str | None = None,
+) -> dict:
+    """Run the LPDO benchmark suite and optionally emit JSON.
+
+    Args:
+        n_small: qutrits in the correctness-anchor circuit (dense-checkable).
+        n_large: qutrits in the scale circuit (must exceed dense-rho reach).
+        max_bond: bond cap for the bounded-cap sections.
+        max_kraus: Kraus-leg cap for the bounded-cap sections.
+        loss: per-layer photon-loss probability.
+        n_trajectories: MPS Monte-Carlo width recorded for comparison.
+        shots: samples drawn from the large register.
+        sqed_sites: rotor-chain length for the noise-study section.
+        sqed_steps: Trotter steps in the noise-study section.
+        out_path: where to write the JSON report (``None`` = don't write).
+
+    Returns:
+        The report dictionary (also written to ``out_path`` if given).
+    """
+    correctness = _bench_correctness(n_small, n_trajectories)
+    scale = _bench_scale(n_large, max_bond, max_kraus, loss, shots)
+    sqed = _bench_sqed(sqed_sites, 0.03, sqed_steps, max_bond, max_kraus)
+    report = {
+        "meta": {
+            "benchmark": "bench_lpdo",
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "correctness": correctness,
+        "scale": scale,
+        "sqed_noise_study": sqed,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    report = run_benchmarks(out_path=BENCH_JSON)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

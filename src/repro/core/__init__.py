@@ -26,8 +26,16 @@ error — cost scales with entanglement instead of register size, reaching
 operator-Schmidt bond expansion with no state SVD; non-adjacent two-qudit
 gates route via swap insertion.
 
+**Locally-purified density-MPO backend** (:mod:`repro.core.lpdo`): per-site
+tensors carry a physical, a Kraus (purification), and two bond legs, so
+channels apply *exactly* by growing the Kraus leg — exact noisy evolution
+at entanglement-bounded cost, with separate ``truncation_error`` (bond)
+and ``purification_error`` (Kraus leg) accounting.  The scalable
+replacement for the dense density matrix past ~5 qutrits.
+
 **Backend registry** (:mod:`repro.core.backends`): one dispatch layer —
-``get_backend("statevector" | "density" | "trajectories" | "mps")`` — with
+``get_backend("statevector" | "density" | "trajectories" | "mps" |
+"lpdo")`` — with
 a common ``run(circuit, ...) -> result`` protocol (``expectation``,
 ``sample``, ``probabilities_of``) so workload layers never hard-code a
 simulator.
@@ -84,6 +92,7 @@ from .lindblad import (
     unvectorize_density,
     vectorize_density,
 )
+from .lpdo import LPDOState
 from .mps import MPSState, operator_schmidt_factors
 from .rng import ensure_rng, global_rng, set_global_seed
 from .statevector import Statevector, apply_matrix, apply_matrix_dense, embed_unitary
@@ -97,6 +106,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "LPDOState",
     "MPSState",
     "operator_schmidt_factors",
     "QuditChannel",

@@ -20,8 +20,11 @@ the protocol runs unchanged on any registered engine.
 
 Built-in names: ``"statevector"`` (exact, noiseless, O(D)), ``"density"``
 (exact noisy, O(D^2)), ``"trajectories"`` (stochastic noisy, O(D·B)),
-``"mps"`` (entanglement-bounded, O(n·chi^2·d) — the only one that reaches
-15+ qutrit registers).  Register additional engines with
+``"mps"`` (entanglement-bounded, O(n·chi^2·d) — reaches 15+ qutrit
+registers, but channels are unravelled stochastically), ``"lpdo"``
+(locally-purified density operator: *exact* noisy evolution at
+entanglement-bounded cost, the only engine that is both scalable and free
+of trajectory sampling noise).  Register additional engines with
 :func:`register_backend`.
 """
 
@@ -36,8 +39,9 @@ from .circuit import QuditCircuit
 from .density import DensityMatrix
 from .dims import digits_to_index, index_to_digits, validate_dims
 from .exceptions import SimulationError
+from .lpdo import LPDOState
 from .mps import MPSState
-from .rng import ensure_rng
+from .rng import ensure_rng, sanitize_probabilities
 from .statevector import Statevector, apply_matrix
 from .trajectories import TrajectorySimulator
 
@@ -48,6 +52,7 @@ __all__ = [
     "DensityMatrixBackend",
     "TrajectoryBackend",
     "MPSBackend",
+    "LPDOBackend",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -179,6 +184,7 @@ class DensityResult(BackendResult):
     def __init__(self, state: DensityMatrix) -> None:
         self.state = state
         self.dims = state.dims
+        self._clipped_trace: float | None = None
 
     def expectation(self, operator, targets=None) -> float:
         return float(np.real(self.state.expectation(operator, targets)))
@@ -187,7 +193,14 @@ class DensityResult(BackendResult):
         return self.state.sample(shots, rng=ensure_rng(rng))
 
     def probabilities_of(self, digits) -> float:
-        return float(self.state.probability_of(digits))
+        # Normalised identically to probabilities(): clip the entry and
+        # divide by the *clipped* diagonal sum, so rounding drift (or a
+        # slightly unphysical rho) cannot make the two surfaces disagree.
+        # The normaliser is call-invariant and cached once per result.
+        raw = self.state.probability_of(digits)
+        if self._clipped_trace is None:
+            self._clipped_trace = float(self.state.probabilities().sum())
+        return float(max(raw, 0.0)) / self._clipped_trace
 
     def probabilities(self) -> np.ndarray:
         probs = self.state.probabilities()
@@ -221,6 +234,7 @@ class TrajectoryResult(BackendResult):
         self.batch = batch  # (dim, n_trajectories)
         self.dims = tuple(dims)
         self._rng = rng
+        self._mean_norm_sq: float | None = None
 
     @property
     def n_trajectories(self) -> int:
@@ -240,7 +254,7 @@ class TrajectoryResult(BackendResult):
 
     def sample(self, shots, rng=None):
         rng = ensure_rng(rng if rng is not None else self._rng)
-        probs = self.probabilities()
+        probs = sanitize_probabilities(self.probabilities())
         outcomes = rng.multinomial(shots, probs)
         counts: dict[tuple[int, ...], int] = {}
         for index in np.nonzero(outcomes)[0]:
@@ -248,8 +262,18 @@ class TrajectoryResult(BackendResult):
         return counts
 
     def probabilities_of(self, digits) -> float:
+        # Normalised identically to probabilities(): trajectory norms drift
+        # under non-trace-preserving rounding, so the raw averaged weight
+        # and the renormalised dense vector would otherwise disagree.  The
+        # normalisation is call-invariant, so it is computed once per
+        # result; each query then reads a single row of the batch.
         index = digits_to_index(digits, self.dims)
-        return float((np.abs(self.batch[index]) ** 2).mean())
+        if self._mean_norm_sq is None:
+            self._mean_norm_sq = float(
+                (np.abs(self.batch) ** 2).sum(axis=0).mean()
+            )
+        row = float((np.abs(self.batch[index]) ** 2).mean())
+        return row / self._mean_norm_sq
 
     def probabilities(self) -> np.ndarray:
         probs = (np.abs(self.batch) ** 2).mean(axis=1)
@@ -424,6 +448,118 @@ class MPSBackend(SimulationBackend):
 
 
 # ----------------------------------------------------------------------
+# locally-purified density operator
+# ----------------------------------------------------------------------
+class LPDOResult(BackendResult):
+    """Wraps a final :class:`LPDOState` (exact mixed state, no trajectories)."""
+
+    def __init__(self, state: LPDOState) -> None:
+        self.state = state
+        self.dims = state.dims
+
+    @property
+    def truncation_error(self) -> float:
+        """Cumulative trace weight discarded by bond truncations."""
+        return self.state.truncation_error
+
+    @property
+    def purification_error(self) -> float:
+        """Cumulative trace weight discarded by Kraus-leg truncations."""
+        return self.state.purification_error
+
+    def expectation(self, operator, targets=None) -> float:
+        return float(np.real(self.state.expectation(operator, targets)))
+
+    def sample(self, shots, rng=None):
+        return self.state.sample(shots, rng=rng)
+
+    def probabilities_of(self, digits) -> float:
+        return float(self.state.probabilities_of(digits))
+
+    def probabilities(self) -> np.ndarray:
+        return self.state.probabilities()
+
+
+class LPDOBackend(SimulationBackend):
+    """Exact noisy evolution in locally-purified density-MPO form.
+
+    Channels grow the per-site Kraus leg instead of being sampled, so one
+    run *is* the full mixed-state answer — no trajectory averaging, no
+    Monte-Carlo error — at memory bounded by ``max_bond`` / ``max_kraus``
+    rather than ``D^2``.
+
+    Options: ``max_bond`` (chi cap; ``None`` = exact), ``max_kraus``
+    (Kraus-leg cap; ``None`` = exact-rank lossless recompression only),
+    ``svd_tol``.
+    """
+
+    name = "lpdo"
+
+    #: Distinguishes "option not supplied" from an explicit ``None`` so a
+    #: cap carried in by the initial state is only overridden on request.
+    _UNSET = object()
+
+    def _run(
+        self,
+        circuit,
+        initial,
+        max_bond=_UNSET,
+        max_kraus=_UNSET,
+        svd_tol=_UNSET,
+        **options,
+    ) -> LPDOResult:
+        unset = LPDOBackend._UNSET
+        bond = None if max_bond is unset else max_bond
+        kraus = None if max_kraus is unset else max_kraus
+        tol = 1e-12 if svd_tol is unset else svd_tol
+        if isinstance(initial, LPDOResult):
+            initial = initial.state
+        if initial is None:
+            state = LPDOState.zero(
+                circuit.dims, max_bond=bond, max_kraus=kraus, svd_tol=tol
+            )
+        elif isinstance(initial, LPDOState):
+            state = initial
+        elif isinstance(initial, Statevector):
+            state = LPDOState.from_statevector(
+                initial, max_bond=bond, max_kraus=kraus, svd_tol=tol
+            )
+        elif isinstance(initial, MPSState):
+            # from_mps preserves the MPS's caps, svd_tol, and accumulated
+            # truncation_error; explicit per-call options still override.
+            state = LPDOState.from_mps(initial, max_kraus=kraus)
+            if max_bond is not unset:
+                state.max_bond = bond
+            if svd_tol is not unset:
+                state.svd_tol = tol
+        else:
+            raise SimulationError(
+                f"lpdo backend cannot start from {type(initial).__name__}"
+            )
+        return LPDOResult(state.evolve(circuit))
+
+    def _prepare(
+        self,
+        dims,
+        digits,
+        max_bond=_UNSET,
+        max_kraus=_UNSET,
+        svd_tol=_UNSET,
+        **options,
+    ) -> LPDOResult:
+        unset = LPDOBackend._UNSET
+        return LPDOResult(
+            LPDOState.basis(
+                dims,
+                digits,
+                max_bond=None if max_bond is unset else max_bond,
+                max_kraus=None if max_kraus is unset else max_kraus,
+                svd_tol=1e-12 if svd_tol is unset else svd_tol,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 _BACKENDS: dict[str, type[SimulationBackend]] = {}
@@ -472,3 +608,4 @@ register_backend("statevector", StatevectorBackend)
 register_backend("density", DensityMatrixBackend)
 register_backend("trajectories", TrajectoryBackend)
 register_backend("mps", MPSBackend)
+register_backend("lpdo", LPDOBackend)

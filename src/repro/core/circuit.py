@@ -128,6 +128,10 @@ class QuditCircuit:
         self.dims = validate_dims(dims)
         self.name = name
         self._instructions: list[Instruction] = []
+        #: Mutation counter bumped by every instruction-list mutator —
+        #: caches keyed on it (the fused-instruction plan) can never serve
+        #: a stale entry after a length-preserving replacement.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # container protocol
@@ -177,8 +181,7 @@ class QuditCircuit:
             out *= self.dims[q]
         return out
 
-    def append(self, instruction: Instruction) -> None:
-        """Append a pre-built instruction, validating wire dimensions."""
+    def _validate_instruction(self, instruction: Instruction) -> None:
         wires = self._check_wires(instruction.qudits)
         expected = self._target_dim(wires)
         op = instruction.matrix if instruction.kind == "unitary" else (
@@ -189,7 +192,24 @@ class QuditCircuit:
                 f"{instruction.name!r} has shape {op.shape} but wires {wires} "
                 f"span dimension {expected}"
             )
+
+    def append(self, instruction: Instruction) -> None:
+        """Append a pre-built instruction, validating wire dimensions."""
+        self._validate_instruction(instruction)
         self._instructions.append(instruction)
+        self._version += 1
+
+    def replace_instruction(self, index: int, instruction: Instruction) -> None:
+        """Replace the instruction at ``index`` in place (validated).
+
+        The length-preserving mutator: simulators cache per-circuit
+        execution plans keyed on the mutation counter, so a replacement
+        invalidates them just like an append does.
+        """
+        self._instructions[index]  # raise IndexError before validating
+        self._validate_instruction(instruction)
+        self._instructions[index] = instruction
+        self._version += 1
 
     def unitary(
         self,

@@ -17,7 +17,7 @@ from .channels import QuditChannel
 from .circuit import Instruction, QuditCircuit
 from .dims import digits_to_index, index_to_digits, total_dim, validate_dims
 from .exceptions import DimensionError, SimulationError
-from .rng import ensure_rng
+from .rng import ensure_rng, sanitize_probabilities
 from .statevector import Statevector, apply_matrix, broadcast_over_targets
 from .structure import DIAGONAL, GateStructure, classify_gate
 
@@ -132,6 +132,45 @@ class DensityMatrix:
             out += term
         return out.reshape(self.dim, self.dim)
 
+    def _apply_kraus_batched(
+        self, matrices: Sequence[np.ndarray], targets: tuple[int, ...]
+    ) -> np.ndarray | None:
+        """Whole-family Kraus application as one batched contraction.
+
+        For an ascending contiguous target run both the ket and the bra
+        target axes are contiguous in the ``rho`` tensor, so the state
+        reshapes (view, no copy) to ``(A, d_gate, B, d_gate, C)`` and the
+        entire family applies as a single einsum over the stacked
+        ``(m, d_gate, d_gate)`` operator array — two GEMMs instead of a
+        Python loop of ``2 m`` tensor contractions plus ``m`` accumulation
+        passes.  Returns ``None`` when the targets are not such a run
+        (caller falls back to the per-operator loop).
+        """
+        k = len(targets)
+        first = targets[0]
+        if list(targets) != list(range(first, first + k)):
+            return None
+        n = len(self.dims)
+        size_a = 1
+        for d in self.dims[:first]:
+            size_a *= d
+        size_c = 1
+        for d in self.dims[first + k:]:
+            size_c *= d
+        gate_dim = matrices[0].shape[0]
+        stack = np.stack([np.asarray(m, dtype=complex) for m in matrices])
+        rho5 = self._matrix.reshape(
+            size_a, gate_dim, size_c * size_a, gate_dim, size_c
+        )
+        out = np.einsum(
+            "mab,xbycz,mdc->xaydz",
+            stack,
+            rho5,
+            stack.conj(),
+            optimize=True,
+        )
+        return out.reshape(self.dim, self.dim)
+
     def _apply_diagonal_channel(
         self, diags: np.ndarray, targets: tuple[int, ...]
     ) -> np.ndarray:
@@ -156,9 +195,12 @@ class DensityMatrix:
 
         Channels whose Kraus operators are *all* diagonal (dephasing,
         Kerr-type noise, the phase branches of Weyl channels) vectorise to
-        one elementwise multiply; everything else runs the Kraus loop with
-        cached structures, so diagonal/permutation operators still hit the
-        O(D^2) fast kernels without per-call re-classification.
+        one elementwise multiply; non-diagonal families on a contiguous
+        target run batch into a single stacked contraction
+        (:meth:`_apply_kraus_batched`); anything else runs the per-operator
+        loop with cached structures, so diagonal/permutation operators
+        still hit the O(D^2) fast kernels without per-call
+        re-classification.
         """
         structures = instruction.kraus_structures()
         targets = tuple(instruction.qudits)
@@ -167,6 +209,10 @@ class DensityMatrix:
             return DensityMatrix(
                 self._apply_diagonal_channel(diags, targets), self.dims
             )
+        if len(instruction.kraus) > 1:
+            batched = self._apply_kraus_batched(instruction.kraus, targets)
+            if batched is not None:
+                return DensityMatrix(batched, self.dims)
         return DensityMatrix(
             self._apply_local(instruction.kraus, targets, structures), self.dims
         )
@@ -286,8 +332,10 @@ class DensityMatrix:
     ) -> dict[tuple[int, ...], int]:
         """Sample computational-basis outcomes from the diagonal."""
         rng = ensure_rng(rng)
-        probs = self.probabilities()
-        probs = probs / probs.sum()
+        # The diagonal of rho carries tiny negative entries from float
+        # rounding; rng.multinomial raises on them, so clip-and-normalise
+        # through the shared helper.
+        probs = sanitize_probabilities(np.real(np.diag(self._matrix)))
         outcomes = rng.multinomial(shots, probs)
         counts: dict[tuple[int, ...], int] = {}
         for index in np.nonzero(outcomes)[0]:

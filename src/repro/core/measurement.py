@@ -14,7 +14,7 @@ import numpy as np
 
 from .dims import index_to_digits
 from .exceptions import SimulationError
-from .rng import ensure_rng
+from .rng import ensure_rng, sanitize_probabilities
 
 __all__ = [
     "counts_to_frequencies",
@@ -35,11 +35,7 @@ def sample_probabilities(
     if shots < 1:
         raise SimulationError("shots must be >= 1")
     rng = ensure_rng(rng)
-    probs = np.asarray(probabilities, dtype=float).clip(min=0.0)
-    total = probs.sum()
-    if total <= 0:
-        raise SimulationError("probability vector sums to zero")
-    outcomes = rng.multinomial(shots, probs / total)
+    outcomes = rng.multinomial(shots, sanitize_probabilities(probabilities))
     counts: dict[tuple[int, ...], int] = {}
     for index in np.nonzero(outcomes)[0]:
         counts[index_to_digits(int(index), dims)] = int(outcomes[index])

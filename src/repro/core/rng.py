@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "global_rng", "set_global_seed"]
+from .exceptions import SimulationError
+
+__all__ = [
+    "ensure_rng",
+    "global_rng",
+    "set_global_seed",
+    "sanitize_probabilities",
+]
 
 _GLOBAL_RNG: np.random.Generator | None = None
 
@@ -39,6 +46,30 @@ def global_rng() -> np.random.Generator:
     if _GLOBAL_RNG is None:
         _GLOBAL_RNG = np.random.default_rng()
     return _GLOBAL_RNG
+
+
+def sanitize_probabilities(probs: np.ndarray) -> np.ndarray:
+    """Clip float-noise negatives at zero and normalise to a unit sum.
+
+    Every sampler that feeds a probability vector into
+    ``rng.multinomial`` / ``rng.choice`` routes through here: simulated
+    distributions carry tiny negative entries from floating-point
+    rounding (density-matrix diagonals, trajectory averages under
+    non-trace-preserving rounding), and NumPy's samplers raise on any
+    negative entry rather than tolerating them.
+
+    Args:
+        probs: raw (possibly unnormalised, possibly noise-negative)
+            probability vector.
+
+    Raises:
+        SimulationError: if the clipped vector has no probability mass left.
+    """
+    probs = np.clip(np.real(np.asarray(probs)).astype(float), 0.0, None)
+    total = probs.sum()
+    if not total > 0.0:
+        raise SimulationError("probability vector has no positive mass")
+    return probs / total
 
 
 def ensure_rng(

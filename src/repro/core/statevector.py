@@ -25,7 +25,7 @@ import numpy as np
 from .circuit import QuditCircuit
 from .dims import digits_to_index, index_to_digits, strides, total_dim, validate_dims
 from .exceptions import DimensionError, SimulationError
-from .rng import ensure_rng
+from .rng import ensure_rng, sanitize_probabilities
 from .structure import DIAGONAL, PERMUTATION, GateStructure, classify_gate
 
 __all__ = [
@@ -276,12 +276,15 @@ def fused_instructions(circuit: QuditCircuit) -> tuple:
     intervening instruction (another wire, a channel, a measurement) breaks
     the run, so ordering semantics are preserved exactly.
 
-    The plan is cached on the circuit keyed by its length, so repeatedly
-    evolving the same (immutable-so-far) circuit — Trotter step loops —
-    fuses once; appending instructions invalidates the cache.
+    The plan is cached on the circuit keyed by its mutation counter (bumped
+    by every mutator — ``append``, ``replace_instruction``), so repeatedly
+    evolving the same circuit — Trotter step loops — fuses once, while
+    *any* mutation invalidates the cache.  A length-based key would serve a
+    stale plan after a length-preserving instruction replacement.
     """
     cached = getattr(circuit, "_fused_plan", None)
-    if cached is not None and cached[0] == len(circuit):
+    version = getattr(circuit, "_version", None)
+    if cached is not None and cached[0] == version:
         return cached[1]
     plan: list = []
     run: list = []
@@ -295,7 +298,7 @@ def fused_instructions(circuit: QuditCircuit) -> tuple:
         plan.append(instruction)
     _flush_run(plan, run)
     out = tuple(plan)
-    circuit._fused_plan = (len(circuit), out)
+    circuit._fused_plan = (version, out)
     return out
 
 
@@ -498,8 +501,7 @@ class Statevector:
             Mapping from digit tuples to observed counts.
         """
         rng = ensure_rng(rng)
-        probs = self.probabilities()
-        probs = probs / probs.sum()
+        probs = sanitize_probabilities(self.probabilities())
         outcomes = rng.multinomial(shots, probs)
         counts: dict[tuple[int, ...], int] = {}
         for index in np.nonzero(outcomes)[0]:
@@ -518,8 +520,7 @@ class Statevector:
         axis = int(qudit)
         marginal = np.abs(self._tensor) ** 2
         sum_axes = tuple(ax for ax in range(len(self.dims)) if ax != axis)
-        probs = marginal.sum(axis=sum_axes)
-        probs = probs / probs.sum()
+        probs = sanitize_probabilities(marginal.sum(axis=sum_axes))
         outcome = int(rng.choice(len(probs), p=probs))
         collapsed_tensor = np.zeros_like(self._tensor)
         keep = (slice(None),) * axis + (outcome,)

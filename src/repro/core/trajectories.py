@@ -74,9 +74,11 @@ class TrajectorySimulator:
         # Execution plan (lazily built): runs of >= 2 consecutive diagonal
         # unitaries (e.g. a QAOA phase separator, cross-Kerr Trotter layers)
         # are fused into one cached full-register diagonal multiply.  The
-        # cache records the circuit length it was built for so instructions
-        # appended after a run invalidate it.
-        self._exec_plan: tuple[int, list[tuple[str, object]]] | None = None
+        # cache records the circuit's mutation counter so *any* mutation —
+        # appends and length-preserving replacements alike — invalidates
+        # it (and the per-channel jump plans, which are keyed on
+        # instruction identity and could otherwise alias a freed object).
+        self._exec_plan: tuple[object, list[tuple[str, object]]] | None = None
 
     # ------------------------------------------------------------------
     # batched engine
@@ -144,10 +146,17 @@ class TrajectorySimulator:
         >= 2 diagonal unitaries collapses into one precomputed
         full-register diagonal tensor (``"fused_diagonal"`` step) — e.g. a
         14-edge QAOA phase separator becomes a single elementwise multiply.
-        Rebuilt automatically when the circuit has grown since the last run.
+        Rebuilt automatically when the circuit has mutated since the last
+        run (keyed on the circuit's mutation counter, so length-preserving
+        replacements invalidate it too).
         """
-        if self._exec_plan is not None and self._exec_plan[0] == len(self.circuit):
+        version = getattr(self.circuit, "_version", None)
+        if self._exec_plan is not None and self._exec_plan[0] == version:
             return self._exec_plan[1]
+        # A rebuilt plan means the instruction objects may have changed;
+        # drop the id-keyed channel plans so a new instruction allocated at
+        # a freed address can never inherit the old one's weights.
+        self._jump_plans.clear()
         from .statevector import fused_instructions
         from .structure import DIAGONAL
 
@@ -175,7 +184,7 @@ class TrajectorySimulator:
                     continue
             plan.append(("instruction", instructions[i]))
             i += 1
-        self._exec_plan = (len(instructions), plan)
+        self._exec_plan = (version, plan)
         return plan
 
     def _categorical_draw(self, weights: np.ndarray, zero_message: str) -> np.ndarray:

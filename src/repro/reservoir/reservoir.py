@@ -38,13 +38,16 @@ class QuantumReservoir:
             photon-number and quadrature moments, 8 features).
         method: ``'splitstep'`` (the seed direct density-matrix propagator)
             or any registered simulation backend name (``'density'``,
-            ``'mps'``, ...) — each clock period is then executed as a
-            two-wire circuit (driven unitary + per-mode loss channels)
-            through :mod:`repro.core.backends`.  ``'density'`` reproduces
-            the split-step physics exactly; ``'mps'`` is the template for
-            multi-mode reservoirs whose joint space outgrows dense storage.
+            ``'mps'``, ``'lpdo'``, ...) — each clock period is then
+            executed as a two-wire circuit (driven unitary + per-mode loss
+            channels) through :mod:`repro.core.backends`.  ``'density'``
+            reproduces the split-step physics exactly; ``'lpdo'`` is also
+            exact (channels applied through the Kraus leg, no trajectory
+            sampling) while scaling to multi-mode reservoirs whose joint
+            space outgrows dense storage; ``'mps'`` reaches the same sizes
+            but with stochastically unravelled loss.
         backend_options: engine knobs for non-splitstep methods
-            (``max_bond``, ``n_trajectories``, ``rng``, ...).
+            (``max_bond``, ``max_kraus``, ``n_trajectories``, ``rng``, ...).
     """
 
     def __init__(

@@ -61,6 +61,7 @@ def trajectory_damage(
     n_trajectories: int = 128,
     rng: np.random.Generator | int | None = 0,
     max_bond: int | None = 64,
+    max_kraus: int | None = 16,
 ) -> float:
     """RMS deviation of the noisy <Lz_site(t)> trajectory from noiseless.
 
@@ -75,21 +76,25 @@ def trajectory_damage(
         site: probed lattice site.
         method: ``"density"`` for the exact density-matrix evolution (the
             seed behaviour), ``"trajectories"`` for the batched Monte-Carlo
-            unravelling once ``D^2`` no longer fits, or ``"mps"`` for the
-            bond-truncated matrix-product-state engine — the only path
-            whose memory is independent of ``D``, for long chains where
-            even one dense statevector is out of reach.
+            unravelling once ``D^2`` no longer fits, ``"mps"`` for the
+            bond-truncated matrix-product-state engine (memory independent
+            of ``D``, but channels are unravelled stochastically), or
+            ``"lpdo"`` for the locally-purified density-MPO engine —
+            *exact* channel application at MPS-like cost, so damage scores
+            at 9-16 qutrits carry no Monte-Carlo noise at all.
         n_trajectories: stochastic batch width (``"trajectories"``/``"mps"``).
         rng: generator / seed for the stochastic methods (defaults to a
             fixed seed so threshold bisection sees a deterministic score).
-        max_bond: MPS bond-dimension cap (``"mps"`` only).
+        max_bond: bond-dimension cap (``"mps"``/``"lpdo"``).
+        max_kraus: Kraus-leg cap (``"lpdo"`` only; ``None`` keeps the legs
+            at their exact rank).
 
     Returns:
         RMS trajectory deviation (0 for epsilon = 0).
     """
     if epsilon < 0:
         raise SimulationError("epsilon must be >= 0")
-    if method not in ("density", "trajectories", "mps"):
+    if method not in ("density", "trajectories", "mps", "lpdo"):
         raise SimulationError(f"unknown damage method {method!r}")
     chain = encoding.chain
     m_values = _excitation_profile(chain.n_sites)
@@ -108,6 +113,14 @@ def trajectory_damage(
         clean = evolve_observable_trajectory_backend(
             clean_step, n_steps, local_op, op_targets, digits,
             method="mps", n_trajectories=1, rng=rng, max_bond=max_bond,
+        )
+    elif method == "lpdo":
+        local_op, op_targets = encoding.local_lz(site)
+        digits = encoding.product_state_digits(m_values)
+        # Exact (deterministic) noisy evolution: no trajectories, no rng.
+        clean = evolve_observable_trajectory_backend(
+            clean_step, n_steps, local_op, op_targets, digits,
+            method="lpdo", max_bond=max_bond, max_kraus=max_kraus,
         )
     else:
         observable = encoding.local_lz_operator(site)
@@ -130,6 +143,11 @@ def trajectory_damage(
             method="mps", n_trajectories=n_trajectories, rng=rng,
             max_bond=max_bond,
         )
+    elif method == "lpdo":
+        noisy = evolve_observable_trajectory_backend(
+            noisy_step, n_steps, local_op, op_targets, digits,
+            method="lpdo", max_bond=max_bond, max_kraus=max_kraus,
+        )
     else:
         noisy = evolve_observable_trajectory_mc(
             noisy_step, n_steps, observable, initial_sv, n_trajectories, rng=rng
@@ -148,6 +166,7 @@ def noise_threshold(
     n_trajectories: int = 128,
     rng: np.random.Generator | int | None = 0,
     max_bond: int | None = 64,
+    max_kraus: int | None = 16,
 ) -> float:
     """Largest epsilon whose trajectory damage stays below ``damage_tol``.
 
@@ -157,12 +176,14 @@ def noise_threshold(
     log-midpoint bisection refines it.
 
     Args:
-        method, n_trajectories, rng, max_bond: forwarded to
+        method, n_trajectories, rng, max_bond, max_kraus: forwarded to
             :func:`trajectory_damage` — ``method="trajectories"`` scores
             damage with the batched Monte-Carlo engine for registers too
             large for a density matrix, ``method="mps"`` with the
             bond-truncated MPS engine for chains too long for any dense
-            backend.
+            backend, and ``method="lpdo"`` with the locally-purified
+            density-MPO engine, whose damage scores are *exact* (no
+            Monte-Carlo jitter in the bisection) at the same scale.
 
     Returns:
         Threshold epsilon (clamped to ``eps_hi`` if never exceeded, and to
@@ -179,6 +200,7 @@ def noise_threshold(
             n_trajectories=n_trajectories,
             rng=rng,
             max_bond=max_bond,
+            max_kraus=max_kraus,
         )
 
     if _damage(eps_hi) < damage_tol:

@@ -25,13 +25,18 @@ from repro.core.exceptions import SimulationError
 DIMS = (3, 2, 3)
 OBSERVABLE = np.diag([0.0, 1.0, 2.0])
 
-#: Monte-Carlo options making the stochastic engines statistically tight.
+#: Monte-Carlo options making the stochastic engines statistically tight
+#: (the exact engines — density, lpdo — need none).
 BACKEND_OPTIONS = {
     "statevector": {},
     "density": {},
     "trajectories": {"n_trajectories": 4000, "rng": 1},
     "mps": {"n_trajectories": 1500, "rng": 2},
+    "lpdo": {},
 }
+
+#: Engines whose noisy answers are exact (tolerance 1e-10, not Monte-Carlo).
+EXACT_NOISY = {"density", "lpdo"}
 
 
 def _noiseless_circuit() -> QuditCircuit:
@@ -57,6 +62,7 @@ class TestRegistry:
             "density",
             "trajectories",
             "mps",
+            "lpdo",
         }
 
     def test_unknown_backend_raises(self):
@@ -107,7 +113,7 @@ class TestCrossBackendAgreement:
             reference, abs=1e-10
         )
 
-    @pytest.mark.parametrize("name", ["density", "trajectories", "mps"])
+    @pytest.mark.parametrize("name", ["density", "trajectories", "mps", "lpdo"])
     def test_noisy_expectation_matches_exact_density(self, name):
         exact = float(
             np.real(
@@ -117,7 +123,7 @@ class TestCrossBackendAgreement:
             )
         )
         result = get_backend(name).run(_noisy_circuit(), **BACKEND_OPTIONS[name])
-        tolerance = 1e-10 if name == "density" else 0.05
+        tolerance = 1e-10 if name in EXACT_NOISY else 0.05
         assert result.expectation(OBSERVABLE, 0) == pytest.approx(
             exact, abs=tolerance
         )
@@ -133,7 +139,7 @@ class TestCrossBackendAgreement:
             _noiseless_circuit() if name == "statevector" else _noisy_circuit()
         )
         result = get_backend(name).run(circuit, **BACKEND_OPTIONS[name])
-        tolerance = 1e-10 if name in ("statevector", "density") else 0.05
+        tolerance = 1e-10 if name in EXACT_NOISY | {"statevector"} else 0.05
         np.testing.assert_allclose(
             result.probabilities(), reference.probabilities(), atol=tolerance
         )
@@ -195,7 +201,7 @@ class TestSeedReplay:
 class TestStepwiseEvolution:
     """prepare() + run(initial=...) chains match one-shot evolution."""
 
-    @pytest.mark.parametrize("name", ["statevector", "density", "mps"])
+    @pytest.mark.parametrize("name", ["statevector", "density", "mps", "lpdo"])
     def test_stepwise_matches_oneshot(self, name):
         circuit = _noiseless_circuit()
         backend = get_backend(name)
@@ -248,6 +254,155 @@ class TestBackendErrors:
         )
         assert result.truncation_error >= 0.0
         assert isinstance(result.truncation_error, float)
+
+
+class TestLPDOBackend:
+    """The locally-purified engine: exact noisy answers, tracked errors."""
+
+    def test_noisy_run_is_deterministic(self):
+        first = get_backend("lpdo").run(_noisy_circuit())
+        second = get_backend("lpdo").run(_noisy_circuit())
+        assert first.expectation(OBSERVABLE, 0) == second.expectation(
+            OBSERVABLE, 0
+        )
+        np.testing.assert_array_equal(
+            first.probabilities(), second.probabilities()
+        )
+
+    def test_noisy_stepwise_matches_oneshot_exactly(self):
+        """Unlike mps/trajectories, noisy stepwise evolution is exact."""
+        circuit = _noisy_circuit()
+        backend = get_backend("lpdo")
+        state = backend.prepare(DIMS)
+        for _ in range(3):
+            state = backend.run(circuit, initial=state)
+        oneshot = backend.run(circuit.repeated(3))
+        assert state.expectation(OBSERVABLE, 0) == pytest.approx(
+            oneshot.expectation(OBSERVABLE, 0), abs=1e-9
+        )
+        exact = DensityMatrix.zero(DIMS).evolve(_noisy_circuit().repeated(3))
+        assert state.expectation(OBSERVABLE, 0) == pytest.approx(
+            float(np.real(exact.expectation(OBSERVABLE, 0))), abs=1e-8
+        )
+
+    def test_error_counters_surfaced(self):
+        result = get_backend("lpdo", max_bond=2, max_kraus=2).run(
+            _noisy_circuit().repeated(3)
+        )
+        assert isinstance(result.truncation_error, float)
+        assert isinstance(result.purification_error, float)
+        assert result.purification_error > 0.0
+
+    def test_initial_mps_carries_caps_and_error_account(self):
+        """Starting from a bounded-chi MPS must keep its caps and its
+        accumulated truncation_error unless options explicitly override."""
+        big = QuditCircuit((3,) * 8)
+        for i in range(8):
+            big.fourier(i)
+        for i in range(7):
+            big.controlled_phase(i, i + 1, 0.9)
+        mps = MPSState.zero((3,) * 8, max_bond=2).evolve(big)
+        assert mps.truncation_error > 0
+        big.channel(photon_loss(3, 0.1).kraus, 0, name="loss")
+        carried = get_backend("lpdo").run(big, initial=mps)
+        assert carried.state.max_bond == 2
+        assert carried.truncation_error >= mps.truncation_error
+        overridden = get_backend("lpdo", max_bond=8).run(big, initial=mps)
+        assert overridden.state.max_bond == 8
+
+    def test_initial_domain_states_accepted(self):
+        circuit = _noiseless_circuit()
+        reference = get_backend("lpdo").run(circuit).expectation(OBSERVABLE, 0)
+        sv = Statevector.zero(DIMS)
+        assert get_backend("lpdo").run(circuit, initial=sv).expectation(
+            OBSERVABLE, 0
+        ) == pytest.approx(reference, abs=1e-10)
+        mps = MPSState.zero(DIMS)
+        assert get_backend("lpdo").run(circuit, initial=mps).expectation(
+            OBSERVABLE, 0
+        ) == pytest.approx(reference, abs=1e-10)
+        with pytest.raises(SimulationError):
+            get_backend("lpdo").run(circuit, initial=DensityMatrix.zero(DIMS))
+
+
+class TestProbabilitiesOfNormalization:
+    """Regression: probabilities_of must renormalise exactly like
+    probabilities(), even when trajectory norms / traces drift."""
+
+    def test_trajectory_result_consistent_under_norm_drift(self):
+        from repro.core.backends import TrajectoryResult
+
+        rng = np.random.default_rng(0)
+        dims = (2, 3)
+        # Trajectories with *different* norms (non-trace-preserving drift).
+        batch = rng.normal(size=(6, 4)) + 1j * rng.normal(size=(6, 4))
+        batch[:, 1] *= 0.7
+        batch[:, 3] *= 1.4
+        result = TrajectoryResult(batch, dims, rng)
+        for index in range(6):
+            digits = tuple(int(x) for x in np.unravel_index(index, dims))
+            assert result.probabilities_of(digits) == pytest.approx(
+                float(result.probabilities()[index]), abs=1e-14
+            )
+
+    def test_density_result_consistent_under_trace_drift(self):
+        from repro.core.backends import DensityResult
+
+        rng = np.random.default_rng(1)
+        dims = (2, 2)
+        mat = rng.normal(size=(4, 4))
+        rho = mat @ mat.T  # positive, trace != 1
+        result = DensityResult(DensityMatrix(rho.astype(complex), dims))
+        for index in range(4):
+            digits = tuple(int(x) for x in np.unravel_index(index, dims))
+            assert result.probabilities_of(digits) == pytest.approx(
+                float(result.probabilities()[index]), abs=1e-14
+            )
+
+    def test_density_result_consistent_with_negative_diagonal(self):
+        """Both surfaces must use the *clipped* diagonal sum, not the raw
+        trace, or a rounding-negative entry makes them disagree."""
+        from repro.core.backends import DensityResult
+
+        dims = (2, 2)
+        rho = np.diag([0.6, 0.5, -0.1, 0.0]).astype(complex)
+        result = DensityResult(DensityMatrix(rho, dims))
+        for index in range(4):
+            digits = tuple(int(x) for x in np.unravel_index(index, dims))
+            assert result.probabilities_of(digits) == pytest.approx(
+                float(result.probabilities()[index]), abs=1e-14
+            )
+
+
+class TestNegativeProbabilityClipping:
+    """Regression: tiny float-noise negatives must not crash the samplers."""
+
+    def test_density_sample_with_negative_diagonal_noise(self):
+        dims = (2, 2)
+        rho = np.diag([0.5, 0.5, -1e-17, -1e-17]).astype(complex)
+        state = DensityMatrix(rho, dims)
+        counts = state.sample(100, rng=np.random.default_rng(0))
+        assert sum(counts.values()) == 100
+        assert all(digits[0] == 0 for digits in counts)
+
+    def test_trajectory_sample_survives_rounding(self):
+        from repro.core.backends import TrajectoryResult
+
+        rng = np.random.default_rng(2)
+        batch = np.zeros((4, 2), dtype=complex)
+        batch[0] = 1.0
+        result = TrajectoryResult(batch, (2, 2), rng)
+        counts = result.sample(50, rng=3)
+        assert counts == {(0, 0): 50}
+
+    def test_sanitize_probabilities_helper(self):
+        from repro.core.rng import sanitize_probabilities
+
+        probs = sanitize_probabilities(np.array([0.5, -1e-18, 0.25]))
+        assert (probs >= 0).all()
+        assert probs.sum() == pytest.approx(1.0)
+        with pytest.raises(SimulationError):
+            sanitize_probabilities(np.array([-1.0, 0.0]))
 
 
 class TestStepwiseRngContinuation:

@@ -62,6 +62,52 @@ class TestFusedInstructions:
         assert len(fused_instructions(qc)) == 1  # re-fused into one run of 3
         assert fused_instructions(qc)[0].params["fused"] == ("z", "x", "fourier")
 
+    def test_plan_invalidated_by_length_preserving_replacement(self):
+        """Regression: a cache keyed on len(circuit) served a stale plan
+        after replace_instruction — the mutation counter key must not."""
+        from repro.core.circuit import Instruction
+
+        qc = QuditCircuit([3])
+        qc.z(0)
+        qc.x(0)
+        stale = fused_instructions(qc)
+        replacement = Instruction(
+            name="fourier",
+            kind="unitary",
+            qudits=(0,),
+            matrix=gates.fourier(3),
+        )
+        qc.replace_instruction(1, replacement)
+        fresh = fused_instructions(qc)
+        assert fresh is not stale
+        expected = gates.fourier(3) @ gates.weyl_z(3)
+        np.testing.assert_allclose(fresh[0].matrix, expected, atol=1e-14)
+        # The evolved state reflects the replacement, not the stale plan.
+        sv = Statevector.zero([3]).evolve(qc)
+        direct = Statevector.zero([3]).apply(gates.weyl_z(3), 0).apply(
+            gates.fourier(3), 0
+        )
+        np.testing.assert_allclose(sv.vector, direct.vector, atol=1e-12)
+
+    def test_replace_instruction_validates(self):
+        import pytest
+
+        from repro.core.circuit import Instruction
+        from repro.core.exceptions import CircuitError
+
+        qc = QuditCircuit([3, 2])
+        qc.z(0)
+        bad = Instruction(
+            name="wrong-dim",
+            kind="unitary",
+            qudits=(1,),
+            matrix=gates.fourier(3),  # dim 3 gate on a dim-2 wire
+        )
+        with pytest.raises(CircuitError):
+            qc.replace_instruction(0, bad)
+        with pytest.raises(IndexError):
+            qc.replace_instruction(5, qc.instructions[0])
+
     def test_channels_and_measure_break_runs(self):
         from repro.core.channels import dephasing
 
@@ -91,6 +137,30 @@ class TestFusedEvolution:
             _reference_evolve(sv, qc).vector,
             atol=1e-12,
         )
+
+    def test_trajectory_plan_invalidated_by_replacement(self):
+        """Regression: the trajectory execution plan (and the id-keyed
+        channel plans) must rebuild after a length-preserving mutation."""
+        from repro.core.circuit import Instruction
+
+        dims = (3, 3)
+        qc = QuditCircuit(dims)
+        qc.x(0)
+        qc.x(1)
+        simulator = TrajectorySimulator(qc, seed=0)
+        stale = simulator.run_batch(2)
+        qc.replace_instruction(
+            1,
+            Instruction(
+                name="fourier", kind="unitary", qudits=(1,),
+                matrix=gates.fourier(3),
+            ),
+        )
+        fresh = simulator.run_batch(2)
+        expected = Statevector.zero(dims).evolve(qc).vector
+        for b in range(2):
+            np.testing.assert_allclose(fresh[:, b], expected, atol=1e-12)
+        assert np.abs(stale[:, 0] - fresh[:, 0]).max() > 0.1
 
     def test_trajectory_engine_uses_fusion(self):
         rng = np.random.default_rng(1)

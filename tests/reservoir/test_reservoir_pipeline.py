@@ -219,6 +219,22 @@ class TestBackendEvolution:
         ).run(inputs)
         np.testing.assert_allclose(via_backend, reference, atol=1e-10)
 
+    def test_lpdo_backend_tracks_splitstep(self):
+        """Exact-channel LPDO feature trajectories follow the dense
+        split-step reference closely at modest caps — deterministically,
+        with no trajectory sampling noise."""
+        inputs = np.sin(np.linspace(0, 4, 6))
+        reference = QuantumReservoir(self._osc()).run(inputs)
+        options = {"max_bond": 64, "max_kraus": 64}
+        via_lpdo = QuantumReservoir(
+            self._osc(), method="lpdo", backend_options=options
+        ).run(inputs)
+        np.testing.assert_allclose(via_lpdo, reference, atol=1e-3)
+        again = QuantumReservoir(
+            self._osc(), method="lpdo", backend_options=options
+        ).run(inputs)
+        np.testing.assert_allclose(via_lpdo, again, atol=0.0)
+
     def test_mps_backend_runs_and_is_seeded(self):
         inputs = np.linspace(0, 0.5, 5)
         options = {"n_trajectories": 8, "rng": 0, "max_bond": 8}

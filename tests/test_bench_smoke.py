@@ -88,6 +88,69 @@ def test_committed_bench_mps_json_meets_targets():
 
 
 @pytest.mark.bench_smoke
+def test_lpdo_bench_smoke(tmp_path):
+    from bench_lpdo import run_benchmarks
+
+    out = tmp_path / "BENCH_lpdo.json"
+    report = run_benchmarks(
+        n_small=3,
+        n_large=6,
+        max_bond=8,
+        max_kraus=4,
+        n_trajectories=16,
+        shots=10,
+        sqed_sites=4,
+        sqed_steps=1,
+        out_path=out,
+    )
+    # Exact channels: the unbounded LPDO matches the dense density matrix.
+    assert report["correctness"]["max_density_matrix_error"] < 1e-10
+    assert report["correctness"]["observable_lpdo_abs_error"] < 1e-10
+    scale = report["scale"]
+    assert scale["n_qutrits"] == 6
+    assert scale["evolve_s"] > 0
+    assert scale["peak_bond"] <= 8
+    assert scale["peak_kraus"] <= 4
+    assert scale["truncation_error"] >= 0.0
+    assert scale["purification_error"] >= 0.0
+    assert abs(scale["trace"] - 1.0) < 1e-6
+    sqed = report["sqed_noise_study"]
+    assert sqed["damage"] > 0
+    assert sqed["stochastic_unravelling"] is False
+    assert json.loads(out.read_text())["meta"]["benchmark"] == "bench_lpdo"
+
+
+@pytest.mark.bench_smoke
+def test_committed_bench_lpdo_json_meets_targets():
+    """The committed BENCH_lpdo.json must document the acceptance claims:
+
+    unbounded-cap agreement with the dense density matrix at 1e-8, and a
+    12+-qutrit noisy register — whose density matrix (3^24 entries) could
+    never be allocated — evolved with exact channels, no stochastic
+    unravelling, and both truncation accounts on record.
+    """
+    report = json.loads((REPO_ROOT / "BENCH_lpdo.json").read_text())
+    assert report["correctness"]["max_density_matrix_error"] < 1e-8
+    assert report["correctness"]["observable_lpdo_abs_error"] < 1e-8
+    # The stochastic MPS score carries visible Monte-Carlo noise; the LPDO
+    # score must beat it by orders of magnitude.
+    assert (
+        report["correctness"]["observable_lpdo_abs_error"]
+        < report["correctness"]["observable_mps_mc_abs_error"] * 1e-3
+    )
+    scale = report["scale"]
+    assert scale["n_qutrits"] >= 12
+    assert scale["dense_rho_tib"] > 1.0  # genuinely beyond dense reach
+    assert scale["truncation_error"] >= 0.0
+    assert scale["purification_error"] >= 0.0
+    assert abs(scale["trace"] - 1.0) < 1e-6
+    sqed = report["sqed_noise_study"]
+    assert sqed["n_sites"] >= 12
+    assert sqed["damage"] > 0
+    assert sqed["stochastic_unravelling"] is False
+
+
+@pytest.mark.bench_smoke
 def test_committed_bench_core_json_meets_targets():
     """The committed BENCH_core.json must document the required speedups."""
     report = json.loads((REPO_ROOT / "BENCH_core.json").read_text())

@@ -6,6 +6,9 @@ Superconducting Qudit Processors" (Venturelli et al., DSN 2025).
 The package is organised as:
 
 * :mod:`repro.core` — qudit circuit IR, gate library, simulators.
+* :mod:`repro.exec` — campaign orchestration: declarative sweeps, a
+  process-parallel runner, a content-addressed result cache, and
+  cost-model backend auto-selection (``get_backend("auto")``).
 * :mod:`repro.hardware` — parametric model of the multi-cavity QPU.
 * :mod:`repro.compile` — noise-aware mapping, routing, gate synthesis.
 * :mod:`repro.sqed` — U(1) lattice gauge simulation application.

@@ -35,10 +35,12 @@ replacement for the dense density matrix past ~5 qutrits.
 
 **Backend registry** (:mod:`repro.core.backends`): one dispatch layer —
 ``get_backend("statevector" | "density" | "trajectories" | "mps" |
-"lpdo")`` — with
+"lpdo" | "auto")`` — with
 a common ``run(circuit, ...) -> result`` protocol (``expectation``,
 ``sample``, ``probabilities_of``) so workload layers never hard-code a
-simulator.
+simulator.  ``"auto"`` defers to the calibrated cost model in
+:mod:`repro.exec.costmodel`, which picks an engine per circuit from
+register dims, noise content, requested observables, and memory budget.
 
 **Reproducible randomness** (:mod:`repro.core.rng`): every sampler accepts
 a generator, an integer seed, or ``None`` for the shared process-wide

@@ -575,6 +575,8 @@ def register_backend(
         backend_cls: a :class:`SimulationBackend` subclass.
         overwrite: allow replacing an existing registration.
     """
+    if name == "auto":
+        raise SimulationError("'auto' is reserved for the cost-model dispatcher")
     if not overwrite and name in _BACKENDS:
         raise SimulationError(f"backend {name!r} is already registered")
     if not (isinstance(backend_cls, type) and issubclass(backend_cls, SimulationBackend)):
@@ -585,11 +587,21 @@ def register_backend(
 def get_backend(name: str, **defaults) -> SimulationBackend:
     """Instantiate a registered backend with option defaults.
 
+    ``"auto"`` resolves to the cost-model dispatcher
+    (:class:`repro.exec.costmodel.AutoBackend`), which picks one of the
+    registered engines per circuit from register dims, noise content,
+    requested observables, and the memory budget.  The import is lazy so
+    the core package never depends on the execution layer at import time.
+
     Args:
         name: one of :func:`available_backends`.
         **defaults: options applied to every ``run`` / ``prepare`` call
             unless overridden per call.
     """
+    if name == "auto":
+        from ..exec.costmodel import AutoBackend  # lazy: avoids a cycle
+
+        return AutoBackend(**defaults)
     try:
         backend_cls = _BACKENDS[name]
     except KeyError:
@@ -600,8 +612,8 @@ def get_backend(name: str, **defaults) -> SimulationBackend:
 
 
 def available_backends() -> tuple[str, ...]:
-    """Sorted names of all registered backends."""
-    return tuple(sorted(_BACKENDS))
+    """Sorted names of all registered backends (plus the ``auto`` dispatcher)."""
+    return tuple(sorted([*_BACKENDS, "auto"]))
 
 
 register_backend("statevector", StatevectorBackend)

@@ -15,6 +15,7 @@ Instructions fall into three kinds:
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
@@ -99,6 +100,28 @@ class Instruction:
     def is_entangling(self) -> bool:
         """True for unitaries touching two or more wires."""
         return self.kind == "unitary" and self.num_qudits >= 2
+
+    def feed_fingerprint(self, hasher) -> None:
+        """Feed this instruction's *content* into a hash object.
+
+        Covers everything that affects simulation semantics — name, kind,
+        wires, and the exact bytes (with dtype and shape) of the matrix /
+        Kraus family — so two instructions hash alike iff they act
+        identically.  ``params`` are deliberately excluded: they are
+        free-form metadata already reflected in the matrices.
+        """
+        hasher.update(
+            f"{self.name}|{self.kind}|{self.qudits}".encode()
+        )
+        arrays = []
+        if self.matrix is not None:
+            arrays.append(self.matrix)
+        if self.kraus is not None:
+            arrays.extend(self.kraus)
+        for arr in arrays:
+            arr = np.ascontiguousarray(arr)
+            hasher.update(f"{arr.dtype.str}|{arr.shape}".encode())
+            hasher.update(arr.tobytes())
 
     def dagger(self) -> "Instruction":
         """Adjoint instruction (unitaries only)."""
@@ -411,6 +434,29 @@ class QuditCircuit:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of the circuit (hex digest).
+
+        Two circuits share a fingerprint iff they have the same register
+        dims and instruction-by-instruction identical content (names,
+        kinds, wires, exact matrix / Kraus bytes).  The digest is computed
+        with :mod:`hashlib`, so it is identical across processes and
+        Python sessions — this is the circuit's identity in the campaign
+        result cache (:mod:`repro.exec.cache`).  Memoised per mutation
+        counter, so repeated cache lookups on an unchanged circuit hash
+        once.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        hasher = hashlib.sha256()
+        hasher.update(f"dims={self.dims}".encode())
+        for instruction in self._instructions:
+            instruction.feed_fingerprint(hasher)
+        digest = hasher.hexdigest()
+        self._fingerprint = (self._version, digest)
+        return digest
+
     def count_ops(self) -> dict[str, int]:
         """Histogram of instruction names."""
         out: dict[str, int] = {}

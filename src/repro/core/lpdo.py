@@ -49,6 +49,7 @@ from .exceptions import DimensionError, SimulationError
 from .mps import MPSState, _classify_observable, _sorted_gate, operator_schmidt_factors
 from .rng import ensure_rng, sanitize_probabilities
 from .structure import DIAGONAL, PERMUTATION, GateStructure, classify_gate
+from .tensor_utils import qr_step_left, qr_step_right, truncated_svd
 
 __all__ = ["LPDOState"]
 
@@ -265,25 +266,13 @@ class LPDOState:
     # ------------------------------------------------------------------
     def _qr_step_right(self, i: int) -> None:
         """Left-orthogonalise site ``i``, absorbing the remainder rightward."""
-        t = self._tensors[i]
-        l, d, k, r = t.shape
-        q, rem = np.linalg.qr(t.reshape(l * d * k, r))
-        self._tensors[i] = q.reshape(l, d, k, -1)
-        self._tensors[i + 1] = np.einsum(
-            "ab,bdkr->adkr", rem, self._tensors[i + 1]
-        )
+        qr_step_right(self._tensors, i)
         self._lo = i + 1
         self._hi = max(self._hi, i + 1)
 
     def _qr_step_left(self, i: int) -> None:
         """Right-orthogonalise site ``i``, absorbing the remainder leftward."""
-        t = self._tensors[i]
-        l, d, k, r = t.shape
-        q, rem = np.linalg.qr(t.reshape(l, d * k * r).conj().T)
-        self._tensors[i] = q.conj().T.reshape(-1, d, k, r)
-        self._tensors[i - 1] = np.einsum(
-            "ldks,as->ldka", self._tensors[i - 1], rem.conj()
-        )
+        qr_step_left(self._tensors, i)
         self._hi = i - 1
         self._lo = min(self._lo, i - 1)
 
@@ -322,20 +311,12 @@ class LPDOState:
         :attr:`truncation_error`, and rescales the kept spectrum so
         ``Tr(rho)`` is preserved.
         """
-        u, s, vh = np.linalg.svd(mat, full_matrices=False)
-        if s[0] <= 0:
-            raise SimulationError("cannot split a zero theta tensor")
-        keep = s > self.svd_tol * s[0]
-        if self.max_bond is not None:
-            keep[self.max_bond:] = False
-        keep[0] = True  # always keep at least one state
-        total = float(np.sum(s**2))
-        kept = float(np.sum(s[keep] ** 2))
-        discarded = 1.0 - kept / total
+        left, right, discarded = truncated_svd(
+            mat, max_keep=self.max_bond, rel_tol=self.svd_tol
+        )
         if discarded > 1e-16:
             self.truncation_error += discarded
-        s = s[keep] * np.sqrt(total / kept)
-        return u[:, keep], s[:, None] * vh[keep]
+        return left, right
 
     def _split_run(self, start: int, theta: np.ndarray) -> None:
         """Split a merged ``(l, d_1, k_1, .., d_m, k_m, r)`` theta into sites.
@@ -382,23 +363,15 @@ class LPDOState:
         """
         t = self._tensors[i]
         l, d, k, r = t.shape
-        u, s, vh = np.linalg.svd(t.reshape(l, d * k * r), full_matrices=False)
-        if s[0] <= 0:
-            raise SimulationError("cannot split a zero theta tensor")
-        keep = s > self.svd_tol * s[0]
-        if self.max_bond is not None:
-            keep[self.max_bond:] = False
-        keep[0] = True
-        total = float(np.sum(s**2))
-        kept = float(np.sum(s[keep] ** 2))
-        discarded = 1.0 - kept / total
+        left, right, discarded = truncated_svd(
+            t.reshape(l, d * k * r), max_keep=self.max_bond, rel_tol=self.svd_tol
+        )
         if discarded > 1e-16:
             self.truncation_error += discarded
-        s = s[keep] * np.sqrt(total / kept)
         self._tensors[i - 1] = np.tensordot(
-            self._tensors[i - 1], u[:, keep], axes=(3, 0)
+            self._tensors[i - 1], left, axes=(3, 0)
         )
-        self._tensors[i] = (s[:, None] * vh[keep]).reshape(-1, d, k, r)
+        self._tensors[i] = right.reshape(-1, d, k, r)
 
     def _truncate_kraus(self, site: int) -> None:
         """Recompress site ``site``'s Kraus leg after a channel grew it.

@@ -47,6 +47,7 @@ from .dims import validate_dims
 from .exceptions import DimensionError, SimulationError
 from .rng import ensure_rng
 from .structure import DIAGONAL, PERMUTATION, GateStructure, classify_gate
+from .tensor_utils import qr_step_left, qr_step_right, truncated_svd
 
 __all__ = ["MPSState", "operator_schmidt_factors"]
 
@@ -339,25 +340,13 @@ class MPSState:
     # ------------------------------------------------------------------
     def _qr_step_right(self, i: int) -> None:
         """Left-orthogonalise site ``i``, absorbing the remainder rightward."""
-        t = self._tensors[i]
-        l, d, r = t.shape
-        q, rem = np.linalg.qr(t.reshape(l * d, r))
-        self._tensors[i] = q.reshape(l, d, -1)
-        self._tensors[i + 1] = np.einsum(
-            "ab,bdr->adr", rem, self._tensors[i + 1]
-        )
+        qr_step_right(self._tensors, i)
         self._lo = i + 1
         self._hi = max(self._hi, i + 1)
 
     def _qr_step_left(self, i: int) -> None:
         """Right-orthogonalise site ``i``, absorbing the remainder leftward."""
-        t = self._tensors[i]
-        l, d, r = t.shape
-        q, rem = np.linalg.qr(t.reshape(l, d * r).conj().T)
-        self._tensors[i] = q.conj().T.reshape(-1, d, r)
-        self._tensors[i - 1] = np.einsum(
-            "lds,as->lda", self._tensors[i - 1], rem.conj()
-        )
+        qr_step_left(self._tensors, i)
         self._hi = i - 1
         self._lo = min(self._lo, i - 1)
 
@@ -402,20 +391,12 @@ class MPSState:
         :attr:`truncation_error`, and rescales the kept spectrum so the
         state norm is preserved.
         """
-        u, s, vh = np.linalg.svd(mat, full_matrices=False)
-        if s[0] <= 0:
-            raise SimulationError("cannot split a zero theta tensor")
-        keep = s > self.svd_tol * s[0]
-        if self.max_bond is not None:
-            keep[self.max_bond:] = False
-        keep[0] = True  # always keep at least one state
-        total = float(np.sum(s**2))
-        kept = float(np.sum(s[keep] ** 2))
-        discarded = 1.0 - kept / total
+        left, right, discarded = truncated_svd(
+            mat, max_keep=self.max_bond, rel_tol=self.svd_tol
+        )
         if discarded > 1e-16:
             self.truncation_error += discarded
-        s = s[keep] * np.sqrt(total / kept)
-        return u[:, keep], s[:, None] * vh[keep]
+        return left, right
 
     def _split_run(self, start: int, theta: np.ndarray) -> None:
         """Split a merged ``(l, d_1..d_k, r)`` theta back into site tensors.

@@ -24,6 +24,8 @@ __all__ = [
     "global_rng",
     "set_global_seed",
     "sanitize_probabilities",
+    "spawn_seeds",
+    "derive_seed",
 ]
 
 _GLOBAL_RNG: np.random.Generator | None = None
@@ -70,6 +72,50 @@ def sanitize_probabilities(probs: np.ndarray) -> np.ndarray:
     if not total > 0.0:
         raise SimulationError("probability vector has no positive mass")
     return probs / total
+
+
+def spawn_seeds(seed: int | None, n: int) -> list[int]:
+    """Derive ``n`` independent integer seeds from one root seed.
+
+    Uses PCG64's :class:`numpy.random.SeedSequence` spawning, so the child
+    streams are statistically independent of each other *and* of a
+    generator seeded with the root itself.  Child ``i`` depends only on
+    ``(seed, i)`` — never on how many draws any other child consumed — so
+    a loop seeded this way produces bit-identical results whether its
+    iterations run serially, in any order, or in parallel worker
+    processes.  This is the seed-derivation rule used everywhere the
+    toolkit fans one seed out over iterations: campaign points, NDAR
+    rounds, shot-budget sweeps, trajectory chunks.
+
+    Args:
+        seed: root seed (``None`` spawns from OS entropy — reproducible
+            only within the returned list's own consistency).
+        n: number of child seeds.
+
+    Returns:
+        ``n`` non-negative python ints, each usable wherever an ``rng``
+        seed is accepted.
+    """
+    if n < 0:
+        raise SimulationError("cannot spawn a negative number of seeds")
+    root = np.random.SeedSequence(seed)
+    return [
+        int(child.generate_state(2, np.uint64)[0])
+        for child in root.spawn(n)
+    ]
+
+
+def derive_seed(rng: np.random.Generator | int | None) -> int:
+    """One integer seed from an ``rng`` argument, suitable for spawning.
+
+    An integer passes through unchanged (so ``spawn_seeds(derive_seed(s),
+    n)`` is deterministic in ``s``); a generator contributes one draw from
+    its stream; ``None`` draws from the shared global generator.
+    """
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    gen = ensure_rng(rng)
+    return int(gen.integers(0, 2**63))
 
 
 def ensure_rng(

@@ -1,0 +1,91 @@
+"""Shared canonical-form and truncation kernels for tensor-network states.
+
+:class:`~repro.core.mps.MPSState` stores rank-3 site tensors
+``(chi_l, d, chi_r)``; :class:`~repro.core.lpdo.LPDOState` stores rank-4
+tensors ``(chi_l, d, kappa, chi_r)`` — an MPS *is* an LPDO with every Kraus
+leg of size 1.  Both classes previously carried their own copies of the QR
+orthogonalisation sweeps and the truncated-SVD bond split, differing only
+in how many middle legs sit between the two bonds.  The helpers here work
+on the *joint* middle leg (everything between the first and last axis is
+flattened for the factorisation and restored afterwards), so one
+implementation serves both representations — and any future tensor with
+extra per-site legs.
+
+All helpers mutate the caller's tensor list in place (matching the
+previous private methods) and never touch the canonical-interval
+bookkeeping, which stays in the owning class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exceptions import SimulationError
+
+__all__ = ["qr_step_right", "qr_step_left", "truncated_svd"]
+
+
+def qr_step_right(tensors: list[np.ndarray], i: int) -> None:
+    """Left-orthogonalise site ``i``, absorbing the QR remainder rightward.
+
+    Works for any site-tensor rank >= 3: the leading bond and all middle
+    legs are flattened into the QR's row space, so the joint
+    ``(physical, Kraus, ...)`` leg is orthogonalised as one unit.
+    """
+    t = tensors[i]
+    l, r = t.shape[0], t.shape[-1]
+    mid = t.shape[1:-1]
+    q, rem = np.linalg.qr(t.reshape(l * int(np.prod(mid)), r))
+    tensors[i] = q.reshape((l,) + mid + (-1,))
+    tensors[i + 1] = np.tensordot(rem, tensors[i + 1], axes=(1, 0))
+
+
+def qr_step_left(tensors: list[np.ndarray], i: int) -> None:
+    """Right-orthogonalise site ``i``, absorbing the QR remainder leftward."""
+    t = tensors[i]
+    l = t.shape[0]
+    mid = t.shape[1:-1]
+    r = t.shape[-1]
+    q, rem = np.linalg.qr(t.reshape(l, int(np.prod(mid)) * r).conj().T)
+    tensors[i] = q.conj().T.reshape((-1,) + mid + (r,))
+    prev = tensors[i - 1]
+    tensors[i - 1] = np.tensordot(prev, rem.conj(), axes=(prev.ndim - 1, 1))
+
+
+def truncated_svd(
+    mat: np.ndarray,
+    *,
+    max_keep: int | None,
+    rel_tol: float,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Truncated SVD split with norm-preserving rescaling.
+
+    Keeps at most ``max_keep`` singular values above ``rel_tol * s_max``
+    (always at least one), rescales the kept spectrum so the Frobenius
+    norm — the state norm / trace for MPS / LPDO splits — is preserved,
+    and reports the discarded weight fraction for the caller's truncation
+    account.
+
+    Args:
+        mat: the flattened theta matrix to split.
+        max_keep: cap on the kept rank (``None`` = no cap).
+        rel_tol: relative singular-value cutoff.
+
+    Returns:
+        ``(left, right, discarded)`` with ``left`` the kept columns of
+        ``U``, ``right`` the kept rows of ``S @ Vh`` (spectrum rescaled),
+        and ``discarded`` the weight fraction lost (0.0 when the split is
+        exact up to ``rel_tol``).
+    """
+    u, s, vh = np.linalg.svd(mat, full_matrices=False)
+    if s[0] <= 0:
+        raise SimulationError("cannot split a zero theta tensor")
+    keep = s > rel_tol * s[0]
+    if max_keep is not None:
+        keep[max_keep:] = False
+    keep[0] = True  # always keep at least one state
+    total = float(np.sum(s**2))
+    kept = float(np.sum(s[keep] ** 2))
+    discarded = 1.0 - kept / total
+    s = s[keep] * np.sqrt(total / kept)
+    return u[:, keep], s[:, None] * vh[keep], discarded

@@ -33,7 +33,7 @@ import numpy as np
 from .circuit import Instruction, QuditCircuit
 from .dims import index_to_digits, total_dim
 from .exceptions import SimulationError
-from .rng import ensure_rng
+from .rng import derive_seed, ensure_rng, spawn_seeds
 from .statevector import Statevector, apply_matrix, broadcast_over_targets
 
 __all__ = ["TrajectorySimulator"]
@@ -95,17 +95,25 @@ class TrajectorySimulator:
             remaining -= take
         return out
 
-    def evolve_states(self, tensor: np.ndarray) -> np.ndarray:
+    def evolve_states(
+        self, tensor: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         """Run the circuit once over a batch of states.
 
         Args:
             tensor: amplitudes of shape ``circuit.dims + (B,)`` — one
                 trajectory per trailing-axis slice.  A rank-``n`` tensor
                 (no batch axis) is also accepted and evolved as ``B = 1``.
+            rng: generator for the stochastic draws of this run; defaults
+                to the simulator's own stream.  The chunked drivers pass a
+                spawned per-chunk generator here so each chunk's
+                randomness is independent of every other chunk's draw
+                count.
 
         Returns:
             The evolved batch, same shape as the input.
         """
+        rng = self._rng if rng is None else rng
         dims = self.circuit.dims
         squeeze = tensor.ndim == len(dims)
         if squeeze:
@@ -129,11 +137,11 @@ class TrajectorySimulator:
                     structure=instruction.structure(),
                 )
             elif instruction.kind == "channel":
-                tensor = self._jump_batch(tensor, instruction)
+                tensor = self._jump_batch(tensor, instruction, rng)
             elif instruction.kind == "measure":
                 continue
             elif instruction.kind == "reset":
-                tensor = self._reset_batch(tensor, instruction.qudits[0])
+                tensor = self._reset_batch(tensor, instruction.qudits[0], rng)
             else:  # pragma: no cover - validated at circuit build time
                 raise SimulationError(f"unknown kind {instruction.kind}")
         return tensor[..., 0] if squeeze else tensor
@@ -187,13 +195,19 @@ class TrajectorySimulator:
         self._exec_plan = (version, plan)
         return plan
 
-    def _categorical_draw(self, weights: np.ndarray, zero_message: str) -> np.ndarray:
+    def _categorical_draw(
+        self,
+        weights: np.ndarray,
+        zero_message: str,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
         """Vectorised inverse-CDF draw: one category per column of ``weights``.
 
         Args:
             weights: nonnegative array of shape ``(K, B)`` (need not be
                 normalised per column).
             zero_message: error text when a column has zero total weight.
+            rng: generator to draw from (defaults to the simulator stream).
 
         Returns:
             Integer array of shape ``(B,)`` with entries in ``[0, K)``.
@@ -201,7 +215,8 @@ class TrajectorySimulator:
         totals = weights.sum(axis=0)
         if np.any(totals <= 0):
             raise SimulationError(zero_message)
-        draws = self._rng.random(weights.shape[1]) * totals
+        rng = self._rng if rng is None else rng
+        draws = rng.random(weights.shape[1]) * totals
         cumulative = np.cumsum(weights, axis=0)
         return np.minimum(
             (cumulative < draws[None, :]).sum(axis=0), weights.shape[0] - 1
@@ -240,7 +255,12 @@ class TrajectorySimulator:
         self._jump_plans[key] = plan
         return plan
 
-    def _jump_batch(self, tensor: np.ndarray, instruction: Instruction) -> np.ndarray:
+    def _jump_batch(
+        self,
+        tensor: np.ndarray,
+        instruction: Instruction,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
         """Kraus jump on the whole batch: vectorised Born branch selection."""
         dims = self.circuit.dims
         kraus = instruction.kraus
@@ -266,7 +286,7 @@ class TrajectorySimulator:
                 view = cand.view(np.float64).reshape(dim, n_batch, 2)
                 weights[k] = np.einsum("ibc,ibc->b", view, view)
         choice = self._categorical_draw(
-            weights, "all Kraus branches annihilated the state"
+            weights, "all Kraus branches annihilated the state", rng
         )
         norms = np.sqrt(weights[choice, np.arange(n_batch)])
         if candidates is not None:
@@ -299,7 +319,12 @@ class TrajectorySimulator:
         out /= norms[None, :]
         return out.reshape(tensor.shape)
 
-    def _reset_batch(self, tensor: np.ndarray, wire: int) -> np.ndarray:
+    def _reset_batch(
+        self,
+        tensor: np.ndarray,
+        wire: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
         """Measure one wire batch-wide and send every outcome to |0>."""
         dims = self.circuit.dims
         d = dims[wire]
@@ -308,7 +333,7 @@ class TrajectorySimulator:
         flat = moved.reshape(-1, d, n_batch)
         probs = (np.abs(flat) ** 2).sum(axis=0)  # (d, B)
         outcome = self._categorical_draw(
-            probs, "cannot measure a zero-norm trajectory"
+            probs, "cannot measure a zero-norm trajectory", rng
         )
         batch_idx = np.arange(n_batch)
         branch = flat[:, outcome, batch_idx]  # (D/d, B) amplitudes kept
@@ -338,27 +363,44 @@ class TrajectorySimulator:
         dim = initial.dim
         out = np.empty((dim, n_trajectories), dtype=complex)
         start = 0
-        for final in self._iter_batches(n_trajectories, initial):
+        for final, _ in self._iter_batches(n_trajectories, initial):
             size = final.shape[1]
             out[:, start : start + size] = final
             start += size
         return out
 
     def _iter_batches(self, n_trajectories: int, initial: Statevector):
-        """Yield final-state chunks of shape ``(dim, chunk)`` one at a time."""
+        """Yield ``(final_chunk, chunk_rng)`` pairs, one per memory chunk.
+
+        Each chunk evolves under its own generator, seeded through
+        :func:`~repro.core.rng.spawn_seeds` from a single draw on the
+        simulator stream: chunk ``i``'s randomness depends only on that
+        root and ``i`` — never on how many draws earlier chunks consumed —
+        so per-chunk results are reproducible under any chunk execution
+        order (the property the campaign runner's process pool relies on).
+        The chunk generator is yielded alongside the final states so
+        terminal sampling draws stay on the chunk's own stream.
+        """
         dim = initial.dim
-        for size in self._chunk_sizes(n_trajectories):
+        sizes = self._chunk_sizes(n_trajectories)
+        seeds = spawn_seeds(derive_seed(self._rng), len(sizes))
+        for size, seed in zip(sizes, seeds):
             batch = np.ascontiguousarray(
                 np.broadcast_to(
                     initial.tensor[..., None], initial.tensor.shape + (size,)
                 )
             )
-            yield self.evolve_states(batch).reshape(dim, size)
+            gen = np.random.default_rng(seed)
+            yield self.evolve_states(batch, rng=gen).reshape(dim, size), gen
 
-    def _sample_indices(self, flat: np.ndarray) -> np.ndarray:
+    def _sample_indices(
+        self, flat: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         """One Born-sampled basis index per trajectory column."""
         probs = np.abs(flat) ** 2
-        return self._categorical_draw(probs, "cannot sample a zero-norm state")
+        return self._categorical_draw(
+            probs, "cannot sample a zero-norm state", rng
+        )
 
     # ------------------------------------------------------------------
     # reference (unbatched) implementation
@@ -443,8 +485,8 @@ class TrajectorySimulator:
         if initial is None:
             initial = Statevector.zero(self.circuit.dims)
         counts: dict[tuple[int, ...], int] = {}
-        for final in self._iter_batches(shots, initial):
-            indices = self._sample_indices(final)
+        for final, gen in self._iter_batches(shots, initial):
+            indices = self._sample_indices(final, gen)
             values, occurrences = np.unique(indices, return_counts=True)
             for index, count in zip(values, occurrences):
                 digits = index_to_digits(int(index), self.circuit.dims)
@@ -474,7 +516,7 @@ class TrajectorySimulator:
         dims = self.circuit.dims
         values = np.empty(n_trajectories)
         start = 0
-        for final in self._iter_batches(n_trajectories, initial):
+        for final, _ in self._iter_batches(n_trajectories, initial):
             for b in range(final.shape[1]):
                 values[start + b] = observable(Statevector(final[:, b], dims))
             start += final.shape[1]
@@ -506,7 +548,7 @@ class TrajectorySimulator:
         operator = np.asarray(operator, dtype=complex)
         values = np.empty(n_trajectories)
         start = 0
-        for final in self._iter_batches(n_trajectories, initial):
+        for final, _ in self._iter_batches(n_trajectories, initial):
             values[start : start + final.shape[1]] = np.real(
                 np.einsum("ib,ij,jb->b", final.conj(), operator, final)
             )
@@ -532,6 +574,6 @@ class TrajectorySimulator:
                 f"register dim {dim} too large to accumulate a density matrix"
             )
         rho = np.zeros((dim, dim), dtype=complex)
-        for final in self._iter_batches(n_trajectories, initial):
+        for final, _ in self._iter_batches(n_trajectories, initial):
             rho += final @ final.conj().T
         return rho / n_trajectories

@@ -1,0 +1,52 @@
+"""Campaign orchestration: declarative sweeps, parallel execution, caching.
+
+The workload packages turn one circuit into one number; paper-scale
+studies need *thousands* of parameterised runs — noise-threshold
+bisections, restart batteries, training grids.  This subpackage is the
+layer between the two:
+
+* :mod:`repro.exec.sweep` — declarative parameter sweeps (``grid_sweep``,
+  ``zip_sweep``, ``random_sweep``) and the :class:`Campaign` spec, with
+  per-point seeds derived by ``SeedSequence`` spawning so every point is
+  reproducible independent of execution order;
+* :mod:`repro.exec.runner` — :func:`run_campaign`: a
+  ``multiprocessing`` worker pool with chunked scheduling, resumable
+  checkpoints, and deterministic result ordering;
+* :mod:`repro.exec.cache` — a content-addressed on-disk result cache
+  keyed by a stable hash of (task, parameters, seed), so reruns and
+  overlapping campaigns skip completed points;
+* :mod:`repro.exec.costmodel` — the cost model behind
+  ``get_backend("auto")``: picks statevector / density / trajectories /
+  MPS / LPDO from register dims, noise content, requested observables,
+  and the memory budget, using calibration constants from the committed
+  ``BENCH_exec.json``.
+"""
+
+from .cache import ResultCache, point_key, stable_hash
+from .costmodel import AutoBackend, BackendChoice, select_backend
+from .runner import CampaignResult, run_campaign
+from .sweep import (
+    Campaign,
+    CampaignPoint,
+    Sweep,
+    grid_sweep,
+    random_sweep,
+    zip_sweep,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignPoint",
+    "Sweep",
+    "grid_sweep",
+    "zip_sweep",
+    "random_sweep",
+    "run_campaign",
+    "CampaignResult",
+    "ResultCache",
+    "point_key",
+    "stable_hash",
+    "AutoBackend",
+    "BackendChoice",
+    "select_backend",
+]

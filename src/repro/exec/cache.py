@@ -1,0 +1,202 @@
+"""Content-addressed result cache for campaign points.
+
+A campaign point is identified by a **stable content hash** of everything
+that determines its result: the task reference and version, the merged
+parameter dict (canonicalised, so dict insertion order never matters), and
+the point's seed.  Parameters may contain numbers, strings, booleans,
+``None``, (nested) lists/tuples/dicts, numpy scalars and arrays, and any
+object exposing a ``fingerprint()`` method — in particular
+:class:`~repro.core.circuit.QuditCircuit`, whose fingerprint covers its
+exact gate/Kraus bytes.  Hashing uses :mod:`hashlib` only (never Python's
+per-process-salted ``hash``), so keys are identical across worker
+processes, sessions, and machines.
+
+The on-disk layout is one JSON file per key, sharded by the key's first
+two hex characters.  Writes are atomic (temp file + ``os.replace``) so a
+crashed or killed worker can never leave a *truncated* entry behind — and
+if one ever appears anyway (e.g. a torn copy), unreadable entries are
+treated as misses and quietly evicted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["stable_hash", "point_key", "ResultCache", "MISS"]
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISS = object()
+
+
+def _feed(hasher, obj) -> None:
+    """Feed one object's canonical encoding into a hash object.
+
+    Every value is prefixed with a type tag so values of different types
+    can never collide (``1`` vs ``1.0`` vs ``"1"``), and containers are
+    length-prefixed so concatenations can't alias.
+    """
+    if obj is None:
+        hasher.update(b"N;")
+    elif isinstance(obj, (bool, np.bool_)):
+        hasher.update(b"b1;" if obj else b"b0;")
+    elif isinstance(obj, (int, np.integer)):
+        hasher.update(f"i{int(obj)};".encode())
+    elif isinstance(obj, (float, np.floating)):
+        # float.hex() is exact and locale/platform independent.
+        hasher.update(f"f{float(obj).hex()};".encode())
+    elif isinstance(obj, (complex, np.complexfloating)):
+        obj = complex(obj)
+        hasher.update(f"c{obj.real.hex()},{obj.imag.hex()};".encode())
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        hasher.update(f"s{len(raw)}:".encode())
+        hasher.update(raw)
+    elif isinstance(obj, bytes):
+        hasher.update(f"y{len(obj)}:".encode())
+        hasher.update(obj)
+    elif isinstance(obj, np.ndarray):
+        if obj.dtype == object:
+            # tobytes() on an object array serialises raw pointers —
+            # different in every process, which would silently break both
+            # cache hits and the serial==parallel seed guarantee.
+            raise SimulationError(
+                "cannot stably hash an object-dtype numpy array — use a "
+                "list (or a homogeneous numeric array) instead"
+            )
+        arr = np.ascontiguousarray(obj)
+        hasher.update(f"a{arr.dtype.str}{arr.shape};".encode())
+        hasher.update(arr.tobytes())
+    elif isinstance(obj, Mapping):
+        # Canonical order: items sorted by the digest of their key, so any
+        # insertion order (and any hashable key type) yields one encoding.
+        items = sorted(
+            obj.items(), key=lambda item: stable_hash(item[0])
+        )
+        hasher.update(f"d{len(items)}:".encode())
+        for key, value in items:
+            _feed(hasher, key)
+            _feed(hasher, value)
+    elif isinstance(obj, (list, tuple)) or (
+        isinstance(obj, Sequence) and not isinstance(obj, (str, bytes))
+    ):
+        hasher.update(f"l{len(obj)}:".encode())
+        for item in obj:
+            _feed(hasher, item)
+    elif hasattr(obj, "fingerprint") and callable(obj.fingerprint):
+        hasher.update(f"F{type(obj).__name__}:".encode())
+        _feed(hasher, obj.fingerprint())
+    else:
+        raise SimulationError(
+            f"cannot stably hash {type(obj).__name__!r} — campaign "
+            f"parameters must be JSON-like values, numpy data, or objects "
+            f"with a fingerprint() method"
+        )
+
+
+def stable_hash(obj) -> str:
+    """Process-independent SHA-256 hex digest of a parameter-like value."""
+    hasher = hashlib.sha256()
+    _feed(hasher, obj)
+    return hasher.hexdigest()
+
+
+def point_key(
+    task: str, version: str, params: Mapping, seed: int | None
+) -> str:
+    """Cache key of one campaign point.
+
+    Covers the task's identity and version, every parameter (order-
+    independently), and the seed — so the key changes whenever the
+    circuit content, backend caps, parameter values, or seed change, and
+    *only* then.
+    """
+    return stable_hash(
+        {"task": task, "version": version, "params": dict(params), "seed": seed}
+    )
+
+
+class ResultCache:
+    """On-disk store mapping point keys to JSON-serialisable values.
+
+    Args:
+        root: cache directory (created on first write).
+
+    Concurrent use is safe: entries are immutable once written (same key
+    == same computation), writes are atomic renames, and readers treat
+    unreadable entries as misses.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """The cached value for ``key``, or :data:`MISS`.
+
+        A corrupted (truncated, non-JSON, wrong-shape) entry is evicted
+        and reported as a miss, so a damaged cache heals by recomputation
+        instead of poisoning campaigns.  A *transient* read failure
+        (OSError — fd exhaustion under a wide worker pool, a flaky
+        network filesystem) is just a miss: the entry is left in place
+        for the next lookup.
+        """
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:  # includes FileNotFoundError
+            return MISS
+        try:
+            payload = json.loads(text)
+            if payload["key"] != key:
+                raise ValueError("key mismatch")
+            return payload["value"]
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+
+    def put(self, key: str, value) -> None:
+        """Atomically persist one value (must be JSON-serialisable)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "value": value})
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not MISS
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        # Exclude orphaned atomic-write temp files (".tmp-*.json" left by
+        # a worker killed mid-put) — pathlib's "*" matches dotfiles.
+        return sum(
+            1
+            for path in self.root.glob("*/*.json")
+            if not path.name.startswith(".")
+        )

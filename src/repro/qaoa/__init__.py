@@ -9,7 +9,14 @@ from .circuits import (
 )
 from .coloring import ColoringProblem, greedy_coloring_cost, random_coloring_instance
 from .energy import edge_clash_projector, qaoa_energy, state_energy
-from .ndar import NdarResult, NdarRound, run_ndar, sample_noisy_qaoa
+from .ndar import (
+    NdarResult,
+    NdarRound,
+    ndar_restart_battery,
+    ndar_restart_task,
+    run_ndar,
+    sample_noisy_qaoa,
+)
 from .onehot import (
     OneHotEncoding,
     ValidityComparison,
@@ -34,6 +41,8 @@ __all__ = [
     "NdarResult",
     "NdarRound",
     "run_ndar",
+    "ndar_restart_battery",
+    "ndar_restart_task",
     "sample_noisy_qaoa",
     "OneHotEncoding",
     "ValidityComparison",

@@ -20,13 +20,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.exceptions import SimulationError
-from ..core.rng import ensure_rng
+from ..core.rng import derive_seed, spawn_seeds
 from ..core.trajectories import TrajectorySimulator
 from .circuits import add_photon_loss, qaoa_circuit
 from .coloring import ColoringProblem
 from .optimizer import linear_ramp_schedule
 
-__all__ = ["NdarRound", "NdarResult", "run_ndar", "sample_noisy_qaoa"]
+__all__ = [
+    "NdarRound",
+    "NdarResult",
+    "run_ndar",
+    "sample_noisy_qaoa",
+    "ndar_restart_task",
+    "ndar_restart_battery",
+]
 
 
 def sample_noisy_qaoa(
@@ -136,7 +143,10 @@ def run_ndar(
     """
     if n_rounds < 1 or shots < 1:
         raise SimulationError("need >= 1 round and >= 1 shot")
-    rng = ensure_rng(seed)
+    # One spawned child seed per round: round i's sampling depends only on
+    # (seed, i), not on how many draws earlier rounds consumed, so a
+    # campaign re-running a prefix of rounds reproduces them bit-for-bit.
+    round_seeds = spawn_seeds(derive_seed(seed), n_rounds)
     d = problem.n_colors
     gammas, betas = angles if angles is not None else linear_ramp_schedule(p)
     identity = [list(range(d)) for _ in range(problem.n_nodes)]
@@ -152,7 +162,7 @@ def run_ndar(
             loss_per_layer,
             shots,
             permutations=permutations if adaptive else None,
-            seed=rng,
+            seed=round_seeds[round_index],
         )
         round_best = None
         weighted_cost = 0.0
@@ -186,3 +196,107 @@ def run_ndar(
         approximation_ratio=problem.approximation_ratio(best_cost),
         rounds=tuple(rounds),
     )
+
+
+# ----------------------------------------------------------------------
+# campaign layer (repro.exec)
+# ----------------------------------------------------------------------
+def ndar_restart_task(
+    restart: int = 0,
+    n_nodes: int = 6,
+    n_colors: int = 3,
+    degree: int = 3,
+    graph_seed: int = 0,
+    n_rounds: int = 5,
+    shots: int = 60,
+    loss_per_layer: float = 0.15,
+    p: int = 1,
+    adaptive: bool = True,
+    seed: int = 0,
+) -> dict:
+    """Campaign task: one independent seeded NDAR run on a fixed instance.
+
+    The coloring instance is rebuilt from ``(n_nodes, n_colors, degree,
+    graph_seed)`` inside the worker, so the point is fully described by
+    plain parameters — hashable for the result cache, picklable for the
+    pool.  ``restart`` carries no physics; it distinguishes the battery's
+    otherwise-identical points so each draws its own spawned ``seed``.
+
+    Returns:
+        ``{"best_cost", "approximation_ratio", "best_assignment"}``.
+    """
+    from .coloring import random_coloring_instance
+
+    problem = random_coloring_instance(
+        n_nodes, n_colors, degree=degree, seed=graph_seed
+    )
+    result = run_ndar(
+        problem,
+        n_rounds=n_rounds,
+        shots=shots,
+        loss_per_layer=loss_per_layer,
+        p=p,
+        adaptive=adaptive,
+        seed=seed,
+    )
+    return {
+        "restart": int(restart),
+        "best_cost": int(result.best_cost),
+        "approximation_ratio": float(result.approximation_ratio),
+        "best_assignment": list(result.best_assignment),
+    }
+
+
+def ndar_restart_battery(
+    n_restarts: int = 8,
+    *,
+    workers: int | None = None,
+    cache=None,
+    checkpoint=None,
+    seed: int = 0,
+    **task_params,
+) -> dict:
+    """Run an NDAR restart battery as one parallel, cached campaign.
+
+    The paper's NDAR protocol is usually repeated from independent seeds
+    and the best incumbent kept; this driver turns that battery into a
+    campaign — restarts run across the worker pool, completed restarts
+    are cached/checkpointed, and the summary aggregates deterministically
+    (per-restart seeds are spawned, so the battery's outcome is
+    independent of scheduling).
+
+    Args:
+        n_restarts: independent NDAR repetitions.
+        workers, cache, checkpoint, seed: forwarded to
+            :func:`repro.exec.run_campaign` / the campaign spec.
+        **task_params: fixed :func:`ndar_restart_task` parameters
+            (``n_nodes``, ``loss_per_layer``, ``n_rounds``, ...).
+
+    Returns:
+        ``{"best_cost", "best_restart", "approximation_ratio",
+        "best_assignment", "mean_best_cost", "campaign"}`` with
+        ``campaign`` the underlying :class:`repro.exec.CampaignResult`.
+    """
+    from ..exec import Campaign, run_campaign, zip_sweep
+
+    campaign = Campaign(
+        task="repro.qaoa.ndar:ndar_restart_task",
+        sweep=zip_sweep(restart=list(range(int(n_restarts)))),
+        name="ndar-restart-battery",
+        base_params=task_params,
+        seed=seed,
+    )
+    result = run_campaign(
+        campaign, workers=workers, cache=cache, checkpoint=checkpoint
+    )
+    best = min(result.values, key=lambda record: record["best_cost"])
+    return {
+        "best_cost": best["best_cost"],
+        "best_restart": best["restart"],
+        "approximation_ratio": best["approximation_ratio"],
+        "best_assignment": best["best_assignment"],
+        "mean_best_cost": float(
+            np.mean([record["best_cost"] for record in result.values])
+        ),
+        "campaign": result,
+    }

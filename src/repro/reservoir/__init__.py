@@ -1,6 +1,7 @@
 """Quantum reservoir computing application (paper §II.C)."""
 
 from .classical import EchoStateNetwork
+from .grid import reservoir_grid_campaign, reservoir_nmse_task
 from .oscillators import CoupledOscillators, SplitStepEvolver
 from .readout import RidgeReadout, nmse, train_test_split
 from .reservoir import QuantumReservoir, neuron_scaling
@@ -16,6 +17,8 @@ from .tomography import (
 
 __all__ = [
     "EchoStateNetwork",
+    "reservoir_grid_campaign",
+    "reservoir_nmse_task",
     "CoupledOscillators",
     "SplitStepEvolver",
     "RidgeReadout",

@@ -1,0 +1,155 @@
+"""Campaign-driven hyperparameter grids for the quantum reservoir.
+
+The reservoir's prediction quality hinges on a handful of analog knobs —
+drive gain/bias, ridge regularisation, shot budget — and the cited studies
+tune them by grid search.  Serially that is hours of repeated Lindblad
+propagation; as a campaign (:mod:`repro.exec`) the grid fans out over
+worker processes, every (reservoir, task, split) evaluation is cached by
+content, and re-tuning after a code change reuses every unchanged point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from .oscillators import CoupledOscillators
+from .readout import RidgeReadout, train_test_split
+from .reservoir import QuantumReservoir
+from .shots import sample_population_features
+from .tasks import mackey_glass_task, narma_task, sine_square_task
+
+__all__ = ["reservoir_nmse_task", "reservoir_grid_campaign"]
+
+
+def _build_task(task: str, length: int, task_seed: int):
+    if task == "narma2":
+        return narma_task(length, order=2, seed=task_seed)
+    if task == "narma10":
+        return narma_task(length, order=10, seed=task_seed)
+    if task == "mackey_glass":
+        return mackey_glass_task(length)
+    if task == "sine_square":
+        return sine_square_task(length)
+    raise SimulationError(f"unknown reservoir task {task!r}")
+
+
+def reservoir_nmse_task(
+    task: str = "narma2",
+    length: int = 120,
+    task_seed: int = 7,
+    levels: int = 4,
+    coupling: float = 1.2,
+    kappa: float = 0.2,
+    input_gain: float = 1.0,
+    drive_bias: float = 1.0,
+    dt: float = 1.0,
+    feature_set: str = "populations",
+    method: str = "splitstep",
+    alpha: float = 1e-4,
+    washout: int = 20,
+    train_fraction: float = 0.7,
+    shots: int = 0,
+    seed: int = 0,
+) -> dict:
+    """Campaign task: train/test NMSE of one reservoir configuration.
+
+    Builds the two-mode reservoir from plain parameters inside the worker,
+    runs the input sequence, optionally corrupts the features with a
+    ``shots``-shot multinomial readout (``shots=0`` = exact features),
+    fits the ridge readout on the chronological training split, and
+    scores the held-out test span.
+
+    Args:
+        task: ``"narma2"`` / ``"narma10"`` / ``"mackey_glass"`` /
+            ``"sine_square"``.
+        length, task_seed: input-sequence spec.
+        levels, coupling, kappa, dt: oscillator parameters (symmetric
+            ``kappa`` on both modes).
+        input_gain, drive_bias, feature_set, method: reservoir knobs.
+        alpha, washout, train_fraction: readout training spec.
+        shots: projective shots per time step (0 = exact populations).
+        seed: the campaign's spawned per-point seed (drives shot noise).
+
+    Returns:
+        ``{"nmse", "train_nmse", "n_features"}``.
+    """
+    series = _build_task(task, int(length), int(task_seed))
+    osc = CoupledOscillators(
+        levels=int(levels),
+        coupling=float(coupling),
+        kappa_1=float(kappa),
+        kappa_2=float(kappa),
+    )
+    reservoir = QuantumReservoir(
+        osc,
+        dt=float(dt),
+        input_gain=float(input_gain),
+        drive_bias=float(drive_bias),
+        feature_set=feature_set,
+        method=method,
+    )
+    features = reservoir.run(series.inputs)
+    if int(shots) > 0:
+        features = sample_population_features(features, int(shots), seed)
+    f_tr, y_tr, f_te, y_te = train_test_split(
+        features, series.targets, train_fraction, washout
+    )
+    readout = RidgeReadout(alpha=float(alpha)).fit(f_tr, y_tr)
+    return {
+        "nmse": float(readout.score_nmse(f_te, y_te)),
+        "train_nmse": float(readout.score_nmse(f_tr, y_tr)),
+        "n_features": int(reservoir.n_features),
+    }
+
+
+def reservoir_grid_campaign(
+    *,
+    input_gains=(0.5, 1.0),
+    drive_biases=(0.5, 1.0),
+    alphas=(1e-4,),
+    shot_budgets=(0,),
+    workers: int | None = None,
+    cache=None,
+    checkpoint=None,
+    seed: int = 0,
+    **task_params,
+) -> dict:
+    """Grid-search reservoir hyperparameters as one parallel campaign.
+
+    Args:
+        input_gains, drive_biases, alphas, shot_budgets: grid axes
+            (Cartesian product).
+        workers, cache, checkpoint, seed: campaign execution knobs
+            (see :func:`repro.exec.run_campaign`).
+        **task_params: fixed :func:`reservoir_nmse_task` parameters.
+
+    Returns:
+        ``{"best": {...best point's params + nmse...}, "campaign":
+        CampaignResult}`` — ``campaign.as_table()`` is the full grid.
+    """
+    from ..exec import Campaign, grid_sweep, run_campaign
+
+    campaign = Campaign(
+        task="repro.reservoir.grid:reservoir_nmse_task",
+        sweep=grid_sweep(
+            input_gain=[float(v) for v in input_gains],
+            drive_bias=[float(v) for v in drive_biases],
+            alpha=[float(v) for v in alphas],
+            shots=[int(v) for v in shot_budgets],
+        ),
+        name="reservoir-grid",
+        base_params=task_params,
+        seed=seed,
+    )
+    result = run_campaign(
+        campaign, workers=workers, cache=cache, checkpoint=checkpoint
+    )
+    best_index = int(
+        np.argmin([record["nmse"] for record in result.values])
+    )
+    best_point = result.points[best_index]
+    return {
+        "best": {**best_point.params, **result.values[best_index]},
+        "campaign": result,
+    }

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.exceptions import SimulationError
-from ..core.rng import ensure_rng
+from ..core.rng import ensure_rng, spawn_seeds
 from .readout import RidgeReadout, nmse, train_test_split
 
 __all__ = ["sample_population_features", "ShotSweepPoint", "shot_noise_sweep"]
@@ -90,10 +90,14 @@ def shot_noise_sweep(
     Returns:
         One :class:`ShotSweepPoint` per budget (exact point last).
     """
-    rng = np.random.default_rng(seed)
+    # One spawned child seed per budget: budget i's multinomial draws
+    # depend only on (seed, i), not on how much stream earlier budgets
+    # consumed, so sweep points can be evaluated in any order (or split
+    # across campaign workers) with identical results.
+    budget_seeds = spawn_seeds(seed, len(shot_budgets))
     out: list[ShotSweepPoint] = []
-    for shots in shot_budgets:
-        noisy = sample_population_features(features, int(shots), rng)
+    for shots, point_seed in zip(shot_budgets, budget_seeds):
+        noisy = sample_population_features(features, int(shots), point_seed)
         f_tr, y_tr, f_te, y_te = train_test_split(
             noisy, targets, train_fraction, washout
         )

@@ -36,6 +36,9 @@ __all__ = [
     "noise_threshold",
     "EncodingComparison",
     "compare_encodings",
+    "damage_task",
+    "damage_campaign",
+    "noise_threshold_campaign",
 ]
 
 
@@ -94,7 +97,7 @@ def trajectory_damage(
     """
     if epsilon < 0:
         raise SimulationError("epsilon must be >= 0")
-    if method not in ("density", "trajectories", "mps", "lpdo"):
+    if method not in ("density", "trajectories", "mps", "lpdo", "auto"):
         raise SimulationError(f"unknown damage method {method!r}")
     chain = encoding.chain
     m_values = _excitation_profile(chain.n_sites)
@@ -114,13 +117,16 @@ def trajectory_damage(
             clean_step, n_steps, local_op, op_targets, digits,
             method="mps", n_trajectories=1, rng=rng, max_bond=max_bond,
         )
-    elif method == "lpdo":
+    elif method in ("lpdo", "auto"):
         local_op, op_targets = encoding.local_lz(site)
         digits = encoding.product_state_digits(m_values)
         # Exact (deterministic) noisy evolution: no trajectories, no rng.
+        # "auto" keeps sampling engines out (allow_sampling defaults off),
+        # so the cost model picks the density matrix while D^2 fits and the
+        # LPDO beyond — deterministic damage scores either way.
         clean = evolve_observable_trajectory_backend(
             clean_step, n_steps, local_op, op_targets, digits,
-            method="lpdo", max_bond=max_bond, max_kraus=max_kraus,
+            method=method, max_bond=max_bond, max_kraus=max_kraus,
         )
     else:
         observable = encoding.local_lz_operator(site)
@@ -143,10 +149,10 @@ def trajectory_damage(
             method="mps", n_trajectories=n_trajectories, rng=rng,
             max_bond=max_bond,
         )
-    elif method == "lpdo":
+    elif method in ("lpdo", "auto"):
         noisy = evolve_observable_trajectory_backend(
             noisy_step, n_steps, local_op, op_targets, digits,
-            method="lpdo", max_bond=max_bond, max_kraus=max_kraus,
+            method=method, max_bond=max_bond, max_kraus=max_kraus,
         )
     else:
         noisy = evolve_observable_trajectory_mc(
@@ -277,3 +283,194 @@ def compare_encodings(
         qubit_cnots_per_step=qubit_count,
         gate_count_ratio=qubit_count / max(qudit_count, 1),
     )
+
+
+# ----------------------------------------------------------------------
+# campaign layer (repro.exec)
+# ----------------------------------------------------------------------
+def _build_encoding(encoding: str, n_sites: int, spin: int, hopping: float,
+                    g2: float, mu: float, zz: float, periodic: bool):
+    chain = RotorChain(
+        n_sites=n_sites, spin=spin, g2=g2, hopping=hopping, mu=mu, zz=zz,
+        periodic=periodic,
+    )
+    if encoding == "qudit":
+        return QuditEncoding(chain)
+    if encoding == "qubit":
+        return QubitEncoding(chain)
+    raise SimulationError(f"unknown encoding {encoding!r}")
+
+
+def damage_task(
+    epsilon: float,
+    n_sites: int = 3,
+    spin: int = 1,
+    encoding: str = "qudit",
+    t_total: float = 4.0,
+    n_steps: int = 12,
+    site: int = 0,
+    method: str = "auto",
+    n_trajectories: int = 128,
+    max_bond: int | None = 64,
+    max_kraus: int | None = 16,
+    g2: float = 1.0,
+    hopping: float = 0.3,
+    mu: float = 0.0,
+    zz: float = 0.0,
+    periodic: bool = False,
+    seed: int = 0,
+) -> float:
+    """Campaign task: one encoding-damage score from plain parameters.
+
+    This is :func:`trajectory_damage` re-packaged for the campaign runner
+    (:mod:`repro.exec`): every input is a JSON-like value, the rotor chain
+    and encoding are rebuilt inside the worker process, the campaign's
+    spawned per-point seed arrives as ``seed``, and the return value is a
+    plain float — so points are hashable for the result cache and
+    picklable across the worker pool.
+
+    Args:
+        epsilon: per-entangling-gate depolarising probability (the usual
+            sweep axis).
+        n_sites, spin, g2, hopping, mu, zz, periodic: rotor-chain spec.
+        encoding: ``"qudit"`` or ``"qubit"``.
+        t_total, n_steps, site, method, n_trajectories, max_bond,
+        max_kraus: forwarded to :func:`trajectory_damage` (``method="auto"``
+        lets the cost model pick density/LPDO per register size).
+        seed: stochastic-method seed (ignored by exact methods).
+
+    Returns:
+        The RMS trajectory damage.
+    """
+    enc = _build_encoding(encoding, n_sites, spin, hopping, g2, mu, zz, periodic)
+    return float(
+        trajectory_damage(
+            enc,
+            float(epsilon),
+            t_total=t_total,
+            n_steps=n_steps,
+            site=site,
+            method=method,
+            n_trajectories=n_trajectories,
+            rng=seed,
+            max_bond=max_bond,
+            max_kraus=max_kraus,
+        )
+    )
+
+
+def damage_campaign(
+    epsilons,
+    *,
+    workers: int | None = None,
+    cache=None,
+    checkpoint=None,
+    seed: int = 0,
+    name: str = "sqed-damage",
+    **task_params,
+):
+    """Score a whole epsilon sweep as one parallel, cached campaign.
+
+    Args:
+        epsilons: depolarising strengths to score (one campaign point each).
+        workers: worker-process count (``None`` = serial).
+        cache: a :class:`repro.exec.ResultCache` or directory path —
+            completed points are skipped on reruns and shared with any
+            overlapping campaign (the bisection below).
+        checkpoint: resumable JSON-lines progress file.
+        seed: campaign root seed (per-point seeds are spawned from it).
+        name: campaign label.
+        **task_params: fixed :func:`damage_task` parameters (``n_sites``,
+            ``encoding``, ``method``, ...).
+
+    Returns:
+        A :class:`repro.exec.CampaignResult` whose ``values`` align with
+        ``epsilons``.
+    """
+    from ..exec import Campaign, run_campaign, zip_sweep
+
+    campaign = Campaign(
+        task="repro.sqed.noise_study:damage_task",
+        sweep=zip_sweep(epsilon=[float(e) for e in epsilons]),
+        name=name,
+        base_params=task_params,
+        seed=seed,
+    )
+    return run_campaign(
+        campaign, workers=workers, cache=cache, checkpoint=checkpoint
+    )
+
+
+def noise_threshold_campaign(
+    damage_tol: float = 0.1,
+    eps_hi: float = 0.5,
+    bisection_steps: int = 12,
+    *,
+    workers: int | None = None,
+    cache=None,
+    seed: int = 0,
+    **task_params,
+) -> float:
+    """Campaign-backed noise-threshold bisection.
+
+    Mirrors :func:`noise_threshold`'s log-space search, but every damage
+    probe is evaluated *as a campaign point*: the decade ladder that
+    brackets the threshold runs as one parallel campaign (instead of a
+    serial walk), and each bisection midpoint is a single-point campaign
+    routed through the shared result cache — so re-running the bisection,
+    or running it after a broad :func:`damage_campaign` over the same
+    parameters, skips every previously-scored probe.  With the default
+    exact scoring (``method="auto"`` selecting density/LPDO) the returned
+    threshold is identical to the serial :func:`noise_threshold`.
+
+    Args:
+        damage_tol: tolerable RMS damage.
+        eps_hi: upper bracket.
+        bisection_steps: log-midpoint refinement steps.
+        workers: worker processes for the ladder campaign.
+        cache: shared result cache (directory path or ResultCache).
+        seed: campaign root seed.
+        **task_params: fixed :func:`damage_task` parameters.
+
+    Returns:
+        Threshold epsilon (same clamping rules as :func:`noise_threshold`).
+    """
+
+    def probe(epsilons) -> list[float]:
+        return damage_campaign(
+            epsilons,
+            workers=workers,
+            cache=cache,
+            seed=seed,
+            name="sqed-threshold-probe",
+            **task_params,
+        ).values
+
+    if probe([eps_hi])[0] < damage_tol:
+        return eps_hi
+    # Decade ladder, evaluated as one parallel campaign (the serial walk
+    # stops early; the campaign trades a few extra — cached — probes for
+    # wall-clock parallelism).
+    ladder = []
+    lo = eps_hi
+    for _ in range(10):
+        lo /= 10.0
+        if lo < 1e-8:
+            break
+        ladder.append(lo)
+    damages = probe(ladder)
+    lo = None
+    for eps, damage in zip(ladder, damages):
+        if damage < damage_tol:
+            lo = eps
+            break
+    if lo is None:
+        return 1e-8
+    hi = lo * 10.0
+    for _ in range(bisection_steps):
+        mid = float(np.sqrt(lo * hi))
+        if probe([mid])[0] < damage_tol:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -7,6 +7,7 @@ from repro.core import gates
 from repro.core.exceptions import DimensionError, SimulationError
 from repro.core.lindblad import (
     LindbladPropagator,
+    _liouvillian_loop,
     evolve_lindblad,
     liouvillian,
     unvectorize_density,
@@ -67,6 +68,34 @@ class TestLiouvillian:
     def test_dimension_mismatch(self):
         with pytest.raises(DimensionError):
             liouvillian(np.eye(3), [np.eye(4)])
+
+    @pytest.mark.parametrize("n_ops", [0, 1, 3, 7])
+    def test_batched_matches_per_operator_loop(self, n_ops):
+        """The stacked dissipator build equals the seed Kronecker loop."""
+        rng = np.random.default_rng(10 + n_ops)
+        from repro.core.random_ops import random_hermitian
+
+        d = 5
+        ham = random_hermitian(d, rng)
+        ops = [
+            rng.normal(size=(d, d)) + 1j * rng.normal(size=(d, d))
+            for _ in range(n_ops)
+        ]
+        np.testing.assert_allclose(
+            liouvillian(ham, ops), _liouvillian_loop(ham, ops), atol=1e-12
+        )
+
+    def test_batched_matches_loop_on_physical_family(self):
+        """Same check on a genuinely dissipative mixed family (loss + dephasing)."""
+        d = 6
+        ops = [
+            np.sqrt(0.3) * gates.annihilation(d),
+            np.sqrt(0.1) * gates.number_op(d),
+        ]
+        ham = gates.number_op(d).astype(complex)
+        np.testing.assert_allclose(
+            liouvillian(ham, ops), _liouvillian_loop(ham, ops), atol=1e-12
+        )
 
 
 class TestDecay:

@@ -1,0 +1,262 @@
+"""Tests for cost-model backend auto-selection (``get_backend("auto")``)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuditCircuit, get_backend, register_backend
+from repro.core.backends import SimulationBackend, available_backends
+from repro.core.channels import photon_loss
+from repro.core.exceptions import SimulationError
+from repro.exec import select_backend
+from repro.exec.costmodel import (
+    DEFAULT_CALIBRATION,
+    load_calibration,
+    select_backend_for_circuit,
+)
+
+
+def _noisy_circuit(n, loss=0.1):
+    qc = QuditCircuit([3] * n)
+    for i in range(n):
+        qc.fourier(i)
+    for i in range(n - 1):
+        qc.csum(i, i + 1)
+        qc.channel(photon_loss(3, loss).kraus, i + 1, name="loss")
+    return qc
+
+
+def _clean_circuit(n):
+    qc = QuditCircuit([3] * n)
+    for i in range(n):
+        qc.fourier(i)
+    for i in range(n - 1):
+        qc.csum(i, i + 1)
+    return qc
+
+
+class TestSelectionRules:
+    def test_small_noiseless_picks_statevector(self):
+        choice = select_backend([3] * 4, noisy=False)
+        assert choice.name == "statevector"
+        assert choice.estimates["statevector"]["feasible"]
+
+    def test_large_noiseless_picks_mps(self):
+        # 40 qutrits: 3^40 amplitudes can never be dense.
+        choice = select_backend([3] * 40, noisy=False)
+        assert choice.name == "mps"
+        assert not choice.estimates["statevector"]["feasible"]
+
+    def test_small_noisy_picks_density(self):
+        choice = select_backend(
+            [3] * 3, noisy=True, calibration=DEFAULT_CALIBRATION
+        )
+        assert choice.name == "density"
+
+    def test_12_qutrit_noisy_picks_tensor_network(self):
+        """The acceptance anchor: 12 qutrits noisy -> MPS or LPDO, not dense."""
+        choice = select_backend([3] * 12, noisy=True)
+        assert choice.name in ("mps", "lpdo")
+        assert not choice.estimates["density"]["feasible"]
+        assert "max_bond" in choice.options
+
+    def test_memory_budget_moves_the_frontier(self):
+        # Fixed constants: this test pins the *model logic* (the budget
+        # flips the choice), not the host-measured calibration.
+        generous = select_backend(
+            [3] * 5,
+            noisy=True,
+            memory_budget=2**30,
+            calibration=DEFAULT_CALIBRATION,
+        )
+        tight = select_backend(
+            [3] * 5,
+            noisy=True,
+            memory_budget=2**19,
+            max_bond=8,
+            max_kraus=4,
+            calibration=DEFAULT_CALIBRATION,
+        )
+        assert generous.name == "density"
+        assert tight.name == "lpdo"
+        assert not tight.estimates["density"]["feasible"]
+
+    def test_sampling_opt_in(self):
+        """Monte-Carlo engines only compete when explicitly allowed."""
+        exact = select_backend([3] * 8, noisy=True)
+        assert exact.name == "lpdo"
+        sampled = select_backend(
+            [3] * 8, noisy=True, allow_sampling=True, n_trajectories=8
+        )
+        assert sampled.name in ("trajectories", "mps", "lpdo")
+
+    def test_noisy_mps_estimate_scales_with_trajectories(self):
+        """Stochastic MPS unravelling pays (and weighs) per trajectory."""
+        narrow = select_backend(
+            [3] * 12, noisy=True, allow_sampling=True, n_trajectories=1
+        )
+        wide = select_backend(
+            [3] * 12, noisy=True, allow_sampling=True, n_trajectories=128
+        )
+        assert wide.estimates["mps"]["est_seconds"] == pytest.approx(
+            128 * narrow.estimates["mps"]["est_seconds"]
+        )
+        assert wide.estimates["mps"]["memory_bytes"] == pytest.approx(
+            128 * narrow.estimates["mps"]["memory_bytes"]
+        )
+        # Noiseless evolution is deterministic: no width factor.
+        clean = select_backend([3] * 12, noisy=False, n_trajectories=128)
+        assert clean.estimates["mps"]["est_seconds"] == pytest.approx(
+            narrow.estimates["mps"]["est_seconds"]
+        )
+
+    def test_dense_observables_cap(self):
+        with pytest.raises(SimulationError):
+            select_backend([3] * 20, noisy=False, observables="dense")
+        with pytest.raises(SimulationError):
+            select_backend([3] * 4, noisy=False, observables="bogus")
+
+    def test_infeasible_raises(self):
+        with pytest.raises(SimulationError):
+            select_backend([3] * 30, noisy=True, memory_budget=64.0)
+
+    def test_estimates_table_complete(self):
+        choice = select_backend([3] * 6, noisy=True)
+        assert set(choice.estimates) == {
+            "statevector",
+            "density",
+            "trajectories",
+            "mps",
+            "lpdo",
+        }
+        for record in choice.estimates.values():
+            assert record["est_seconds"] > 0 and record["memory_bytes"] > 0
+        assert choice.reason
+
+
+class TestCalibration:
+    def test_defaults_complete_without_record(self, tmp_path):
+        calib = load_calibration(tmp_path / "missing.json")
+        assert calib == DEFAULT_CALIBRATION
+
+    def test_partial_record_merges_over_defaults(self, tmp_path):
+        record = tmp_path / "BENCH_exec.json"
+        record.write_text('{"calibration": {"statevector_amp_op_s": 1e-7}}')
+        calib = load_calibration(record)
+        assert calib["statevector_amp_op_s"] == 1e-7
+        assert calib["mps_site_chi3_op_s"] == DEFAULT_CALIBRATION["mps_site_chi3_op_s"]
+
+    def test_committed_record_loads(self):
+        calib = load_calibration()
+        assert set(DEFAULT_CALIBRATION) <= set(calib)
+
+
+class TestAutoBackend:
+    def test_registered_and_reserved(self):
+        assert "auto" in available_backends()
+        with pytest.raises(SimulationError):
+            register_backend("auto", SimulationBackend)
+
+    def test_noisy_run_matches_density(self):
+        circuit = _noisy_circuit(3)
+        auto = get_backend("auto")
+        result = auto.run(circuit)
+        assert auto.last_choice.name == "density"
+        reference = get_backend("density").run(circuit)
+        op = np.diag([0.0, 1.0, 2.0])
+        for wire in range(3):
+            assert result.expectation(op, wire) == pytest.approx(
+                reference.expectation(op, wire), abs=1e-10
+            )
+
+    def test_clean_run_matches_statevector(self):
+        circuit = _clean_circuit(4)
+        auto = get_backend("auto")
+        result = auto.run(circuit)
+        assert auto.last_choice.name == "statevector"
+        reference = get_backend("statevector").run(circuit)
+        np.testing.assert_allclose(
+            result.probabilities(), reference.probabilities(), atol=1e-12
+        )
+
+    def test_tight_budget_delegates_to_lpdo(self):
+        circuit = _noisy_circuit(5)
+        auto = get_backend("auto", memory_budget=2**19, max_bond=16, max_kraus=4)
+        result = auto.run(circuit)
+        assert auto.last_choice.name == "lpdo"
+        # caps were forwarded to the delegate state
+        assert result.state.max_bond == 16 and result.state.max_kraus == 4
+
+    def test_selection_memoised_across_steps(self):
+        circuit = _noisy_circuit(3)
+        auto = get_backend("auto")
+        auto.run(circuit)
+        first = auto.last_choice
+        auto.run(circuit)
+        assert auto.last_choice is first  # same decision object, no re-scoring
+
+    def test_prepare_is_symbolic_and_stepwise_works(self):
+        """prepare() commits to no engine; the first run materialises it."""
+        circuit = _noisy_circuit(3)
+        auto = get_backend("auto")
+        prepared = auto.prepare(circuit.dims, digits=[1, 0, 2])
+        op = np.diag([0.0, 1.0, 2.0])
+        # Exact basis-state observables before any circuit runs:
+        assert prepared.expectation(op, 0) == 1.0
+        assert prepared.expectation(op, 2) == 2.0
+        assert prepared.probabilities_of([1, 0, 2]) == 1.0
+        assert prepared.sample(5) == {(1, 0, 2): 5}
+        stepped = auto.run(circuit, initial=prepared)
+        reference = get_backend("density").run(
+            circuit, initial=get_backend("density").prepare(circuit.dims, [1, 0, 2])
+        )
+        assert stepped.expectation(op, 1) == pytest.approx(
+            reference.expectation(op, 1), abs=1e-10
+        )
+
+    def test_prepare_options_reach_the_delegate(self):
+        """rng / n_trajectories given at prepare() seed the chosen engine.
+
+        Sized so the cost model lands on a *stochastic* delegate — the
+        reproducibility assertion is vacuous on the exact engines.
+        """
+        circuit = _noisy_circuit(8)
+        runs = []
+        for _ in range(2):
+            # Backend defaults reach both the cost model (n_trajectories
+            # weights the sampling engines) and the delegate's prepare.
+            auto = get_backend(
+                "auto", allow_sampling=True, n_trajectories=16, rng=123
+            )
+            prepared = auto.prepare(circuit.dims, digits=[0] * 8)
+            result = auto.run(circuit, initial=prepared)
+            assert auto.last_choice.name in ("trajectories", "mps")
+            runs.append(result.sample(50, rng=7))
+        assert runs[0] == runs[1]  # identical seeds -> identical outcomes
+
+    def test_prepare_scales_past_dense_reach(self):
+        """Symbolic prepare never densifies: fine at 30 qutrits."""
+        auto = get_backend("auto")
+        prepared = auto.prepare([3] * 30, digits=[0] * 30)
+        op = np.diag([0.0, 1.0, 2.0])
+        assert prepared.expectation(op, 7) == 0.0
+
+    def test_trajectory_damage_supports_auto(self):
+        """The sqed noise study scores identically through method='auto'."""
+        from repro.sqed.encodings import QuditEncoding
+        from repro.sqed.noise_study import trajectory_damage
+        from repro.sqed.rotor import RotorChain
+
+        encoding = QuditEncoding(RotorChain(2, 1))
+        auto_score = trajectory_damage(
+            encoding, 0.05, t_total=1.0, n_steps=2, method="auto"
+        )
+        density_score = trajectory_damage(
+            encoding, 0.05, t_total=1.0, n_steps=2, method="density"
+        )
+        assert auto_score == pytest.approx(density_score, abs=1e-10)
+
+    def test_circuit_profile_selection(self):
+        choice = select_backend_for_circuit(_noisy_circuit(12))
+        assert choice.name in ("mps", "lpdo")
+        choice = select_backend_for_circuit(_clean_circuit(4))
+        assert choice.name == "statevector"

@@ -1,0 +1,221 @@
+"""Cache-correctness tests: stable hashing and the on-disk result store.
+
+The campaign point hash must be (a) invariant under parameter-dict
+ordering and process boundaries, and (b) sensitive to every semantic
+input — circuit content, backend caps, parameter values, seeds.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuditCircuit
+from repro.core.exceptions import SimulationError
+from repro.exec import ResultCache, point_key, stable_hash
+from repro.exec.cache import MISS
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+# -- strategies --------------------------------------------------------
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, width=64),
+    st.text(max_size=12),
+)
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=6), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+param_dicts = st.dictionaries(st.text(min_size=1, max_size=8), values, max_size=6)
+
+
+class TestStableHash:
+    @settings(max_examples=80, deadline=None)
+    @given(params=param_dicts, seed=st.integers(min_value=0, max_value=2**31))
+    def test_invariant_under_dict_ordering(self, params, seed):
+        reordered = dict(reversed(list(params.items())))
+        assert point_key("m:f", "1", params, seed) == point_key(
+            "m:f", "1", reordered, seed
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(params=param_dicts, seed=st.integers(min_value=0, max_value=2**31))
+    def test_sensitive_to_seed_and_version(self, params, seed):
+        base = point_key("m:f", "1", params, seed)
+        assert base != point_key("m:f", "1", params, seed + 1)
+        assert base != point_key("m:f", "2", params, seed)
+        assert base != point_key("m:g", "1", params, seed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=param_dicts)
+    def test_sensitive_to_any_param_change(self, params):
+        base = stable_hash(params)
+        mutated = dict(params)
+        mutated["__probe__"] = 1
+        assert stable_hash(mutated) != base
+
+    def test_type_distinctions(self):
+        assert stable_hash(1) != stable_hash(1.0)
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(True) != stable_hash(1)
+        assert stable_hash([1, 2]) != stable_hash([[1], [2]])
+        assert stable_hash({"a": 1}) != stable_hash([("a", 1)])
+
+    def test_numpy_values(self):
+        assert stable_hash(np.float64(0.5)) == stable_hash(0.5)
+        assert stable_hash(np.int32(3)) == stable_hash(3)
+        arr = np.arange(6, dtype=float).reshape(2, 3)
+        assert stable_hash(arr) == stable_hash(arr.copy())
+        assert stable_hash(arr) != stable_hash(arr.T)
+        assert stable_hash(arr) != stable_hash(arr.astype(np.float32))
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(SimulationError):
+            stable_hash(object())
+
+    def test_object_dtype_array_rejected(self):
+        # tobytes() on object arrays would hash raw pointers — different
+        # every process — so they must be refused, not mis-hashed.
+        with pytest.raises(SimulationError):
+            stable_hash(np.array([1, "x"], dtype=object))
+        with pytest.raises(SimulationError):
+            stable_hash({"p": np.array([[1, 2], [3, "x"]], dtype=object)})
+
+    def test_invariant_across_process_boundary(self):
+        """A fresh interpreter (fresh hash salt) produces the same key."""
+        payload = {
+            "b": [1, 2.5, "x", None, True],
+            "a": {"nested": {"deep": [3, 4]}},
+            "arr": None,
+        }
+        local = point_key("mod:fn", "7", payload, 123)
+        code = (
+            "from repro.exec import point_key;"
+            f"payload = {payload!r};"
+            "print(point_key('mod:fn', '7', payload, 123))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": SRC, "PYTHONHASHSEED": "random"},
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == local
+
+
+class TestCircuitFingerprint:
+    def _circuit(self, strength=1.0):
+        qc = QuditCircuit([3, 3])
+        qc.fourier(0)
+        qc.controlled_phase(0, 1, strength)
+        return qc
+
+    def test_identical_circuits_share_keys(self):
+        a, b = self._circuit(), self._circuit()
+        assert a.fingerprint() == b.fingerprint()
+        assert stable_hash({"circuit": a}) == stable_hash({"circuit": b})
+
+    def test_gate_content_changes_key(self):
+        base = stable_hash({"circuit": self._circuit(1.0)})
+        assert stable_hash({"circuit": self._circuit(1.1)}) != base
+
+    def test_channel_content_and_mutation_change_key(self):
+        from repro.core.channels import photon_loss
+
+        a = self._circuit()
+        a.channel(photon_loss(3, 0.1).kraus, 0, name="loss")
+        b = self._circuit()
+        b.channel(photon_loss(3, 0.2).kraus, 0, name="loss")
+        assert a.fingerprint() != b.fingerprint()
+        before = a.fingerprint()
+        a.x(1)
+        assert a.fingerprint() != before
+
+    def test_backend_caps_change_point_key(self):
+        qc = self._circuit()
+        base = point_key(
+            "m:f", "1", {"circuit": qc, "max_bond": 16, "max_kraus": 4}, 0
+        )
+        assert base != point_key(
+            "m:f", "1", {"circuit": qc, "max_bond": 32, "max_kraus": 4}, 0
+        )
+        assert base != point_key(
+            "m:f", "1", {"circuit": qc, "max_bond": 16, "max_kraus": 8}, 0
+        )
+
+
+class TestResultCache:
+    def test_round_trip_and_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = stable_hash({"x": 1})
+        assert cache.get(key) is MISS
+        cache.put(key, {"value": [1, 2, 3], "nested": {"ok": True}})
+        assert cache.get(key) == {"value": [1, 2, 3], "nested": {"ok": True}}
+        assert key in cache and len(cache) == 1
+
+    def test_len_ignores_orphaned_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("entry")
+        cache.put(key, 1)
+        # Simulate a worker killed between mkstemp and os.replace.
+        (cache._path(key).parent / ".tmp-orphan.json").write_text("{}")
+        assert len(cache) == 1
+
+    def test_cached_none_distinct_from_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, None)
+        assert cache.get("a" * 64) is None
+        assert ("a" * 64) in cache
+
+    def test_corrupted_entry_is_evicted_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("probe")
+        cache.put(key, 42)
+        path = cache._path(key)
+        path.write_text('{"key": "' + key + '", "value": 4')  # truncated
+        assert cache.get(key) is MISS
+        assert not path.exists()  # healed by eviction
+        cache.put(key, 43)
+        assert cache.get(key) == 43
+
+    def test_transient_read_failure_is_miss_without_eviction(self, tmp_path):
+        """An OSError on read must not destroy a valid entry."""
+        cache = ResultCache(tmp_path)
+        key = stable_hash("survivor")
+        cache.put(key, 99)
+        path = cache._path(key)
+        original = Path.read_text
+
+        def flaky(self, *args, **kwargs):
+            if self == path:
+                raise OSError("transient")
+            return original(self, *args, **kwargs)
+
+        import unittest.mock
+
+        with unittest.mock.patch.object(Path, "read_text", flaky):
+            assert cache.get(key) is MISS
+        assert path.exists()  # entry survived the transient failure
+        assert cache.get(key) == 99
+
+    def test_key_mismatch_treated_as_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("x")
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"key": "wrong", "value": 1}))
+        assert cache.get(key) is MISS

@@ -1,0 +1,153 @@
+"""Tests for declarative sweeps and campaign point resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.exec import Campaign, grid_sweep, random_sweep, zip_sweep
+from repro.exec.sweep import resolve_task, task_ref
+
+
+def module_task(x, factor=2, seed=0):
+    """Module-level task used to exercise reference resolution."""
+    return x * factor
+
+
+class TestGridSweep:
+    def test_cartesian_product_row_major(self):
+        sweep = grid_sweep(a=[1, 2], b=["x", "y", "z"])
+        assert len(sweep) == 6
+        assert sweep[0] == {"a": 1, "b": "x"}
+        assert sweep[1] == {"a": 1, "b": "y"}
+        assert sweep[-1] == {"a": 2, "b": "z"}
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SimulationError):
+            grid_sweep(a=[])
+        with pytest.raises(SimulationError):
+            grid_sweep()
+
+    def test_concatenation(self):
+        sweep = grid_sweep(a=[1]) + grid_sweep(a=[2])
+        assert [p["a"] for p in sweep] == [1, 2]
+
+
+class TestZipSweep:
+    def test_lock_step(self):
+        sweep = zip_sweep(a=[1, 2], b=[10, 20])
+        assert sweep.points == ({"a": 1, "b": 10}, {"a": 2, "b": 20})
+
+    def test_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            zip_sweep(a=[1, 2], b=[1])
+
+
+class TestRandomSweep:
+    def test_deterministic_in_seed(self):
+        kwargs = dict(eps=(1e-4, 1e-1, "log"), n=(2, 9, "int"), mode=["a", "b"])
+        assert (
+            random_sweep(5, seed=3, **kwargs).points
+            == random_sweep(5, seed=3, **kwargs).points
+        )
+        assert (
+            random_sweep(5, seed=3, **kwargs).points
+            != random_sweep(5, seed=4, **kwargs).points
+        )
+
+    def test_ranges_respected(self):
+        sweep = random_sweep(
+            50, seed=0, u=(0.5, 1.5), lg=(1e-6, 1e-2, "log"), k=(3, 7, "int")
+        )
+        for point in sweep:
+            assert 0.5 <= point["u"] < 1.5
+            assert 1e-6 <= point["lg"] < 1e-2
+            assert 3 <= point["k"] < 7 and isinstance(point["k"], int)
+
+    def test_bad_specs(self):
+        with pytest.raises(SimulationError):
+            random_sweep(3, x=(1, 2, "bogus"))
+        with pytest.raises(SimulationError):
+            random_sweep(0, x=(0, 1))
+        with pytest.raises(SimulationError):
+            random_sweep(3, x=(-1.0, 1.0, "log"))
+
+
+class TestTaskReferences:
+    def test_callable_round_trips(self):
+        ref = task_ref(module_task)
+        assert ref.endswith(":module_task")
+        assert resolve_task(ref) is module_task
+
+    def test_bad_references(self):
+        with pytest.raises(SimulationError):
+            resolve_task("no-colon-here")
+        with pytest.raises(SimulationError):
+            resolve_task("repro.core:does_not_exist")
+        with pytest.raises(SimulationError):
+            resolve_task("definitely_not_a_module_xyz:f")
+        with pytest.raises(SimulationError):
+            task_ref(lambda x: x)  # lambdas are not importable
+
+
+class TestCampaignPoints:
+    def test_points_merge_base_params(self):
+        campaign = Campaign(
+            task=module_task,
+            sweep=zip_sweep(x=[1, 2]),
+            base_params={"factor": 5},
+        )
+        points = campaign.points()
+        assert points[0].params == {"factor": 5, "x": 1}
+        assert points[1].index == 1
+
+    def test_sweep_value_overrides_base(self):
+        campaign = Campaign(
+            task=module_task,
+            sweep=zip_sweep(factor=[9]),
+            base_params={"factor": 5},
+        )
+        assert campaign.points()[0].params == {"factor": 9}
+
+    def test_seeds_depend_on_content_not_position(self):
+        """The same params get the same seed in differently-shaped sweeps."""
+        wide = Campaign(task=module_task, sweep=zip_sweep(x=[1, 2, 3]), seed=11)
+        narrow = Campaign(task=module_task, sweep=zip_sweep(x=[3]), seed=11)
+        by_x = {p.params["x"]: p for p in wide.points()}
+        single = narrow.points()[0]
+        assert single.seed == by_x[3].seed
+        assert single.key == by_x[3].key
+
+    def test_seeds_differ_between_points_and_roots(self):
+        campaign = Campaign(task=module_task, sweep=zip_sweep(x=[1, 2]), seed=0)
+        p0, p1 = campaign.points()
+        assert p0.seed != p1.seed
+        other_root = Campaign(
+            task=module_task, sweep=zip_sweep(x=[1, 2]), seed=1
+        ).points()
+        assert p0.seed != other_root[0].seed
+
+    def test_unseeded_campaign(self):
+        campaign = Campaign(
+            task=module_task, sweep=zip_sweep(x=[1]), seed=None
+        )
+        point = campaign.points()[0]
+        assert point.seed is None
+
+    def test_pinned_seed_param_wins_and_keys_dedupe(self):
+        """An explicit 'seed' param suppresses spawning — and the cache
+        key then depends only on the params, so campaigns with different
+        root seeds share the (identical) computation."""
+        a = Campaign(
+            task=module_task,
+            sweep=zip_sweep(x=[1]),
+            base_params={"seed": 7},
+            seed=0,
+        ).points()[0]
+        b = Campaign(
+            task=module_task,
+            sweep=zip_sweep(x=[1]),
+            base_params={"seed": 7},
+            seed=99,
+        ).points()[0]
+        assert a.seed is None and b.seed is None
+        assert a.key == b.key

@@ -151,6 +151,69 @@ def test_committed_bench_lpdo_json_meets_targets():
 
 
 @pytest.mark.bench_smoke
+def test_exec_bench_smoke(tmp_path):
+    from bench_exec import run_benchmarks
+
+    out = tmp_path / "BENCH_exec.json"
+    report = run_benchmarks(
+        sqed_points=8,
+        sqed_sites=2,
+        sqed_steps=1,
+        latency_points=16,
+        latency_delay_ms=25.0,
+        workers=8,
+        calibration_scale=1,
+        cache_dir=tmp_path / "cache",
+        out_path=out,
+    )
+    # Scheduler concurrency: latency-bound points overlap under the worker
+    # pool on any host, single-core included.
+    assert report["latency_campaign"]["speedup"] >= 2.0
+    # Cached replay serves (almost) everything without recomputation.
+    sqed = report["sqed_campaign"]
+    assert sqed["replay_hit_fraction"] >= 0.95
+    assert sqed["replay_speedup"] >= 10.0
+    assert sqed["monotone_damage"]
+    # The cost model lands on the anchor decisions with freshly measured
+    # constants, not just the committed ones.
+    selection = report["auto_selection"]
+    assert selection["4_qutrit_noiseless"]["backend"] == "statevector"
+    assert selection["12_qutrit_noisy"]["backend"] in ("mps", "lpdo")
+    for value in report["calibration"].values():
+        assert value > 0
+    assert json.loads(out.read_text())["meta"]["benchmark"] == "bench_exec"
+
+
+@pytest.mark.bench_smoke
+def test_committed_bench_exec_json_meets_targets():
+    """The committed BENCH_exec.json must document the campaign claims:
+
+    >= 2x scheduler concurrency at 8 workers on the latency-bound smoke
+    campaign, a >= 10x cached replay serving >= 95% of the 64-point sQED
+    campaign, and the auto-selector's anchor decisions (statevector for a
+    small noiseless register, a tensor network for 12 noisy qutrits).
+    The CPU-bound parallel speedup is recorded together with the host's
+    core count; the >= 2x guard applies where cores exist to use.
+    """
+    report = json.loads((REPO_ROOT / "BENCH_exec.json").read_text())
+    latency = report["latency_campaign"]
+    assert latency["workers"] >= 8
+    assert latency["speedup"] >= 2.0
+    sqed = report["sqed_campaign"]
+    assert sqed["n_points"] >= 64
+    assert sqed["workers"] >= 8
+    assert sqed["replay_hit_fraction"] >= 0.95
+    assert sqed["replay_speedup"] >= 10.0
+    if report["meta"]["cpu_count"] >= 8:
+        assert sqed["parallel_speedup"] >= 2.0
+    selection = report["auto_selection"]
+    assert selection["4_qutrit_noiseless"]["backend"] == "statevector"
+    assert selection["12_qutrit_noisy"]["backend"] in ("mps", "lpdo")
+    for value in report["calibration"].values():
+        assert value > 0
+
+
+@pytest.mark.bench_smoke
 def test_committed_bench_core_json_meets_targets():
     """The committed BENCH_core.json must document the required speedups."""
     report = json.loads((REPO_ROOT / "BENCH_core.json").read_text())

@@ -1,6 +1,6 @@
 """Campaign-subsystem benchmark — parallel speedup, cache replay, calibration.
 
-Four sections, emitted to the committed ``BENCH_exec.json``:
+Six sections, emitted to the committed ``BENCH_exec.json``:
 
 1. **calibration** — measures the per-unit cost constants the
    ``get_backend("auto")`` cost model ranks engines with (seconds per
@@ -22,6 +22,17 @@ Four sections, emitted to the committed ``BENCH_exec.json``:
    recorded together with ``cpu_count`` — on a single-core host it is
    honestly ~1x), and replayed from the result cache (>= 10x, >= 95% of
    points served without recomputation).
+5. **pool_reuse** — a battery of short campaigns run twice: once through
+   the one-shot :func:`repro.exec.run_campaign` (a fresh pool forked and
+   torn down per campaign) and once on a single persistent
+   :class:`repro.exec.CampaignExecutor` (one warm pool amortised across
+   the battery).  Short sweeps are fork-dominated, so the executor must
+   be >= 2x faster end to end.
+6. **streaming** — one latency-bound campaign consumed two ways: the
+   barrier runner (no value visible until every point is done) vs the
+   executor's ``stream_results()`` (first value as soon as point 0
+   lands).  Records the streamed time-to-first-result, required to be
+   <= 0.5x the barrier runner's total wall time.
 
 Run as a script to (re)generate the committed record::
 
@@ -43,7 +54,13 @@ import numpy as np
 
 from repro.core import QuditCircuit, get_backend
 from repro.core.channels import photon_loss
-from repro.exec import Campaign, ResultCache, run_campaign, zip_sweep
+from repro.exec import (
+    Campaign,
+    CampaignExecutor,
+    ResultCache,
+    run_campaign,
+    zip_sweep,
+)
 from repro.exec.costmodel import DEFAULT_CALIBRATION, select_backend
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -53,8 +70,14 @@ BENCH_JSON = REPO_ROOT / "BENCH_exec.json"
 # ----------------------------------------------------------------------
 # campaign tasks (module-level so worker processes can import them)
 # ----------------------------------------------------------------------
-def latency_task(point: int, delay_ms: float = 40.0, seed: int = 0) -> int:
-    """Stands in for an IO/latency-bound backend call (sleeps, no CPU)."""
+def latency_task(
+    point: int, delay_ms: float = 40.0, tag: int = 0, seed: int = 0
+) -> int:
+    """Stands in for an IO/latency-bound backend call (sleeps, no CPU).
+
+    ``tag`` carries no behaviour — it keeps the points of otherwise
+    identical short campaigns distinct in the pool-reuse battery.
+    """
     time.sleep(delay_ms / 1000.0)
     return int(point)
 
@@ -192,6 +215,88 @@ def bench_latency_campaign(n_points: int, delay_ms: float, workers: int) -> dict
     }
 
 
+def bench_pool_reuse(
+    n_campaigns: int, n_points: int, delay_ms: float, workers: int
+) -> dict:
+    """A battery of short campaigns: fresh pool per campaign vs one warm pool.
+
+    Every campaign is tagged so no two share cache keys (no cache is used
+    anyway); the work per campaign is deliberately tiny so the fork +
+    import cost of a fresh pool dominates the one-shot path.
+    """
+
+    def battery():
+        return [
+            Campaign(
+                task=latency_task,
+                sweep=zip_sweep(point=list(range(n_points))),
+                name=f"short-{tag}",
+                base_params={"delay_ms": delay_ms, "tag": tag},
+                seed=0,
+            )
+            for tag in range(n_campaigns)
+        ]
+
+    start = time.perf_counter()
+    cold_values = [
+        run_campaign(campaign, workers=workers, chunk_size=1).values
+        for campaign in battery()
+    ]
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with CampaignExecutor(workers, chunk_size=1) as executor:
+        warm_values = [
+            executor.run(campaign).values for campaign in battery()
+        ]
+        stats = executor.stats
+    warm_s = time.perf_counter() - start
+    assert warm_values == cold_values
+    assert stats["pools_created"] == 1 and stats["campaigns"] == n_campaigns
+    return {
+        "n_campaigns": n_campaigns,
+        "n_points": n_points,
+        "delay_ms": delay_ms,
+        "workers": workers,
+        "fresh_pool_s": round(cold_s, 4),
+        "warm_pool_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 2),
+    }
+
+
+def bench_streaming(n_points: int, delay_ms: float, workers: int) -> dict:
+    """Streamed time-to-first-result vs the barrier runner's total wall.
+
+    The campaign is latency-bound, so the comparison isolates scheduling:
+    the barrier runner cannot show anything until every point is done,
+    the stream yields point 0 after one task latency.
+    """
+    campaign = _latency_campaign(n_points, delay_ms)
+    barrier = run_campaign(campaign, workers=workers, chunk_size=1)
+
+    with CampaignExecutor(workers) as executor:
+        executor.warm()
+        start = time.perf_counter()
+        handle = executor.submit(_latency_campaign(n_points, delay_ms))
+        stream = handle.stream_results()
+        first = next(stream)
+        time_to_first_s = time.perf_counter() - start
+        values = [first, *stream]
+        streamed_total_s = time.perf_counter() - start
+    assert values == barrier.values
+    return {
+        "n_points": n_points,
+        "delay_ms": delay_ms,
+        "workers": workers,
+        "barrier_total_s": round(barrier.duration_s, 4),
+        "time_to_first_s": round(time_to_first_s, 4),
+        "streamed_total_s": round(streamed_total_s, 4),
+        "first_vs_barrier_ratio": round(
+            time_to_first_s / barrier.duration_s, 4
+        ),
+    }
+
+
 def bench_sqed_campaign(
     n_points: int, workers: int, cache_dir: Path, n_sites: int, n_steps: int
 ) -> dict:
@@ -244,6 +349,12 @@ def run_benchmarks(
     sqed_steps: int = 2,
     latency_points: int = 32,
     latency_delay_ms: float = 40.0,
+    battery_campaigns: int = 12,
+    battery_points: int = 6,
+    battery_delay_ms: float = 1.0,
+    battery_workers: int = 4,
+    streaming_points: int = 32,
+    streaming_delay_ms: float = 25.0,
     workers: int = 8,
     calibration_scale: int = 2,
     cache_dir: Path | str | None = None,
@@ -256,6 +367,9 @@ def run_benchmarks(
             committed record).
         sqed_sites, sqed_steps: damage-task size knobs.
         latency_points, latency_delay_ms: latency-bound section size.
+        battery_campaigns, battery_points, battery_delay_ms,
+        battery_workers: pool-reuse battery shape (many short campaigns).
+        streaming_points, streaming_delay_ms: streaming section size.
         workers: pool width for the parallel sections.
         calibration_scale: probe-size multiplier for the calibration.
         cache_dir: where the replay cache lives (a temp dir if omitted).
@@ -269,6 +383,10 @@ def run_benchmarks(
     calibration = calibrate(scale=calibration_scale)
     selection = auto_selection_table(calibration)
     latency = bench_latency_campaign(latency_points, latency_delay_ms, workers)
+    pool_reuse = bench_pool_reuse(
+        battery_campaigns, battery_points, battery_delay_ms, battery_workers
+    )
+    streaming = bench_streaming(streaming_points, streaming_delay_ms, workers)
     if cache_dir is None:
         with tempfile.TemporaryDirectory() as tmp:
             sqed = bench_sqed_campaign(
@@ -288,6 +406,8 @@ def run_benchmarks(
         "calibration": calibration,
         "auto_selection": selection,
         "latency_campaign": latency,
+        "pool_reuse": pool_reuse,
+        "streaming": streaming,
         "sqed_campaign": sqed,
     }
     if out_path is not None:

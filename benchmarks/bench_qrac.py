@@ -6,7 +6,6 @@ two simulated d=8 qudits, rounds, and scores the true clash count against
 the randomised-greedy classical baseline and the random-assignment floor.
 """
 
-import numpy as np
 
 from _report import record
 from repro.qaoa import (

@@ -31,7 +31,7 @@ def bench_table1_coloring(benchmark):
             f"ratio {qaoa.approximation_ratio:.3f}",
             f"  NDAR best sample          : {ndar.best_cost} clashes, "
             f"ratio {ndar.approximation_ratio:.3f}",
-            f"  NDAR mean cost per round  : "
+            "  NDAR mean cost per round  : "
             + str([round(r.mean_sampled_cost, 2) for r in ndar.rounds]),
             "  -> the campaign is executable at Table I size; validity is 1.0 by",
             "     construction (qudit one-hot), see bench_ndar for the loss sweep.",

@@ -9,7 +9,6 @@ report native-gate counts, duration, fidelity, and the coherence budget.
 A small 3x2 instance is also exactly diagonalised as a physics check.
 """
 
-import pytest
 
 from _report import record
 from repro.compile.resources import estimate_resources

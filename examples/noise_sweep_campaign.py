@@ -6,12 +6,14 @@ depolarising strengths.  Instead of a serial Python loop, this example
 declares the whole sweep as a :mod:`repro.exec` campaign:
 
 * the epsilon axis is a declarative sweep (every point a plain dict);
-* points fan out over a ``multiprocessing`` worker pool;
+* every stage shares one persistent :class:`repro.exec.CampaignExecutor`
+  — the worker pool is forked once and reused by the sweep, the
+  streamed consumption, and every bisection probe;
 * each point's backend is chosen by the ``get_backend("auto")`` cost
   model (density matrix while ``D^2`` fits, LPDO beyond);
-* results are content-hashed into an on-disk cache, so re-running this
-  script — or running the threshold bisection afterwards — recomputes
-  nothing.
+* results stream back in point order as they finish, and are
+  content-hashed into an on-disk cache, so re-running this script — or
+  running the threshold bisection afterwards — recomputes nothing.
 
 Run:  PYTHONPATH=src python examples/noise_sweep_campaign.py
 """
@@ -21,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.exec import Campaign, CampaignExecutor, zip_sweep
 from repro.sqed.noise_study import damage_campaign, noise_threshold_campaign
 
 CACHE_DIR = Path(tempfile.gettempdir()) / "repro-noise-sweep-cache"
@@ -36,37 +39,47 @@ def main() -> None:
         method="auto",  # cost model picks the engine per register
     )
 
-    print("=== damage-vs-loss campaign (16 points, 4 workers, cached) ===")
-    result = damage_campaign(
-        epsilons, workers=4, cache=CACHE_DIR, seed=0, **spec
-    )
-    print(
-        f"executed {result.computed} points, served {result.cache_hits} "
-        f"from cache, in {result.duration_s:.2f} s"
-    )
-    for eps, damage in zip(epsilons, result.values):
-        bar = "#" * int(min(damage, 0.6) * 80)
-        print(f"  eps={eps:8.5f}  damage={damage:7.4f}  {bar}")
-
-    print("\n=== threshold bisection through the same cache ===")
-    threshold = noise_threshold_campaign(
-        damage_tol=0.1,
-        bisection_steps=8,
-        workers=4,
-        cache=CACHE_DIR,
+    campaign = Campaign(
+        task="repro.sqed.noise_study:damage_task",
+        sweep=zip_sweep(epsilon=epsilons),
+        name="noise-sweep",
+        base_params=spec,
         seed=0,
-        **spec,
     )
-    print(f"tolerable per-gate error: eps* = {threshold:.5f}")
 
-    print("\n=== rerun: everything is a cache hit ===")
-    replay = damage_campaign(
-        epsilons, workers=4, cache=CACHE_DIR, seed=0, **spec
-    )
-    print(
-        f"served {replay.cache_hits}/{len(replay)} points from cache in "
-        f"{replay.duration_s:.3f} s (cache: {CACHE_DIR})"
-    )
+    # One warm pool serves the streamed sweep, the bisection probes, and
+    # the replay below — fork cost is paid exactly once.
+    with CampaignExecutor(4, cache=CACHE_DIR) as executor:
+        print("=== damage-vs-loss campaign (16 points, streamed) ===")
+        handle = executor.submit(campaign)
+        for eps, damage in zip(epsilons, handle.stream_results()):
+            bar = "#" * int(min(damage, 0.6) * 80)
+            print(f"  eps={eps:8.5f}  damage={damage:7.4f}  {bar}")
+        result = handle.result()
+        print(
+            f"executed {result.computed} points, served {result.cache_hits} "
+            f"from cache, in {result.duration_s:.2f} s"
+        )
+
+        print("\n=== threshold bisection on the same pool + cache ===")
+        threshold = noise_threshold_campaign(
+            damage_tol=0.1,
+            bisection_steps=8,
+            executor=executor,
+            cache=CACHE_DIR,
+            seed=0,
+            **spec,
+        )
+        print(f"tolerable per-gate error: eps* = {threshold:.5f}")
+
+        print("\n=== rerun: everything is a cache hit ===")
+        replay = damage_campaign(
+            epsilons, executor=executor, cache=CACHE_DIR, seed=0, **spec
+        )
+        print(
+            f"served {replay.cache_hits}/{len(replay)} points from cache in "
+            f"{replay.duration_s:.3f} s (cache: {CACHE_DIR})"
+        )
 
 
 if __name__ == "__main__":

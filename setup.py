@@ -1,3 +1,33 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-qudit",
+    version="0.5.0",
+    description=(
+        "Qudit simulation stack reproducing conf_dsn_VenturelliGKZ25: "
+        "dense/trajectory/MPS/LPDO backends, campaign orchestration, "
+        "and the paper's sQED / QAOA / reservoir workloads"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=[
+        "numpy>=1.26",
+        "scipy>=1.11",
+        "networkx>=3.0",
+    ],
+    extras_require={
+        # Everything the test suite (tier-1 + hypothesis properties)
+        # needs beyond the runtime deps.  CI installs `.[test]` via
+        # requirements-ci.txt, which is also the pip cache key.
+        "test": [
+            "pytest>=8",
+            "hypothesis>=6",
+        ],
+        # The lint job's toolchain (kept separate: linting does not need
+        # the scientific stack).
+        "lint": [
+            "ruff>=0.4",
+        ],
+    },
+)

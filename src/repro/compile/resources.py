@@ -9,7 +9,7 @@ without simulating 10^21-dimensional Hilbert spaces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.circuit import QuditCircuit
 from ..core.exceptions import CompilationError

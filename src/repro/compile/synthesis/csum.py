@@ -16,11 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ...core.circuit import QuditCircuit
 from ...core.exceptions import SynthesisError
-from ...core.gates import csum as csum_matrix
 from ...core.gates import fourier
 from ...hardware.device import CavityQPU
 from ...hardware.noise_model import DeviceNoiseModel

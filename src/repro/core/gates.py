@@ -363,11 +363,11 @@ def gell_mann_basis(d: int, *, include_identity: bool = False) -> list[np.ndarra
             asym[k, j] = 1j
             basis.append(asym)
     # Diagonal family.
-    for l in range(1, d):
+    for level in range(1, d):
         diag = np.zeros(d, dtype=complex)
-        diag[:l] = 1.0
-        diag[l] = -float(l)
-        diag *= np.sqrt(2.0 / (l * (l + 1)))
+        diag[:level] = 1.0
+        diag[level] = -float(level)
+        diag *= np.sqrt(2.0 / (level * (level + 1)))
         basis.append(np.diag(diag))
     return basis
 

@@ -43,10 +43,10 @@ def qr_step_right(tensors: list[np.ndarray], i: int) -> None:
 def qr_step_left(tensors: list[np.ndarray], i: int) -> None:
     """Right-orthogonalise site ``i``, absorbing the QR remainder leftward."""
     t = tensors[i]
-    l = t.shape[0]
+    left = t.shape[0]
     mid = t.shape[1:-1]
     r = t.shape[-1]
-    q, rem = np.linalg.qr(t.reshape(l, int(np.prod(mid)) * r).conj().T)
+    q, rem = np.linalg.qr(t.reshape(left, int(np.prod(mid)) * r).conj().T)
     tensors[i] = q.conj().T.reshape((-1,) + mid + (r,))
     prev = tensors[i - 1]
     tensors[i - 1] = np.tensordot(prev, rem.conj(), axes=(prev.ndim - 1, 1))

@@ -9,12 +9,17 @@ layer between the two:
   ``zip_sweep``, ``random_sweep``) and the :class:`Campaign` spec, with
   per-point seeds derived by ``SeedSequence`` spawning so every point is
   reproducible independent of execution order;
-* :mod:`repro.exec.runner` — :func:`run_campaign`: a
-  ``multiprocessing`` worker pool with chunked scheduling, resumable
-  checkpoints, and deterministic result ordering;
+* :mod:`repro.exec.executor` — :class:`CampaignExecutor`: a persistent
+  worker-pool service; one warm ``multiprocessing`` pool amortised
+  across many submissions, with streaming consumption
+  (:meth:`~CampaignHandle.as_completed` / ``stream_results``) so callers
+  act on points as they finish; :func:`run_campaign` is its one-shot
+  barrier wrapper (chunked scheduling, resumable checkpoints,
+  deterministic result ordering);
 * :mod:`repro.exec.cache` — a content-addressed on-disk result cache
   keyed by a stable hash of (task, parameters, seed), so reruns and
-  overlapping campaigns skip completed points;
+  overlapping campaigns skip completed points; LRU size caps
+  (``max_bytes`` / ``max_entries``) keep long-lived caches bounded;
 * :mod:`repro.exec.costmodel` — the cost model behind
   ``get_backend("auto")``: picks statevector / density / trajectories /
   MPS / LPDO from register dims, noise content, requested observables,
@@ -24,7 +29,14 @@ layer between the two:
 
 from .cache import ResultCache, point_key, stable_hash
 from .costmodel import AutoBackend, BackendChoice, select_backend
-from .runner import CampaignResult, run_campaign
+from .executor import (
+    CampaignExecutor,
+    CampaignHandle,
+    CampaignResult,
+    PointResult,
+    executor_scope,
+    run_campaign,
+)
 from .sweep import (
     Campaign,
     CampaignPoint,
@@ -43,6 +55,10 @@ __all__ = [
     "random_sweep",
     "run_campaign",
     "CampaignResult",
+    "CampaignExecutor",
+    "CampaignHandle",
+    "PointResult",
+    "executor_scope",
     "ResultCache",
     "point_key",
     "stable_hash",

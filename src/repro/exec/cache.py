@@ -15,15 +15,27 @@ The on-disk layout is one JSON file per key, sharded by the key's first
 two hex characters.  Writes are atomic (temp file + ``os.replace``) so a
 crashed or killed worker can never leave a *truncated* entry behind — and
 if one ever appears anyway (e.g. a torn copy), unreadable entries are
-treated as misses and quietly evicted.
+treated as misses and quietly evicted.  *Removals* follow the same
+discipline in reverse: an entry is atomically renamed aside before it is
+unlinked, and a conditional removal (the corrupt-entry heal path) first
+re-validates the renamed file — so racing a concurrent ``put`` can never
+destroy a freshly-written good entry.
+
+A long-lived cache can be bounded with ``max_bytes`` / ``max_entries``:
+hits touch the entry's mtime (an access-time stamp), and :meth:`evict`
+removes least-recently-accessed entries until the cache fits its caps.
+Eviction runs opportunistically every ``evict_interval`` writes, so a
+campaign loop never needs to manage the cache's size explicitly.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import tempfile
+import time
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
@@ -78,9 +90,7 @@ def _feed(hasher, obj) -> None:
     elif isinstance(obj, Mapping):
         # Canonical order: items sorted by the digest of their key, so any
         # insertion order (and any hashable key type) yields one encoding.
-        items = sorted(
-            obj.items(), key=lambda item: stable_hash(item[0])
-        )
+        items = sorted(obj.items(), key=lambda item: stable_hash(item[0]))
         hasher.update(f"d{len(items)}:".encode())
         for key, value in items:
             _feed(hasher, key)
@@ -109,9 +119,7 @@ def stable_hash(obj) -> str:
     return hasher.hexdigest()
 
 
-def point_key(
-    task: str, version: str, params: Mapping, seed: int | None
-) -> str:
+def point_key(task: str, version: str, params: Mapping, seed: int | None) -> str:
     """Cache key of one campaign point.
 
     Covers the task's identity and version, every parameter (order-
@@ -124,19 +132,58 @@ def point_key(
     )
 
 
+#: Unique per-process suffix stream for rename-aside tombstones.
+_TOMB_COUNTER = itertools.count()
+
+
+#: Age after which an orphaned dot-file (an atomic-write temp or a
+#: rename-aside tombstone left by a crash mid-removal) is swept by
+#: :meth:`ResultCache.evict`.  Generous enough that no in-flight write
+#: or removal can be this old.
+_ORPHAN_TTL_S = 3600.0
+
+
 class ResultCache:
     """On-disk store mapping point keys to JSON-serialisable values.
 
     Args:
         root: cache directory (created on first write).
+        max_bytes: total payload-byte cap; least-recently-accessed
+            entries are evicted to fit (``None`` = unbounded).
+        max_entries: entry-count cap, same policy (``None`` = unbounded).
+        evict_interval: writes between opportunistic :meth:`evict` scans
+            when a cap is set (each scan stats every entry, so per-write
+            eviction is kept off the hot path by default).
 
     Concurrent use is safe: entries are immutable once written (same key
-    == same computation), writes are atomic renames, and readers treat
-    unreadable entries as misses.
+    == same computation), writes are atomic renames, and removals rename
+    the entry aside before unlinking — a torn or racing state can lose a
+    cache hit (recomputed harmlessly) but never corrupt one.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        evict_interval: int = 64,
+    ) -> None:
         self.root = Path(root)
+        if max_bytes is not None and max_bytes < 0:
+            raise SimulationError("max_bytes must be >= 0")
+        if max_entries is not None and max_entries < 0:
+            raise SimulationError("max_entries must be >= 0")
+        if evict_interval < 1:
+            raise SimulationError("evict_interval must be >= 1")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.evict_interval = evict_interval
+        self._puts_since_evict = 0
+
+    @property
+    def _bounded(self) -> bool:
+        return self.max_bytes is not None or self.max_entries is not None
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -144,12 +191,14 @@ class ResultCache:
     def get(self, key: str):
         """The cached value for ``key``, or :data:`MISS`.
 
-        A corrupted (truncated, non-JSON, wrong-shape) entry is evicted
-        and reported as a miss, so a damaged cache heals by recomputation
-        instead of poisoning campaigns.  A *transient* read failure
-        (OSError — fd exhaustion under a wide worker pool, a flaky
-        network filesystem) is just a miss: the entry is left in place
-        for the next lookup.
+        A corrupted (truncated, non-JSON, wrong-shape) entry is healed:
+        it is renamed aside, re-validated (a concurrent ``put`` may have
+        replaced it with a good entry between our read and the removal —
+        in that case the fresh entry is restored and its value returned),
+        and only then unlinked.  A *transient* read failure (OSError —
+        fd exhaustion under a wide worker pool, a flaky network
+        filesystem) is just a miss: the entry is left in place for the
+        next lookup.
         """
         path = self._path(key)
         try:
@@ -160,22 +209,19 @@ class ResultCache:
             payload = json.loads(text)
             if payload["key"] != key:
                 raise ValueError("key mismatch")
-            return payload["value"]
         except (ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return MISS
+            _removed, recovered = self._discard(path, expect_key=key)
+            return recovered
+        if self._bounded:
+            self._touch(path)
+        return payload["value"]
 
     def put(self, key: str, value) -> None:
         """Atomically persist one value (must be JSON-serialisable)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"key": key, "value": value})
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
@@ -186,6 +232,147 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self._bounded:
+            self._puts_since_evict += 1
+            if self._puts_since_evict >= self.evict_interval:
+                self.evict()
+
+    # -- lifecycle ---------------------------------------------------
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Stamp an access time (mtime) on a hit — the LRU signal."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # the entry may have just been evicted; still a hit
+
+    def _discard(self, path: Path, *, expect_key: str | None = None):
+        """Remove one entry file with the atomic rename-aside discipline.
+
+        The entry is first atomically renamed to a unique dot-prefixed
+        tombstone (invisible to :meth:`__len__` / :meth:`stats`), so no
+        step here can ever tear a shard file a concurrent reader or
+        writer is using.  With ``expect_key`` the removal is
+        *conditional*: the tombstone is re-validated, and if it parses as
+        a good entry for that key — meaning a concurrent ``put`` landed
+        between the caller's corrupt read and this removal — it is
+        renamed back into place and its value returned instead of
+        destroyed.
+
+        Returns:
+            ``(removed, recovered)`` — whether an entry was actually
+            removed, and the recovered value when a conditional removal
+            found a valid racing entry (else :data:`MISS`).
+        """
+        tomb = path.with_name(f".evict-{os.getpid()}-{next(_TOMB_COUNTER)}.json")
+        try:
+            os.replace(path, tomb)
+        except OSError:
+            # Already gone — someone else removed or replaced it first.
+            return False, MISS
+        if expect_key is not None:
+            try:
+                payload = json.loads(tomb.read_text())
+                valid = payload["key"] == expect_key and "value" in payload
+            except (OSError, ValueError, KeyError, TypeError):
+                valid = False
+            if valid:
+                # We grabbed a freshly-written good entry: put it back.
+                # (Entries are immutable per key, so even if yet another
+                # put landed meanwhile, the content is identical.)
+                try:
+                    os.replace(tomb, path)
+                    return False, payload["value"]
+                except OSError:
+                    return False, MISS
+        try:
+            os.unlink(tomb)
+        except OSError:
+            pass
+        return True, MISS
+
+    def _entries(self) -> list[tuple[int, int, Path]]:
+        """Live entries as ``(atime_ns, size, path)``, oldest first.
+
+        Dot-prefixed files (atomic-write temps, eviction tombstones) are
+        skipped; entries that vanish mid-scan are skipped too.
+        """
+        if not self.root.exists():
+            return []
+        records = []
+        for path in self.root.glob("*/*.json"):
+            if path.name.startswith("."):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            records.append((stat.st_mtime_ns, stat.st_size, path))
+        records.sort(key=lambda record: (record[0], record[2].name))
+        return records
+
+    def stats(self) -> dict:
+        """Occupancy and caps: ``{entries, total_bytes, max_*}``."""
+        records = self._entries()
+        return {
+            "entries": len(records),
+            "total_bytes": sum(size for _, size, _ in records),
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+        }
+
+    def evict(self) -> dict:
+        """Remove least-recently-accessed entries until the caps fit.
+
+        Access time is the entry's mtime: stamped by ``put`` and
+        refreshed by every bounded-cache ``get`` hit, so the removal
+        order is true LRU.  Safe under concurrency — each removal is an
+        atomic rename-aside, and losing a racing entry only costs a
+        recomputation.
+
+        Stale dot-files — atomic-write temps and tombstones orphaned by
+        a crash between rename-aside and unlink — are invisible to the
+        caps accounting, so each eviction scan also sweeps any older
+        than an hour (in-flight files are never that old).
+
+        Returns:
+            ``{"evicted_entries", "evicted_bytes", "entries",
+            "total_bytes"}`` describing what was removed and what
+            remains.
+        """
+        self._puts_since_evict = 0
+        cutoff = time.time() - _ORPHAN_TTL_S
+        if self.root.exists():
+            for orphan in self.root.glob("*/.*.json"):
+                try:
+                    if orphan.stat().st_mtime < cutoff:
+                        orphan.unlink()
+                except OSError:
+                    continue
+        records = self._entries()
+        n_entries = len(records)
+        total_bytes = sum(size for _, size, _ in records)
+        evicted = 0
+        evicted_bytes = 0
+        for _, size, path in records:
+            over_entries = (
+                self.max_entries is not None and n_entries > self.max_entries
+            )
+            over_bytes = self.max_bytes is not None and total_bytes > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            removed, _recovered = self._discard(path)
+            if removed:
+                evicted += 1
+                evicted_bytes += size
+            n_entries -= 1
+            total_bytes -= size
+        return {
+            "evicted_entries": evicted,
+            "evicted_bytes": evicted_bytes,
+            "entries": n_entries,
+            "total_bytes": total_bytes,
+        }
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not MISS
@@ -196,7 +383,5 @@ class ResultCache:
         # Exclude orphaned atomic-write temp files (".tmp-*.json" left by
         # a worker killed mid-put) — pathlib's "*" matches dotfiles.
         return sum(
-            1
-            for path in self.root.glob("*/*.json")
-            if not path.name.startswith(".")
+            1 for path in self.root.glob("*/*.json") if not path.name.startswith(".")
         )

@@ -1,0 +1,664 @@
+"""Persistent campaign execution: pooled workers and streaming results.
+
+:func:`~repro.exec.runner.run_campaign` answers "run this sweep"; this
+module answers "run *many* sweeps, fast, and let me consume points as
+they finish".  A :class:`CampaignExecutor` keeps one warm
+``multiprocessing`` pool alive across any number of
+:meth:`~CampaignExecutor.submit` calls, so a battery of short campaigns
+pays the fork + import cost once instead of per campaign.  Each
+submission returns a :class:`CampaignHandle` exposing three consumption
+styles:
+
+* :meth:`~CampaignHandle.as_completed` — :class:`PointResult` events in
+  completion order (cache and checkpoint hits first — they short-circuit
+  before anything is dispatched to the pool);
+* :meth:`~CampaignHandle.stream_results` — plain values in **point
+  order**, each yielded as soon as it is available, so an adaptive
+  caller (a bisection, an early-stopping battery) can act on point ``i``
+  while points ``i+1..n`` are still running;
+* :meth:`~CampaignHandle.result` — block until every point is done and
+  return the familiar :class:`CampaignResult`.
+
+All three observe the exact same values: per-point seeds are spawned
+from campaign content (never a shared stream), so serial, parallel, and
+streamed executions are bit-identical, and ``result()`` always reports
+deterministic point order.
+
+Abandoning a handle early (breaking out of a stream) is safe: points
+already dispatched to the pool finish in the background and their
+results are discarded; points never consumed are simply not cached or
+checkpointed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import NamedTuple
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from .cache import MISS, ResultCache
+from .sweep import Campaign, CampaignPoint, resolve_task
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignHandle",
+    "CampaignResult",
+    "PointResult",
+    "executor_scope",
+    "run_campaign",
+    "to_jsonable",
+]
+
+#: Distinguishes "argument not given" from an explicit ``None``.
+_UNSET = object()
+
+
+def to_jsonable(value):
+    """Normalise a task return value to plain JSON types.
+
+    Numpy scalars become python numbers, numpy arrays and tuples become
+    lists, dict keys are stringified where JSON requires it.  Raises for
+    values JSON cannot represent (the task should return data, not
+    objects).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                key = str(key)
+            out[key] = to_jsonable(item)
+        return out
+    raise SimulationError(
+        f"campaign task returned non-serialisable {type(value).__name__!r}; "
+        f"return numbers, strings, lists, dicts, or numpy data"
+    )
+
+
+def _call_task(task_ref: str, point: CampaignPoint):
+    """Execute one point's task with its seed injected."""
+    task = resolve_task(task_ref)
+    params = dict(point.params)
+    if point.seed is not None and "seed" not in params:
+        params["seed"] = point.seed
+    return to_jsonable(task(**params))
+
+
+def _pool_worker(payload):
+    """Module-level pool target (must be picklable under spawn)."""
+    task_ref, point = payload
+    return point.index, point.key, _call_task(task_ref, point)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a campaign run produced.
+
+    Attributes:
+        name: the campaign's label.
+        values: one task value per point, ordered by point index.
+        points: the resolved points (same order).
+        cache_hits: points served from the result cache.
+        checkpoint_hits: points replayed from the checkpoint file.
+        computed: points actually executed this run.
+        workers: pool width used (1 = serial).
+        duration_s: wall-clock time of the run.
+    """
+
+    name: str
+    values: list
+    points: list[CampaignPoint]
+    cache_hits: int
+    checkpoint_hits: int
+    computed: int
+    workers: int
+    duration_s: float
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of points that skipped execution (cache + checkpoint)."""
+        if not self.values:
+            return 0.0
+        return (self.cache_hits + self.checkpoint_hits) / len(self.values)
+
+    def as_table(self) -> list[dict]:
+        """Per-point records ``{**params, "seed": ..., "value": ...}``."""
+        return [
+            {**point.params, "seed": point.seed, "value": value}
+            for point, value in zip(self.points, self.values)
+        ]
+
+
+class PointResult(NamedTuple):
+    """One completed campaign point, as seen by a streaming consumer.
+
+    Attributes:
+        point: the resolved :class:`CampaignPoint`.
+        value: the task's (JSON-normalised) return value.
+        source: ``"cache"``, ``"checkpoint"``, or ``"computed"``.
+    """
+
+    point: CampaignPoint
+    value: object
+    source: str
+
+
+def _load_checkpoint(path: Path) -> dict[str, object]:
+    """Replay a JSON-lines checkpoint, skipping corrupt/partial lines.
+
+    A crash mid-append leaves at most one truncated trailing line; a
+    corrupted file may contain arbitrary garbage.  Either way every
+    well-formed line is recovered and the rest are recomputed — the
+    checkpoint can only ever *save* work, never wedge a campaign.
+    """
+    done: dict[str, object] = {}
+    try:
+        text = path.read_text()
+    except (FileNotFoundError, OSError):
+        return done
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            done[record["key"]] = record["value"]
+        except (ValueError, KeyError, TypeError):
+            continue
+    return done
+
+
+def _append_checkpoint(handle, point: CampaignPoint, value) -> None:
+    record = {"key": point.key, "index": point.index, "value": value}
+    handle.write(json.dumps(record) + "\n")
+    handle.flush()
+
+
+class CampaignHandle:
+    """A submitted campaign: consume its points as they finish.
+
+    Created by :meth:`CampaignExecutor.submit` — never directly.  The
+    handle owns the campaign's bookkeeping (which points were served from
+    the cache or checkpoint, which were computed) and exposes the three
+    consumption styles described in the module docstring.  All styles
+    share one underlying event stream, so they can be mixed freely: a
+    caller may pull a few events from :meth:`as_completed`, then call
+    :meth:`result` to drain the rest.
+    """
+
+    def __init__(
+        self,
+        executor: "CampaignExecutor",
+        campaign: Campaign,
+        points: list[CampaignPoint],
+        hits: list[PointResult],
+        pending: list[CampaignPoint],
+        cache: ResultCache | None,
+        checkpoint_path: Path | None,
+        result_iter,
+        start: float,
+    ) -> None:
+        self._executor = executor
+        self._campaign = campaign
+        self._points = points
+        self._cache = cache
+        self._checkpoint_path = checkpoint_path
+        # Clock starts when submit() began, so duration_s covers the
+        # cache/checkpoint hit resolution too (a fully-cached campaign's
+        # cost IS that scan).
+        self._start = start
+        self._seen: list[PointResult] = []
+        self._values: dict[int, object] = {}
+        self._pool_backed = result_iter is not None
+        self._failed: BaseException | None = None
+        self.cache_hits = sum(1 for hit in hits if hit.source == "cache")
+        self.checkpoint_hits = len(hits) - self.cache_hits
+        self.computed = 0
+        # Effective pool width: a campaign whose pending work is 0 or 1
+        # points runs in-process (reported as serial), exactly like the
+        # one-shot runner always did.
+        self.workers = executor.workers if result_iter is not None else 1
+        self._events = self._event_stream(hits, pending, result_iter)
+
+    @property
+    def name(self) -> str:
+        """The campaign's label."""
+        return self._campaign.name
+
+    @property
+    def points(self) -> list[CampaignPoint]:
+        """The campaign's resolved points, in deterministic order."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # -- event production ------------------------------------------------
+    def _event_stream(self, hits, pending, result_iter):
+        """Yield :class:`PointResult` events in completion order.
+
+        Hits are yielded first (they were resolved at submit time, before
+        anything touched the pool); computed points follow as the pool —
+        or the in-process serial loop — delivers them.
+        """
+        checkpoint_handle = None
+        try:
+            for hit in hits:
+                yield hit
+            if not pending:
+                return
+            if self._checkpoint_path is not None:
+                self._checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+                checkpoint_handle = self._checkpoint_path.open("a")
+            if result_iter is None:
+                task_ref = self._campaign.task_reference
+                for point in pending:
+                    value = _call_task(task_ref, point)
+                    self._record(point, value, checkpoint_handle)
+                    yield PointResult(point, value, "computed")
+            else:
+                for index, _key, value in result_iter:
+                    point = self._points[index]
+                    self._record(point, value, checkpoint_handle)
+                    yield PointResult(point, value, "computed")
+        finally:
+            if checkpoint_handle is not None:
+                checkpoint_handle.close()
+
+    def _record(self, point, value, checkpoint_handle) -> None:
+        self.computed += 1
+        self._executor._points_computed += 1
+        if self._cache is not None:
+            self._cache.put(point.key, value)
+        if checkpoint_handle is not None:
+            _append_checkpoint(checkpoint_handle, point, value)
+
+    def _advance(self) -> PointResult:
+        if self._failed is not None:
+            # The underlying generator died with the task's exception; a
+            # spent generator would otherwise just StopIterate, making
+            # result() fail with an unrelated KeyError.
+            raise SimulationError(
+                f"campaign {self.name!r} already failed: {self._failed!r}"
+            ) from self._failed
+        if (
+            self._pool_backed
+            and self._executor._closed
+            and len(self._seen) < len(self._points)
+        ):
+            # The pool was terminated with results still undelivered;
+            # next() on its imap iterator would block forever.
+            raise SimulationError(
+                f"executor is closed with campaign {self.name!r} still "
+                f"incomplete ({len(self._seen)}/{len(self._points)} points "
+                f"resolved) — consume the handle before closing"
+            )
+        try:
+            event = next(self._events)  # StopIteration ends the drain loops
+        except StopIteration:
+            raise
+        except BaseException as exc:
+            self._failed = exc
+            raise
+        self._seen.append(event)
+        self._values[event.point.index] = event.value
+        return event
+
+    # -- consumption styles ----------------------------------------------
+    def as_completed(self):
+        """Iterate :class:`PointResult` events in completion order.
+
+        Cache/checkpoint hits come first (in point order), computed
+        points as they finish (scheduling order under a pool).  A task
+        exception propagates from the iterator; the executor and its pool
+        survive it.  Multiple iterators may be taken — each replays the
+        events already observed, then continues the shared stream.
+        """
+        position = 0
+        while True:
+            while position < len(self._seen):
+                yield self._seen[position]
+                position += 1
+            try:
+                self._advance()
+            except StopIteration:
+                return
+
+    def stream_results(self):
+        """Yield plain values in **point order**, each as soon as known.
+
+        The first value is yielded as soon as point 0 resolves — long
+        before the campaign barrier — which is what lets an adaptive
+        caller issue its next campaign early.  Because the order is the
+        deterministic point order, any early-stop decision made while
+        streaming is independent of worker count and scheduling.
+        """
+        for point in self._points:
+            while point.index not in self._values:
+                try:
+                    self._advance()
+                except StopIteration:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"campaign {self.name!r} ended before point "
+                        f"{point.index} resolved"
+                    ) from None
+            yield self._values[point.index]
+
+    def result(self) -> CampaignResult:
+        """Block until every point is done; the full ordered result."""
+        for _ in self.as_completed():
+            pass
+        return self._build_result(self._points)
+
+    def partial_result(self) -> CampaignResult:
+        """A :class:`CampaignResult` over the points resolved *so far*.
+
+        Never blocks.  Useful after an early-stopped stream: the values
+        list aligns with the resolved subset of points (in point order).
+        """
+        resolved = [p for p in self._points if p.index in self._values]
+        return self._build_result(resolved)
+
+    def _build_result(self, points: list[CampaignPoint]) -> CampaignResult:
+        return CampaignResult(
+            name=self._campaign.name,
+            values=[self._values[point.index] for point in points],
+            points=points,
+            cache_hits=self.cache_hits,
+            checkpoint_hits=self.checkpoint_hits,
+            computed=self.computed,
+            workers=self.workers,
+            duration_s=time.perf_counter() - self._start,
+        )
+
+
+class CampaignExecutor:
+    """A reusable campaign execution service with a warm worker pool.
+
+    The pool is created lazily on the first submission that needs it and
+    then *kept* — subsequent campaigns reuse the forked workers, which is
+    where short-sweep batteries win big (fork + numpy import cost is paid
+    once, not per campaign).  Close the executor (or use it as a context
+    manager) to tear the pool down.
+
+    Args:
+        workers: pool width; ``None``/``0``/``1`` executes in-process
+            (streaming still works — points are computed lazily).
+        cache: default :class:`ResultCache` (or directory path) applied
+            to every submission unless overridden per call.
+        chunk_size: default points-per-dispatch for :meth:`submit`
+            (default 1: streaming-friendly; :meth:`run` balances chunks
+            for barrier throughput instead).
+
+    Attributes:
+        stats: counters — ``pools_created``, ``campaigns``,
+            ``points_computed`` — for asserting pool reuse.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        cache: ResultCache | str | Path | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        n_workers = int(workers or 1)
+        if n_workers < 0:
+            raise SimulationError("workers must be >= 0")
+        self.workers = max(1, n_workers)
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self._pool = None
+        self._closed = False
+        self._pools_created = 0
+        self._campaigns = 0
+        self._points_computed = 0
+
+    # -- pool lifecycle --------------------------------------------------
+    def _ensure_pool(self):
+        if self._closed:
+            raise SimulationError("executor is closed")
+        if self._pool is None:
+            # The interpreter's default start method: fork where the
+            # platform still defaults to it, forkserver/spawn elsewhere.
+            # Workers only receive picklable (task_ref, point) payloads —
+            # the task is re-imported inside the child — so every start
+            # method works.
+            ctx = multiprocessing.get_context()
+            self._pool = ctx.Pool(processes=self.workers)
+            self._pools_created += 1
+        return self._pool
+
+    def warm(self) -> "CampaignExecutor":
+        """Create the worker pool now (instead of on first submission).
+
+        Useful when the time-to-first-result of the *next* campaign
+        matters more than the cost of this call.  No-op for serial
+        executors and already-warm pools.
+        """
+        if self.workers > 1:
+            self._ensure_pool()
+        return self
+
+    @property
+    def stats(self) -> dict:
+        """Executor-lifetime counters (pool reuse, work done)."""
+        return {
+            "workers": self.workers,
+            "pools_created": self._pools_created,
+            "campaigns": self._campaigns,
+            "points_computed": self._points_computed,
+            "pool_alive": self._pool is not None,
+        }
+
+    def close(self) -> None:
+        """Tear down the pool.  Safe to call twice; submits then fail."""
+        self._closed = True
+        if self._pool is not None:
+            # terminate (not close): abandoned streams may have orphaned
+            # points still running, and their results go nowhere.
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission ------------------------------------------------------
+    def submit(
+        self,
+        campaign: Campaign,
+        *,
+        cache: ResultCache | str | Path | None = _UNSET,
+        checkpoint: str | Path | None = None,
+        chunk_size: int | None = None,
+    ) -> CampaignHandle:
+        """Start a campaign; consume it through the returned handle.
+
+        Cache and checkpoint hits are resolved *now* — before any point
+        is dispatched — so a fully-cached campaign never touches the
+        pool.  Pending points are dispatched to the warm pool immediately
+        (workers proceed while the caller is between ``next()`` calls);
+        with ``workers <= 1`` they are computed lazily in-process as the
+        handle is consumed.
+
+        Args:
+            campaign: the declarative spec.
+            cache: override the executor default for this submission
+                (``None`` disables caching).
+            checkpoint: JSON-lines resume file, replayed then appended.
+            chunk_size: points per pool dispatch (default: the
+                executor's ``chunk_size``, else 1 for low latency).  The
+                string ``"balanced"`` splits the pending points so each
+                worker sees ~4 chunks — best for barrier consumption.
+        """
+        if self._closed:
+            raise SimulationError("executor is closed")
+        start = time.perf_counter()
+        if cache is _UNSET:
+            cache = self.cache
+        elif isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        points = campaign.points()
+        checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+        replayed = _load_checkpoint(checkpoint_path) if checkpoint_path else {}
+
+        hits: list[PointResult] = []
+        pending: list[CampaignPoint] = []
+        for point in points:
+            if cache is not None:
+                value = cache.get(point.key)
+                if value is not MISS:
+                    hits.append(PointResult(point, value, "cache"))
+                    continue
+            if point.key in replayed:
+                value = replayed[point.key]
+                hits.append(PointResult(point, value, "checkpoint"))
+                if cache is not None:
+                    cache.put(point.key, value)
+                continue
+            pending.append(point)
+
+        if chunk_size is None:
+            chunk_size = self.chunk_size if self.chunk_size is not None else 1
+        if chunk_size == "balanced":
+            chunk_size = max(1, len(pending) // (self.workers * 4))
+        result_iter = None
+        if self.workers > 1 and len(pending) > 1:
+            # Dispatch now: imap feeds the pool from a background thread,
+            # so workers make progress while the caller is off doing
+            # something other than consuming the handle.
+            pool = self._ensure_pool()
+            task_ref = campaign.task_reference
+            payloads = [(task_ref, point) for point in pending]
+            result_iter = pool.imap_unordered(
+                _pool_worker, payloads, chunksize=max(1, int(chunk_size))
+            )
+        handle = CampaignHandle(
+            executor=self,
+            campaign=campaign,
+            points=points,
+            hits=hits,
+            pending=pending,
+            cache=cache,
+            checkpoint_path=checkpoint_path,
+            result_iter=result_iter,
+            start=start,
+        )
+        self._campaigns += 1
+        return handle
+
+    def run(
+        self,
+        campaign: Campaign,
+        *,
+        cache: ResultCache | str | Path | None = _UNSET,
+        checkpoint: str | Path | None = None,
+        chunk_size: int | None = None,
+    ) -> CampaignResult:
+        """Submit and drain one campaign (the barrier style).
+
+        Equivalent to ``submit(...).result()`` except for the default
+        chunking: with no explicit ``chunk_size`` the pending points are
+        split so each worker sees ~4 chunks, amortising IPC without
+        starving the tail — the right default when nobody is watching
+        the stream.
+        """
+        if chunk_size is None and self.chunk_size is None:
+            chunk_size = "balanced"
+        handle = self.submit(
+            campaign, cache=cache, checkpoint=checkpoint, chunk_size=chunk_size
+        )
+        return handle.result()
+
+
+@contextmanager
+def executor_scope(
+    executor: CampaignExecutor | None,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | str | Path | None = None,
+):
+    """The executor-or-own pattern shared by the workload drivers.
+
+    Yields ``(executor, submit_kwargs)``.  With a caller-provided
+    executor it is yielded as-is (and *not* closed afterwards), and
+    ``submit_kwargs`` carries the caller's cache as an explicit override
+    when one was given — a ``cache=None`` caller defers to the
+    executor's own cache rather than disabling caching.  Without one, a
+    transient :class:`CampaignExecutor` is created with the caller's
+    ``workers``/``cache`` and closed on exit, and ``submit_kwargs`` is
+    empty (the cache is already the executor default).
+    """
+    if executor is not None:
+        yield executor, ({} if cache is None else {"cache": cache})
+        return
+    owned = CampaignExecutor(workers, cache=cache)
+    try:
+        yield owned, {}
+    finally:
+        owned.close()
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | str | Path | None = None,
+    checkpoint: str | Path | None = None,
+    chunk_size: int | None = None,
+) -> CampaignResult:
+    """Execute every point of a campaign, skipping already-known results.
+
+    A thin one-shot wrapper over :class:`CampaignExecutor`: builds an
+    executor, runs the campaign to the barrier, tears the pool down.
+    Serial, parallel, and streamed executions are bit-identical (per-point
+    spawned seeds), so parallelism is purely a wall-clock choice.  Batch
+    callers running *many* campaigns should hold a
+    :class:`CampaignExecutor` instead and amortise the pool.
+
+    Args:
+        campaign: the declarative spec.
+        workers: worker-process count; ``None``/``0``/``1`` runs serially
+            in-process.
+        cache: a :class:`ResultCache` (or a directory path for one).
+            Points found by content key are served without executing —
+            across reruns *and* across different campaigns that share
+            points.  Freshly computed values are written back.
+        checkpoint: JSON-lines file appended as points complete; an
+            existing file is replayed first (resume after a kill), with
+            corrupted lines skipped.
+        chunk_size: points handed to a worker per scheduling quantum
+            (default: balanced so each worker sees ~4 chunks).
+
+    Returns:
+        A :class:`CampaignResult` with values in point order.
+    """
+    with CampaignExecutor(workers, cache=cache) as executor:
+        return executor.run(campaign, checkpoint=checkpoint, chunk_size=chunk_size)

@@ -1,281 +1,26 @@
-"""Campaign execution: worker pools, checkpoints, deterministic results.
+"""One-shot campaign execution (compatibility module).
 
-:func:`run_campaign` takes a :class:`~repro.exec.sweep.Campaign` and
-returns one value per point, **in point order**, regardless of how the
-points were scheduled.  Three layers of work-skipping compose:
-
-1. **result cache** — points whose content key is already in the
-   :class:`~repro.exec.cache.ResultCache` are served without executing;
-2. **checkpoint** — completed points are appended to a JSON-lines file as
-   they finish, so a killed campaign resumes where it stopped (corrupted
-   or partial trailing lines — the signature of a crash mid-write — are
-   skipped harmlessly);
-3. **worker pool** — remaining points run on a ``multiprocessing`` pool
-   with chunked scheduling.  Because every point's seed is spawned from
-   the campaign root (never drawn from a shared stream), the results are
-   bit-identical to a serial run.
-
-Task return values are normalised to plain JSON types *before* being
-returned or stored, so a value observed from a fresh computation, a
-cache hit, and a checkpoint replay is always exactly the same object
-shape.
+The execution machinery lives in :mod:`repro.exec.executor` since the
+persistent :class:`~repro.exec.executor.CampaignExecutor` subsumed the
+original runner: :func:`run_campaign` is now a thin wrapper that builds
+a single-use executor, runs the campaign to the barrier, and tears the
+pool down.  This module keeps the historical import surface
+(``repro.exec.runner.run_campaign`` / ``CampaignResult`` /
+``to_jsonable``) stable.
 """
 
 from __future__ import annotations
 
-import json
-import multiprocessing
-import os
-import time
-from dataclasses import dataclass
-from pathlib import Path
+# The private helpers are re-exported too, so existing imports (and any
+# queued pool payloads referencing them) keep resolving.
+from .executor import (  # noqa: F401
+    CampaignResult,
+    _append_checkpoint,
+    _call_task,
+    _load_checkpoint,
+    _pool_worker,
+    run_campaign,
+    to_jsonable,
+)
 
-import numpy as np
-
-from ..core.exceptions import SimulationError
-from .cache import MISS, ResultCache
-from .sweep import Campaign, CampaignPoint, resolve_task
-
-__all__ = ["run_campaign", "CampaignResult"]
-
-
-def to_jsonable(value):
-    """Normalise a task return value to plain JSON types.
-
-    Numpy scalars become python numbers, numpy arrays and tuples become
-    lists, dict keys are stringified where JSON requires it.  Raises for
-    values JSON cannot represent (the task should return data, not
-    objects).
-    """
-    if value is None or isinstance(value, (bool, int, str)):
-        return value
-    if isinstance(value, (np.bool_,)):
-        return bool(value)
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (float, np.floating)):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return [to_jsonable(item) for item in value.tolist()]
-    if isinstance(value, (list, tuple)):
-        return [to_jsonable(item) for item in value]
-    if isinstance(value, dict):
-        out = {}
-        for key, item in value.items():
-            if not isinstance(key, str):
-                key = str(key)
-            out[key] = to_jsonable(item)
-        return out
-    raise SimulationError(
-        f"campaign task returned non-serialisable {type(value).__name__!r}; "
-        f"return numbers, strings, lists, dicts, or numpy data"
-    )
-
-
-def _call_task(task_ref: str, point: CampaignPoint):
-    """Execute one point's task with its seed injected."""
-    task = resolve_task(task_ref)
-    params = dict(point.params)
-    if point.seed is not None and "seed" not in params:
-        params["seed"] = point.seed
-    return to_jsonable(task(**params))
-
-
-def _pool_worker(payload):
-    """Module-level pool target (must be picklable under spawn)."""
-    task_ref, point = payload
-    return point.index, point.key, _call_task(task_ref, point)
-
-
-@dataclass(frozen=True)
-class CampaignResult:
-    """Everything a campaign run produced.
-
-    Attributes:
-        name: the campaign's label.
-        values: one task value per point, ordered by point index.
-        points: the resolved points (same order).
-        cache_hits: points served from the result cache.
-        checkpoint_hits: points replayed from the checkpoint file.
-        computed: points actually executed this run.
-        workers: pool width used (1 = serial).
-        duration_s: wall-clock time of the run.
-    """
-
-    name: str
-    values: list
-    points: list[CampaignPoint]
-    cache_hits: int
-    checkpoint_hits: int
-    computed: int
-    workers: int
-    duration_s: float
-
-    def __len__(self) -> int:
-        return len(self.values)
-
-    @property
-    def hit_fraction(self) -> float:
-        """Fraction of points that skipped execution (cache + checkpoint)."""
-        if not self.values:
-            return 0.0
-        return (self.cache_hits + self.checkpoint_hits) / len(self.values)
-
-    def as_table(self) -> list[dict]:
-        """Per-point records ``{**params, "seed": ..., "value": ...}``."""
-        return [
-            {**point.params, "seed": point.seed, "value": value}
-            for point, value in zip(self.points, self.values)
-        ]
-
-
-def _load_checkpoint(path: Path) -> dict[str, object]:
-    """Replay a JSON-lines checkpoint, skipping corrupt/partial lines.
-
-    A crash mid-append leaves at most one truncated trailing line; a
-    corrupted file may contain arbitrary garbage.  Either way every
-    well-formed line is recovered and the rest are recomputed — the
-    checkpoint can only ever *save* work, never wedge a campaign.
-    """
-    done: dict[str, object] = {}
-    try:
-        text = path.read_text()
-    except (FileNotFoundError, OSError):
-        return done
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-            done[record["key"]] = record["value"]
-        except (ValueError, KeyError, TypeError):
-            continue
-    return done
-
-
-def _append_checkpoint(handle, point: CampaignPoint, value) -> None:
-    handle.write(
-        json.dumps({"key": point.key, "index": point.index, "value": value})
-        + "\n"
-    )
-    handle.flush()
-
-
-def run_campaign(
-    campaign: Campaign,
-    *,
-    workers: int | None = None,
-    cache: ResultCache | str | Path | None = None,
-    checkpoint: str | Path | None = None,
-    chunk_size: int | None = None,
-) -> CampaignResult:
-    """Execute every point of a campaign, skipping already-known results.
-
-    Args:
-        campaign: the declarative spec.
-        workers: worker-process count; ``None``/``0``/``1`` runs serially
-            in-process.  Results are bit-identical either way (per-point
-            spawned seeds), so parallelism is purely a wall-clock choice.
-        cache: a :class:`ResultCache` (or a directory path for one).
-            Points found by content key are served without executing —
-            across reruns *and* across different campaigns that share
-            points.  Freshly computed values are written back.
-        checkpoint: JSON-lines file appended as points complete; an
-            existing file is replayed first (resume after a kill), with
-            corrupted lines skipped.
-        chunk_size: points handed to a worker per scheduling quantum
-            (default: balanced so each worker sees ~4 chunks, amortising
-            IPC without starving the tail).
-
-    Returns:
-        A :class:`CampaignResult` with values in point order.
-    """
-    start = time.perf_counter()
-    points = campaign.points()
-    if isinstance(cache, (str, Path)):
-        cache = ResultCache(cache)
-
-    values: dict[int, object] = {}
-    cache_hits = 0
-    checkpoint_hits = 0
-
-    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
-    replayed = _load_checkpoint(checkpoint_path) if checkpoint_path else {}
-
-    pending: list[CampaignPoint] = []
-    for point in points:
-        if cache is not None:
-            hit = cache.get(point.key)
-            if hit is not MISS:
-                values[point.index] = hit
-                cache_hits += 1
-                continue
-        if point.key in replayed:
-            values[point.index] = replayed[point.key]
-            checkpoint_hits += 1
-            if cache is not None:
-                cache.put(point.key, replayed[point.key])
-            continue
-        pending.append(point)
-
-    task_reference = campaign.task_reference
-    n_workers = int(workers or 1)
-    if n_workers < 0:
-        raise SimulationError("workers must be >= 0")
-    n_workers = max(1, n_workers)
-
-    checkpoint_handle = None
-    if checkpoint_path is not None and pending:
-        checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
-        checkpoint_handle = checkpoint_path.open("a")
-
-    computed = 0
-    try:
-        if n_workers == 1 or len(pending) <= 1:
-            n_workers = 1
-            for point in pending:
-                value = _call_task(task_reference, point)
-                values[point.index] = value
-                computed += 1
-                if cache is not None:
-                    cache.put(point.key, value)
-                if checkpoint_handle is not None:
-                    _append_checkpoint(checkpoint_handle, point, value)
-        else:
-            if chunk_size is None:
-                chunk_size = max(1, len(pending) // (n_workers * 4))
-            # The interpreter's default start method: fork where the
-            # platform still defaults to it, forkserver/spawn where
-            # forking a (potentially BLAS-threaded) parent is unsafe.
-            # Workers only need the picklable (task_ref, point) payload —
-            # the task itself is re-imported inside the child — so every
-            # start method works.
-            ctx = multiprocessing.get_context()
-            payloads = [(task_reference, point) for point in pending]
-            with ctx.Pool(processes=n_workers) as pool:
-                for index, key, value in pool.imap_unordered(
-                    _pool_worker, payloads, chunksize=chunk_size
-                ):
-                    values[index] = value
-                    computed += 1
-                    if cache is not None:
-                        cache.put(key, value)
-                    if checkpoint_handle is not None:
-                        point = points[index]
-                        _append_checkpoint(checkpoint_handle, point, value)
-    finally:
-        if checkpoint_handle is not None:
-            checkpoint_handle.close()
-
-    ordered = [values[point.index] for point in points]
-    return CampaignResult(
-        name=campaign.name,
-        values=ordered,
-        points=points,
-        cache_hits=cache_hits,
-        checkpoint_hits=checkpoint_hits,
-        computed=computed,
-        workers=n_workers,
-        duration_s=time.perf_counter() - start,
-    )
+__all__ = ["run_campaign", "CampaignResult", "to_jsonable"]

@@ -85,9 +85,7 @@ def grid_sweep(**axes: Sequence) -> Sweep:
     axes = _check_axes(axes)
     points: list[dict] = [{}]
     for name, values in axes.items():
-        points = [
-            {**point, name: value} for point in points for value in values
-        ]
+        points = [{**point, name: value} for point in points for value in values]
     return Sweep(tuple(points))
 
 
@@ -102,11 +100,7 @@ def zip_sweep(**axes: Sequence) -> Sweep:
     if len(set(lengths.values())) != 1:
         raise SimulationError(f"zip_sweep axes differ in length: {lengths}")
     names = list(axes)
-    return Sweep(
-        tuple(
-            dict(zip(names, combo)) for combo in zip(*axes.values())
-        )
-    )
+    return Sweep(tuple(dict(zip(names, combo)) for combo in zip(*axes.values())))
 
 
 def random_sweep(n_points: int, seed: int = 0, **specs) -> Sweep:
@@ -144,12 +138,8 @@ def random_sweep(n_points: int, seed: int = 0, **specs) -> Sweep:
             mode = spec[2] if len(spec) == 3 else "uniform"
             if mode == "log":
                 if lo <= 0 or hi <= 0:
-                    raise SimulationError(
-                        f"log axis {name!r} needs positive bounds"
-                    )
-                draws = np.exp(
-                    rng.uniform(np.log(lo), np.log(hi), size=n_points)
-                )
+                    raise SimulationError(f"log axis {name!r} needs positive bounds")
+                draws = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_points))
                 columns[name] = [float(v) for v in draws]
             elif mode == "int":
                 draws = rng.integers(int(spec[0]), int(spec[1]), size=n_points)
@@ -165,10 +155,7 @@ def random_sweep(n_points: int, seed: int = 0, **specs) -> Sweep:
             )
     names = list(columns)
     return Sweep(
-        tuple(
-            {name: columns[name][i] for name in names}
-            for i in range(n_points)
-        )
+        tuple({name: columns[name][i] for name in names} for i in range(n_points))
     )
 
 

@@ -16,7 +16,7 @@ Distant modes require routing (SWAP chains) — the compiler's job.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

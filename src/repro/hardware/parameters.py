@@ -15,7 +15,7 @@ All durations are seconds; times derived from them feed the error model in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.exceptions import DeviceError
 

@@ -11,7 +11,6 @@ instances) or zero for colorable graphs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np

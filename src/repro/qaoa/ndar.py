@@ -15,7 +15,7 @@ The qudit generalisation replaces the Ising Z2 gauge freedom with the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -254,30 +254,49 @@ def ndar_restart_battery(
     cache=None,
     checkpoint=None,
     seed: int = 0,
+    target_cost: int | None = None,
+    executor=None,
     **task_params,
 ) -> dict:
-    """Run an NDAR restart battery as one parallel, cached campaign.
+    """Run an NDAR restart battery as one streamed, cached campaign.
 
     The paper's NDAR protocol is usually repeated from independent seeds
     and the best incumbent kept; this driver turns that battery into a
-    campaign — restarts run across the worker pool, completed restarts
-    are cached/checkpointed, and the summary aggregates deterministically
-    (per-restart seeds are spawned, so the battery's outcome is
-    independent of scheduling).
+    campaign — restarts fan out across the worker pool, completed
+    restarts are cached/checkpointed, and the summary aggregates
+    deterministically (per-restart seeds are spawned, so the battery's
+    outcome is independent of scheduling).
+
+    With ``target_cost`` the battery **early-stops**: restarts are
+    consumed as a stream in restart order, and consumption halts at the
+    first restart whose best cost reaches the target — later restarts
+    are neither waited for nor aggregated.  Because the stream order is
+    the deterministic point order (not pool completion order), the
+    early-stopped summary is bit-identical at any worker count.
 
     Args:
         n_restarts: independent NDAR repetitions.
-        workers, cache, checkpoint, seed: forwarded to
-            :func:`repro.exec.run_campaign` / the campaign spec.
+        workers, cache, checkpoint, seed: forwarded to the executor /
+            campaign spec (``workers`` is ignored when ``executor`` is
+            given).
+        target_cost: stop consuming once a restart's ``best_cost`` is
+            ``<=`` this value (``None`` = run the full battery).
+        executor: an existing :class:`repro.exec.CampaignExecutor` whose
+            warm pool should be reused.
         **task_params: fixed :func:`ndar_restart_task` parameters
             (``n_nodes``, ``loss_per_layer``, ``n_rounds``, ...).
 
     Returns:
         ``{"best_cost", "best_restart", "approximation_ratio",
-        "best_assignment", "mean_best_cost", "campaign"}`` with
-        ``campaign`` the underlying :class:`repro.exec.CampaignResult`.
+        "best_assignment", "mean_best_cost", "n_evaluated",
+        "stopped_early", "campaign"}`` with ``campaign`` the underlying
+        :class:`repro.exec.CampaignResult`.  When early-stopped it is a
+        partial result over whatever points had resolved by stop time
+        (at least the evaluated prefix; its ``points`` say exactly
+        which) — the *summary* fields aggregate only the deterministic
+        evaluated prefix.
     """
-    from ..exec import Campaign, run_campaign, zip_sweep
+    from ..exec import Campaign, executor_scope, zip_sweep
 
     campaign = Campaign(
         task="repro.qaoa.ndar:ndar_restart_task",
@@ -286,17 +305,26 @@ def ndar_restart_battery(
         base_params=task_params,
         seed=seed,
     )
-    result = run_campaign(
-        campaign, workers=workers, cache=cache, checkpoint=checkpoint
-    )
-    best = min(result.values, key=lambda record: record["best_cost"])
+    with executor_scope(executor, workers=workers, cache=cache) as (ex, kwargs):
+        handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
+        records: list[dict] = []
+        stopped_early = False
+        for record in handle.stream_results():
+            records.append(record)
+            if target_cost is not None and record["best_cost"] <= target_cost:
+                stopped_early = True
+                break
+        result = handle.partial_result() if stopped_early else handle.result()
+    best = min(records, key=lambda record: record["best_cost"])
     return {
         "best_cost": best["best_cost"],
         "best_restart": best["restart"],
         "approximation_ratio": best["approximation_ratio"],
         "best_assignment": best["best_assignment"],
         "mean_best_cost": float(
-            np.mean([record["best_cost"] for record in result.values])
+            np.mean([record["best_cost"] for record in records])
         ),
+        "n_evaluated": len(records),
+        "stopped_early": stopped_early,
         "campaign": result,
     }

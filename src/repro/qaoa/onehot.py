@@ -85,9 +85,12 @@ class OneHotEncoding:
             raise DimensionError("gammas and betas must have equal length")
         qc = self.initial_state_circuit()
         d = self.problem.n_colors
-        zz = lambda gamma: np.diag(
-            np.exp(-1j * gamma * np.array([1.0, -1.0, -1.0, 1.0]))
-        )
+
+        def zz(gamma):
+            return np.diag(
+                np.exp(-1j * gamma * np.array([1.0, -1.0, -1.0, 1.0]))
+            )
+
         for gamma, beta in zip(gammas, betas):
             for u, v in self.problem.edges:
                 for color in range(d):

@@ -107,7 +107,7 @@ def _remap_cost_vector(
     permutations: list[list[int]],
 ) -> np.ndarray:
     """Cost vector of the gauge-remapped problem: cost'(x) = cost(pi(x))."""
-    from ..core.dims import digit_matrix, digits_to_index
+    from ..core.dims import digit_matrix
 
     digits = digit_matrix(problem.dims)
     remapped = np.empty_like(cost_vector)

@@ -113,22 +113,31 @@ def reservoir_grid_campaign(
     cache=None,
     checkpoint=None,
     seed: int = 0,
+    executor=None,
+    on_result=None,
     **task_params,
 ) -> dict:
-    """Grid-search reservoir hyperparameters as one parallel campaign.
+    """Grid-search reservoir hyperparameters as one streamed campaign.
 
     Args:
         input_gains, drive_biases, alphas, shot_budgets: grid axes
             (Cartesian product).
         workers, cache, checkpoint, seed: campaign execution knobs
-            (see :func:`repro.exec.run_campaign`).
+            (see :func:`repro.exec.run_campaign`; ``workers`` is ignored
+            when an ``executor`` is given).
+        executor: an existing :class:`repro.exec.CampaignExecutor` —
+            re-tuning loops that sweep many grids reuse its warm pool.
+        on_result: optional ``callback(point, value)`` invoked as each
+            grid point completes (pool completion order) — a progress
+            hook for long grids; the returned ``best`` is selected from
+            the final deterministic ordering either way.
         **task_params: fixed :func:`reservoir_nmse_task` parameters.
 
     Returns:
         ``{"best": {...best point's params + nmse...}, "campaign":
         CampaignResult}`` — ``campaign.as_table()`` is the full grid.
     """
-    from ..exec import Campaign, grid_sweep, run_campaign
+    from ..exec import Campaign, executor_scope, grid_sweep
 
     campaign = Campaign(
         task="repro.reservoir.grid:reservoir_nmse_task",
@@ -142,9 +151,12 @@ def reservoir_grid_campaign(
         base_params=task_params,
         seed=seed,
     )
-    result = run_campaign(
-        campaign, workers=workers, cache=cache, checkpoint=checkpoint
-    )
+    with executor_scope(executor, workers=workers, cache=cache) as (ex, kwargs):
+        handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
+        if on_result is not None:
+            for event in handle.as_completed():
+                on_result(event.point, event.value)
+        result = handle.result()
     best_index = int(
         np.argmin([record["nmse"] for record in result.values])
     )

@@ -146,6 +146,8 @@ def sine_square_task(
     phase = np.linspace(0.0, 2.0 * np.pi, segment_length, endpoint=False)
     sine = 0.25 + 0.25 * np.sin(phase)
     square = 0.25 + 0.25 * np.sign(np.sin(phase))
-    inputs = np.concatenate([square if l else sine for l in labels])
-    targets = np.concatenate([np.full(segment_length, float(l)) for l in labels])
+    inputs = np.concatenate([square if label else sine for label in labels])
+    targets = np.concatenate(
+        [np.full(segment_length, float(label)) for label in labels]
+    )
     return TimeSeriesTask(name="sine-square", inputs=inputs, targets=targets)

@@ -19,7 +19,6 @@ injection), and the embedded total-``Lz`` observable.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 from scipy.linalg import expm

@@ -359,6 +359,18 @@ def damage_task(
     )
 
 
+def _damage_campaign_spec(epsilons, name, seed, task_params):
+    from ..exec import Campaign, zip_sweep
+
+    return Campaign(
+        task="repro.sqed.noise_study:damage_task",
+        sweep=zip_sweep(epsilon=[float(e) for e in epsilons]),
+        name=name,
+        base_params=task_params,
+        seed=seed,
+    )
+
+
 def damage_campaign(
     epsilons,
     *,
@@ -367,19 +379,23 @@ def damage_campaign(
     checkpoint=None,
     seed: int = 0,
     name: str = "sqed-damage",
+    executor=None,
     **task_params,
 ):
     """Score a whole epsilon sweep as one parallel, cached campaign.
 
     Args:
         epsilons: depolarising strengths to score (one campaign point each).
-        workers: worker-process count (``None`` = serial).
+        workers: worker-process count (``None`` = serial; ignored when an
+            ``executor`` is passed).
         cache: a :class:`repro.exec.ResultCache` or directory path —
             completed points are skipped on reruns and shared with any
             overlapping campaign (the bisection below).
         checkpoint: resumable JSON-lines progress file.
         seed: campaign root seed (per-point seeds are spawned from it).
         name: campaign label.
+        executor: an existing :class:`repro.exec.CampaignExecutor` to run
+            on — its warm pool is reused instead of forking a fresh one.
         **task_params: fixed :func:`damage_task` parameters (``n_sites``,
             ``encoding``, ``method``, ...).
 
@@ -387,18 +403,11 @@ def damage_campaign(
         A :class:`repro.exec.CampaignResult` whose ``values`` align with
         ``epsilons``.
     """
-    from ..exec import Campaign, run_campaign, zip_sweep
+    from ..exec import executor_scope
 
-    campaign = Campaign(
-        task="repro.sqed.noise_study:damage_task",
-        sweep=zip_sweep(epsilon=[float(e) for e in epsilons]),
-        name=name,
-        base_params=task_params,
-        seed=seed,
-    )
-    return run_campaign(
-        campaign, workers=workers, cache=cache, checkpoint=checkpoint
-    )
+    campaign = _damage_campaign_spec(epsilons, name, seed, task_params)
+    with executor_scope(executor, workers=workers, cache=cache) as (ex, kwargs):
+        return ex.run(campaign, checkpoint=checkpoint, **kwargs)
 
 
 def noise_threshold_campaign(
@@ -409,68 +418,79 @@ def noise_threshold_campaign(
     workers: int | None = None,
     cache=None,
     seed: int = 0,
+    executor=None,
     **task_params,
 ) -> float:
-    """Campaign-backed noise-threshold bisection.
+    """Campaign-backed noise-threshold bisection, streamed.
 
     Mirrors :func:`noise_threshold`'s log-space search, but every damage
-    probe is evaluated *as a campaign point*: the decade ladder that
-    brackets the threshold runs as one parallel campaign (instead of a
-    serial walk), and each bisection midpoint is a single-point campaign
-    routed through the shared result cache — so re-running the bisection,
-    or running it after a broad :func:`damage_campaign` over the same
-    parameters, skips every previously-scored probe.  With the default
-    exact scoring (``method="auto"`` selecting density/LPDO) the returned
-    threshold is identical to the serial :func:`noise_threshold`.
+    probe is evaluated *as a campaign point* on one persistent
+    :class:`~repro.exec.CampaignExecutor`: the decade ladder that
+    brackets the threshold fans out over the warm pool and is consumed
+    **as a stream** — the bracket resolves (and the first bisection
+    midpoint is issued) as soon as the first sub-tolerance rung arrives,
+    without waiting for the deeper rungs — and every bisection midpoint
+    reuses the same pool, so the serial midpoint walk never pays fork
+    cost.  All probes route through the shared result cache: re-running
+    the bisection, or running it after a broad :func:`damage_campaign`
+    over the same parameters, skips every previously-scored probe.  With
+    the default exact scoring (``method="auto"`` selecting density/LPDO)
+    the returned threshold is identical to the serial
+    :func:`noise_threshold` — streaming changes wall-clock only, since
+    rungs are consumed in deterministic point order.
 
     Args:
         damage_tol: tolerable RMS damage.
         eps_hi: upper bracket.
         bisection_steps: log-midpoint refinement steps.
-        workers: worker processes for the ladder campaign.
+        workers: worker processes for the ladder campaign (ignored when
+            an ``executor`` is passed).
         cache: shared result cache (directory path or ResultCache).
         seed: campaign root seed.
+        executor: an existing :class:`repro.exec.CampaignExecutor`; by
+            default one is created (and closed) for this bisection.
         **task_params: fixed :func:`damage_task` parameters.
 
     Returns:
         Threshold epsilon (same clamping rules as :func:`noise_threshold`).
     """
+    from ..exec import executor_scope
 
-    def probe(epsilons) -> list[float]:
-        return damage_campaign(
-            epsilons,
-            workers=workers,
-            cache=cache,
-            seed=seed,
-            name="sqed-threshold-probe",
-            **task_params,
-        ).values
+    def spec(epsilons):
+        return _damage_campaign_spec(
+            epsilons, "sqed-threshold-probe", seed, task_params
+        )
 
-    if probe([eps_hi])[0] < damage_tol:
-        return eps_hi
-    # Decade ladder, evaluated as one parallel campaign (the serial walk
-    # stops early; the campaign trades a few extra — cached — probes for
-    # wall-clock parallelism).
-    ladder = []
-    lo = eps_hi
-    for _ in range(10):
-        lo /= 10.0
-        if lo < 1e-8:
-            break
-        ladder.append(lo)
-    damages = probe(ladder)
-    lo = None
-    for eps, damage in zip(ladder, damages):
-        if damage < damage_tol:
-            lo = eps
-            break
-    if lo is None:
-        return 1e-8
-    hi = lo * 10.0
-    for _ in range(bisection_steps):
-        mid = float(np.sqrt(lo * hi))
-        if probe([mid])[0] < damage_tol:
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    with executor_scope(executor, workers=workers, cache=cache) as (ex, kwargs):
+
+        def probe_one(epsilon) -> float:
+            return ex.run(spec([epsilon]), **kwargs).values[0]
+
+        if probe_one(eps_hi) < damage_tol:
+            return eps_hi
+        # Decade ladder: one parallel campaign, streamed in rung order.
+        # The bracket is decided at the first sub-tolerance rung; deeper
+        # rungs keep computing in the pool but are not waited for.
+        ladder = []
+        lo = eps_hi
+        for _ in range(10):
+            lo /= 10.0
+            if lo < 1e-8:
+                break
+            ladder.append(lo)
+        handle = ex.submit(spec(ladder), **kwargs)
+        lo = None
+        for eps, damage in zip(ladder, handle.stream_results()):
+            if damage < damage_tol:
+                lo = eps
+                break
+        if lo is None:
+            return 1e-8
+        hi = lo * 10.0
+        for _ in range(bisection_steps):
+            mid = float(np.sqrt(lo * hi))
+            if probe_one(mid) < damage_tol:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -23,11 +23,9 @@ paper itself only *estimates* this campaign, which is exactly what
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.circuit import QuditCircuit
 from ..core.exceptions import DimensionError
 from .rotor import HamiltonianTerm, RotorSiteOperators
 

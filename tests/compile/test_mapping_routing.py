@@ -14,7 +14,7 @@ from repro.compile import (
 )
 from repro.core import QuditCircuit, Statevector
 from repro.core.exceptions import CompilationError
-from repro.hardware import DeviceNoiseModel, linear_cavity_array
+from repro.hardware import linear_cavity_array
 
 
 def chain_circuit(n=4, d=3):

@@ -18,7 +18,7 @@ from repro.core import (
     get_backend,
     register_backend,
 )
-from repro.core.backends import SimulationBackend, StatevectorBackend
+from repro.core.backends import StatevectorBackend
 from repro.core.channels import dephasing, photon_loss
 from repro.core.exceptions import SimulationError
 

@@ -47,9 +47,7 @@ class TestSelectionRules:
         assert not choice.estimates["statevector"]["feasible"]
 
     def test_small_noisy_picks_density(self):
-        choice = select_backend(
-            [3] * 3, noisy=True, calibration=DEFAULT_CALIBRATION
-        )
+        choice = select_backend([3] * 3, noisy=True, calibration=DEFAULT_CALIBRATION)
         assert choice.name == "density"
 
     def test_12_qutrit_noisy_picks_tensor_network(self):
@@ -224,9 +222,7 @@ class TestAutoBackend:
         for _ in range(2):
             # Backend defaults reach both the cost model (n_trajectories
             # weights the sampling engines) and the delegate's prepare.
-            auto = get_backend(
-                "auto", allow_sampling=True, n_trajectories=16, rng=123
-            )
+            auto = get_backend("auto", allow_sampling=True, n_trajectories=16, rng=123)
             prepared = auto.prepare(circuit.dims, digits=[0] * 8)
             result = auto.run(circuit, initial=prepared)
             assert auto.last_choice.name in ("trajectories", "mps")

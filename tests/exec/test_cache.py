@@ -147,9 +147,7 @@ class TestCircuitFingerprint:
 
     def test_backend_caps_change_point_key(self):
         qc = self._circuit()
-        base = point_key(
-            "m:f", "1", {"circuit": qc, "max_bond": 16, "max_kraus": 4}, 0
-        )
+        base = point_key("m:f", "1", {"circuit": qc, "max_bond": 16, "max_kraus": 4}, 0)
         assert base != point_key(
             "m:f", "1", {"circuit": qc, "max_bond": 32, "max_kraus": 4}, 0
         )
@@ -219,3 +217,157 @@ class TestResultCache:
         path.parent.mkdir(parents=True)
         path.write_text(json.dumps({"key": "wrong", "value": 1}))
         assert cache.get(key) is MISS
+
+
+class TestCacheEviction:
+    """LRU size caps: touch-on-hit access stamps, evict(), stats()."""
+
+    def _stamp(self, cache, key, ns):
+        import os
+
+        os.utime(cache._path(key), ns=(ns, ns))
+
+    def test_least_recently_accessed_evicted_first(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2, evict_interval=1)
+        keys = [stable_hash(i) for i in range(3)]
+        base = 1_700_000_000_000_000_000
+        cache.put(keys[0], 0)
+        self._stamp(cache, keys[0], base + 1)
+        cache.put(keys[1], 1)
+        self._stamp(cache, keys[1], base + 2)
+        # A hit refreshes key 0's access stamp, making key 1 the LRU.
+        assert cache.get(keys[0]) == 0
+        self._stamp(cache, keys[0], base + 3)
+        cache.put(keys[2], 2)  # breaches the cap; evict runs on this put
+        assert cache.get(keys[1]) is MISS
+        assert cache.get(keys[0]) == 0
+        assert cache.get(keys[2]) == 2
+        assert len(cache) == 2
+
+    def test_max_bytes_cap_enforced(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=400, evict_interval=1)
+        for i in range(8):
+            cache.put(stable_hash(f"entry-{i}"), "x" * 40)
+        stats = cache.stats()
+        assert stats["total_bytes"] <= 400
+        assert 0 < stats["entries"] < 8
+
+    def test_explicit_evict_reports_what_was_removed(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1, evict_interval=10_000)
+        base = 1_700_000_000_000_000_000
+        for i in range(4):
+            cache.put(stable_hash(i), i)
+            self._stamp(cache, stable_hash(i), base + i)
+        report = cache.evict()
+        assert report["evicted_entries"] == 3
+        assert report["entries"] == 1
+        assert report["evicted_bytes"] > 0
+        # The newest access stamp survives.
+        assert cache.get(stable_hash(3)) == 3
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(100):
+            cache.put(stable_hash(i), i)
+        assert len(cache) == 100
+        assert cache.evict()["evicted_entries"] == 0
+
+    def test_evict_interval_batches_scans(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1, evict_interval=5)
+        for i in range(4):
+            cache.put(stable_hash(i), i)
+        assert len(cache) == 4  # under the interval: no scan yet
+        cache.put(stable_hash(4), 4)  # fifth put triggers the scan
+        assert len(cache) == 1
+
+    def test_cap_validation(self, tmp_path):
+        with pytest.raises(SimulationError):
+            ResultCache(tmp_path, max_bytes=-1)
+        with pytest.raises(SimulationError):
+            ResultCache(tmp_path, max_entries=-1)
+        with pytest.raises(SimulationError):
+            ResultCache(tmp_path, evict_interval=0)
+
+
+class TestEvictionRaceDiscipline:
+    """Removals use the same atomic replace-or-unlink discipline as put.
+
+    The regression scenario: a reader observes a corrupted entry (a torn
+    copy), and between its read and its eviction a concurrent writer
+    re-puts a *valid* entry at the same shard file.  The old unlink-based
+    evict path would destroy the fresh entry; the rename-aside path
+    re-validates and restores it.
+    """
+
+    def test_get_recovers_entry_written_during_corrupt_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("raced")
+        cache.put(key, 11)
+        path = cache._path(key)
+        path.write_text("torn copy, not json")
+        original = cache._discard
+
+        def racing_discard(p, *, expect_key=None):
+            # The concurrent writer lands after the corrupt read, before
+            # the removal — exactly the window of the old unlink race.
+            ResultCache(tmp_path).put(key, 11)
+            return original(p, expect_key=expect_key)
+
+        cache._discard = racing_discard
+        assert cache.get(key) == 11  # recovered, not reported as a miss
+        cache._discard = original
+        assert path.exists()  # ...and the fresh entry survived on disk
+        assert cache.get(key) == 11
+
+    def test_conditional_discard_restores_valid_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("valid")
+        cache.put(key, 7)
+        path = cache._path(key)
+        removed, recovered = cache._discard(path, expect_key=key)
+        assert removed is False
+        assert recovered == 7
+        assert path.exists()
+
+    def test_unconditional_discard_removes_valid_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("gone")
+        cache.put(key, 7)
+        removed, recovered = cache._discard(cache._path(key))
+        assert removed is True
+        assert recovered is MISS
+        assert cache.get(key) is MISS
+
+    def test_discard_of_missing_file_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        removed, recovered = cache._discard(tmp_path / "ab" / "nope.json")
+        assert removed is False
+        assert recovered is MISS
+
+    def test_no_tombstones_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1, evict_interval=1)
+        for i in range(6):
+            cache.put(stable_hash(i), i)
+        leftovers = [p for p in Path(tmp_path).rglob(".evict-*") if p.is_file()]
+        assert leftovers == []
+
+    def test_evict_sweeps_stale_orphan_dotfiles(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path, max_entries=10)
+        key = stable_hash("live")
+        cache.put(key, 1)
+        shard = cache._path(key).parent
+        stale_tomb = shard / ".evict-9999-0.json"
+        stale_tmp = shard / ".tmp-orphan.json"
+        fresh_tomb = shard / ".evict-9999-1.json"
+        for orphan in (stale_tomb, stale_tmp, fresh_tomb):
+            orphan.write_text("{}")
+        old = time.time() - 7200
+        os.utime(stale_tomb, (old, old))
+        os.utime(stale_tmp, (old, old))
+        cache.evict()
+        assert not stale_tomb.exists() and not stale_tmp.exists()
+        assert fresh_tomb.exists()  # in-flight files are never touched
+        assert cache.get(key) == 1

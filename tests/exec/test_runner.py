@@ -16,7 +16,6 @@ from repro.core.rng import spawn_seeds
 from repro.exec import (
     Campaign,
     ResultCache,
-    grid_sweep,
     run_campaign,
     zip_sweep,
 )
@@ -220,12 +219,8 @@ class TestWorkloadCampaigns:
         from repro.qaoa import ndar_restart_battery
 
         kwargs = dict(n_nodes=4, degree=2, n_rounds=2, shots=10, seed=5)
-        first = ndar_restart_battery(
-            n_restarts=3, cache=tmp_path, **kwargs
-        )
-        again = ndar_restart_battery(
-            n_restarts=3, cache=tmp_path, workers=2, **kwargs
-        )
+        first = ndar_restart_battery(n_restarts=3, cache=tmp_path, **kwargs)
+        again = ndar_restart_battery(n_restarts=3, cache=tmp_path, workers=2, **kwargs)
         assert again["campaign"].cache_hits == 3
         assert again["best_cost"] == first["best_cost"]
         assert again["mean_best_cost"] == first["mean_best_cost"]

@@ -1,6 +1,5 @@
 """Tests for declarative sweeps and campaign point resolution."""
 
-import numpy as np
 import pytest
 
 from repro.core.exceptions import SimulationError
@@ -127,9 +126,7 @@ class TestCampaignPoints:
         assert p0.seed != other_root[0].seed
 
     def test_unseeded_campaign(self):
-        campaign = Campaign(
-            task=module_task, sweep=zip_sweep(x=[1]), seed=None
-        )
+        campaign = Campaign(task=module_task, sweep=zip_sweep(x=[1]), seed=None)
         point = campaign.points()[0]
         assert point.seed is None
 

@@ -138,7 +138,5 @@ class TestCapacity:
         assert device.hilbert_dimension() == 81
 
     def test_qubit_equivalent(self):
-        import math
-
         device = linear_cavity_array(1, 2, 4)
         assert abs(device.qubit_equivalent() - 4.0) < 1e-12

@@ -20,8 +20,6 @@ from repro.sqed import (
 from repro.sqed.trotter import (
     evolve_observable_trajectory,
     exact_observable_trajectory,
-    second_order_step_from_terms,
-    trotter_step_from_terms,
 )
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from scipy.linalg import expm
 
-from repro.core import QuditCircuit, Statevector
+from repro.core import Statevector
 from repro.core.exceptions import DimensionError
 from repro.sqed import (
     QubitEncoding,

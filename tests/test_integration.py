@@ -9,8 +9,7 @@ import pytest
 
 from repro import DensityMatrix, QuditCircuit, Statevector
 from repro.compile import estimate_resources, transpile
-from repro.compile.synthesis import csum_circuit, decompose_unitary, synthesize_two_qudit
-from repro.core.gates import csum
+from repro.compile.synthesis import csum_circuit, synthesize_two_qudit
 from repro.hardware import DeviceNoiseModel, forecast_device, linear_cavity_array
 from repro.qaoa import optimize_qaoa, random_coloring_instance, run_ndar
 from repro.reservoir import (
@@ -21,7 +20,6 @@ from repro.reservoir import (
     train_test_split,
 )
 from repro.sqed import (
-    QuditEncoding,
     RotorChain,
     RotorLadder2D,
     estimate_mass_gap,

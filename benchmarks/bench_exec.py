@@ -1,6 +1,6 @@
 """Campaign-subsystem benchmark — parallel speedup, cache replay, calibration.
 
-Six sections, emitted to the committed ``BENCH_exec.json``:
+Seven sections, emitted to the committed ``BENCH_exec.json``:
 
 1. **calibration** — measures the per-unit cost constants the
    ``get_backend("auto")`` cost model ranks engines with (seconds per
@@ -33,6 +33,13 @@ Six sections, emitted to the committed ``BENCH_exec.json``:
    executor's ``stream_results()`` (first value as soon as point 0
    lands).  Records the streamed time-to-first-result, required to be
    <= 0.5x the barrier runner's total wall time.
+7. **supervised_overhead** — the fault-tolerance tax: the same
+   latency-bound battery dispatched through a raw, unsupervised
+   ``multiprocessing.Pool.imap_unordered`` (the pre-supervision
+   architecture: no liveness monitoring, no respawn, no per-point
+   timeouts) vs the supervised executor.  The supervised wall time is
+   required to be <= 1.10x the raw pool's — crash detection must cost
+   under 10% on latency-bound work.
 
 Run as a script to (re)generate the committed record::
 
@@ -297,6 +304,52 @@ def bench_streaming(n_points: int, delay_ms: float, workers: int) -> dict:
     }
 
 
+def _raw_pool_point(payload):
+    """Unsupervised baseline worker: plain (task_ref, point) execution."""
+    from repro.exec.executor import _call_task
+
+    task_ref, point = payload
+    return point.index, _call_task(task_ref, point)
+
+
+def bench_supervised_overhead(
+    n_points: int, delay_ms: float, workers: int
+) -> dict:
+    """The cost of supervision vs an opaque ``multiprocessing.Pool``.
+
+    Both sides pay pool startup and run the identical latency-bound
+    battery; the raw pool has no liveness monitoring, no respawn, and no
+    per-point deadline bookkeeping, so the wall-clock difference *is*
+    the fault-tolerance overhead.
+    """
+    import multiprocessing
+
+    campaign = _latency_campaign(n_points, delay_ms)
+    points = campaign.points()
+    task_ref = campaign.task_reference
+    payloads = [(task_ref, point) for point in points]
+
+    start = time.perf_counter()
+    with multiprocessing.Pool(workers) as pool:
+        raw = dict(pool.imap_unordered(_raw_pool_point, payloads, chunksize=1))
+    raw_s = time.perf_counter() - start
+    raw_values = [raw[i] for i in range(n_points)]
+
+    start = time.perf_counter()
+    with CampaignExecutor(workers) as executor:
+        supervised = executor.run(campaign)
+    supervised_s = time.perf_counter() - start
+    assert supervised.values == raw_values
+    return {
+        "n_points": n_points,
+        "delay_ms": delay_ms,
+        "workers": workers,
+        "raw_pool_s": round(raw_s, 4),
+        "supervised_s": round(supervised_s, 4),
+        "overhead_ratio": round(supervised_s / raw_s, 4),
+    }
+
+
 def bench_sqed_campaign(
     n_points: int, workers: int, cache_dir: Path, n_sites: int, n_steps: int
 ) -> dict:
@@ -355,6 +408,8 @@ def run_benchmarks(
     battery_workers: int = 4,
     streaming_points: int = 32,
     streaming_delay_ms: float = 25.0,
+    overhead_points: int = 32,
+    overhead_delay_ms: float = 25.0,
     workers: int = 8,
     calibration_scale: int = 2,
     cache_dir: Path | str | None = None,
@@ -370,6 +425,8 @@ def run_benchmarks(
         battery_campaigns, battery_points, battery_delay_ms,
         battery_workers: pool-reuse battery shape (many short campaigns).
         streaming_points, streaming_delay_ms: streaming section size.
+        overhead_points, overhead_delay_ms: supervised-overhead section
+            size (same latency-bound shape, two dispatch architectures).
         workers: pool width for the parallel sections.
         calibration_scale: probe-size multiplier for the calibration.
         cache_dir: where the replay cache lives (a temp dir if omitted).
@@ -387,6 +444,9 @@ def run_benchmarks(
         battery_campaigns, battery_points, battery_delay_ms, battery_workers
     )
     streaming = bench_streaming(streaming_points, streaming_delay_ms, workers)
+    overhead = bench_supervised_overhead(
+        overhead_points, overhead_delay_ms, workers
+    )
     if cache_dir is None:
         with tempfile.TemporaryDirectory() as tmp:
             sqed = bench_sqed_campaign(
@@ -408,6 +468,7 @@ def run_benchmarks(
         "latency_campaign": latency,
         "pool_reuse": pool_reuse,
         "streaming": streaming,
+        "supervised_overhead": overhead,
         "sqed_campaign": sqed,
     }
     if out_path is not None:

@@ -10,12 +10,19 @@ layer between the two:
   per-point seeds derived by ``SeedSequence`` spawning so every point is
   reproducible independent of execution order;
 * :mod:`repro.exec.executor` — :class:`CampaignExecutor`: a persistent
-  worker-pool service; one warm ``multiprocessing`` pool amortised
-  across many submissions, with streaming consumption
+  worker-pool service; one warm pool of *supervised* worker processes
+  amortised across many submissions, with streaming consumption
   (:meth:`~CampaignHandle.as_completed` / ``stream_results``) so callers
-  act on points as they finish; :func:`run_campaign` is its one-shot
-  barrier wrapper (chunked scheduling, resumable checkpoints,
-  deterministic result ordering);
+  act on points as they finish; dead workers are respawned and their
+  in-flight points re-dispatched, and :func:`run_campaign` is the
+  one-shot barrier wrapper (resumable checkpoints, deterministic result
+  ordering);
+* :mod:`repro.exec.policy` — :class:`FailurePolicy`: per-submission
+  handling of task exceptions, worker crashes, and per-point timeouts
+  (``fail_fast`` / ``continue`` / ``retry`` with deterministic backoff);
+* :mod:`repro.exec.faults` — :class:`FaultPlan`: seeded, reproducible
+  fault injection (exceptions, delays, worker kills, cache corruption)
+  powering the chaos test suite;
 * :mod:`repro.exec.cache` — a content-addressed on-disk result cache
   keyed by a stable hash of (task, parameters, seed), so reruns and
   overlapping campaigns skip completed points; LRU size caps
@@ -37,12 +44,15 @@ from .executor import (
     executor_scope,
     run_campaign,
 )
+from .faults import FaultPlan, InjectedFault, corrupt_cache, corrupt_cache_entry
+from .policy import CONTINUE, FAIL_FAST, RETRY, FailurePolicy
 from .sweep import (
     Campaign,
     CampaignPoint,
     Sweep,
     grid_sweep,
     random_sweep,
+    retry_seed,
     zip_sweep,
 )
 
@@ -53,12 +63,21 @@ __all__ = [
     "grid_sweep",
     "zip_sweep",
     "random_sweep",
+    "retry_seed",
     "run_campaign",
     "CampaignResult",
     "CampaignExecutor",
     "CampaignHandle",
     "PointResult",
     "executor_scope",
+    "FailurePolicy",
+    "FAIL_FAST",
+    "CONTINUE",
+    "RETRY",
+    "FaultPlan",
+    "InjectedFault",
+    "corrupt_cache",
+    "corrupt_cache_entry",
     "ResultCache",
     "point_key",
     "stable_hash",

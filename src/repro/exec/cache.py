@@ -216,8 +216,22 @@ class ResultCache:
             self._touch(path)
         return payload["value"]
 
-    def put(self, key: str, value) -> None:
-        """Atomically persist one value (must be JSON-serialisable)."""
+    def put(self, key: str, value, *, ok: bool = True) -> None:
+        """Atomically persist one value (must be JSON-serialisable).
+
+        Only *successful* point values belong in the cache: a cached
+        entry is served forever (same key == same computation), so
+        caching a failure would turn a transient fault into a permanent
+        wrong answer.  The executor only caches ``ok`` outcomes; the
+        ``ok`` flag lets any other caller assert the same contract —
+        ``put(key, record, ok=False)`` raises instead of poisoning the
+        store.
+        """
+        if not ok:
+            raise SimulationError(
+                f"refusing to cache a failed point value for key {key[:12]}…: "
+                f"the result cache stores successful computations only"
+            )
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"key": key, "value": value})

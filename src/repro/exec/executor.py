@@ -1,9 +1,9 @@
-"""Persistent campaign execution: pooled workers and streaming results.
+"""Persistent campaign execution: supervised workers and streaming results.
 
 :func:`~repro.exec.runner.run_campaign` answers "run this sweep"; this
-module answers "run *many* sweeps, fast, and let me consume points as
-they finish".  A :class:`CampaignExecutor` keeps one warm
-``multiprocessing`` pool alive across any number of
+module answers "run *many* sweeps, fast, fault-tolerantly, and let me
+consume points as they finish".  A :class:`CampaignExecutor` keeps one
+warm pool of **supervised worker processes** alive across any number of
 :meth:`~CampaignExecutor.submit` calls, so a battery of short campaigns
 pays the fork + import cost once instead of per campaign.  Each
 submission returns a :class:`CampaignHandle` exposing three consumption
@@ -24,19 +24,39 @@ from campaign content (never a shared stream), so serial, parallel, and
 streamed executions are bit-identical, and ``result()`` always reports
 deterministic point order.
 
+**Supervision.**  Unlike an opaque ``multiprocessing.Pool``, dispatch is
+per point to workers the executor owns outright: each worker holds at
+most one point, over its own duplex pipe, and the supervisor multiplexes
+result pipes *and process sentinels* in one ``connection.wait`` call.  A
+worker that dies mid-point (segfault, OOM kill, ``os._exit``) is
+detected immediately, respawned, and its in-flight point re-dispatched —
+because the point's seed is content-spawned, the recovered value is
+bit-identical to an undisturbed run.  Per-point timeouts, retries with
+deterministic backoff, and structured error records are governed by the
+submission's :class:`~repro.exec.policy.FailurePolicy`; resilience
+counters (``respawns`` / ``retries`` / ``timeouts``) surface in
+:attr:`CampaignExecutor.stats`.  Deterministic fault injection for all
+of this lives in :mod:`repro.exec.faults`.
+
 Abandoning a handle early (breaking out of a stream) is safe: points
-already dispatched to the pool finish in the background and their
-results are discarded; points never consumed are simply not cached or
-checkpointed.
+already dispatched finish in the background and their results are
+discarded; points never consumed are simply not cached or checkpointed.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import json
 import multiprocessing
+import signal
+import threading
 import time
+import traceback
+from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from multiprocessing import connection
 from pathlib import Path
 from typing import NamedTuple
 
@@ -44,12 +64,14 @@ import numpy as np
 
 from ..core.exceptions import SimulationError
 from .cache import MISS, ResultCache
+from .policy import FailurePolicy
 from .sweep import Campaign, CampaignPoint, resolve_task
 
 __all__ = [
     "CampaignExecutor",
     "CampaignHandle",
     "CampaignResult",
+    "FailurePolicy",
     "PointResult",
     "executor_scope",
     "run_campaign",
@@ -93,6 +115,16 @@ def to_jsonable(value):
     )
 
 
+def _safe_jsonable(value):
+    """Best-effort JSON view for error records (never raises)."""
+    try:
+        return to_jsonable(value)
+    except SimulationError:
+        if isinstance(value, dict):
+            return {str(k): _safe_jsonable(v) for k, v in value.items()}
+        return repr(value)
+
+
 def _call_task(task_ref: str, point: CampaignPoint):
     """Execute one point's task with its seed injected."""
     task = resolve_task(task_ref)
@@ -102,10 +134,62 @@ def _call_task(task_ref: str, point: CampaignPoint):
     return to_jsonable(task(**params))
 
 
-def _pool_worker(payload):
-    """Module-level pool target (must be picklable under spawn)."""
-    task_ref, point = payload
-    return point.index, point.key, _call_task(task_ref, point)
+def _execute_point(task_ref, point, attempt, faults, *, in_worker):
+    """One attempt at one point, with any scheduled fault injected first."""
+    if faults is not None:
+        faults.apply(point, attempt, in_worker=in_worker)
+    return _call_task(task_ref, point)
+
+
+def _describe_error(exc: BaseException) -> dict:
+    """JSON-safe summary of an exception (for error records)."""
+    return {
+        "error_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__, limit=20)
+        ),
+    }
+
+
+def _worker_main(conn) -> None:
+    """Supervised worker loop (module-level: picklable under spawn).
+
+    Receives ``(uid, task_ref, point, attempt, faults)`` messages over
+    its private duplex pipe, executes, and replies ``("ok", uid, value,
+    None)`` or ``("err", uid, info, exception)``.  ``None`` is the stop
+    sentinel.  Every task exception is *reported*, never fatal to the
+    worker — only a hard death (kill/exit/segfault) ends the loop, and
+    the supervisor notices that via the process sentinel.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        uid, task_ref, point, attempt, faults = message
+        try:
+            value = _execute_point(task_ref, point, attempt, faults, in_worker=True)
+        except BaseException as exc:
+            info = _describe_error(exc)
+            try:
+                conn.send(("err", uid, info, exc))
+            except Exception:
+                try:
+                    conn.send(("err", uid, info, None))
+                except Exception:
+                    break
+            continue
+        try:
+            conn.send(("ok", uid, value, None))
+        except Exception:
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
 
 
 @dataclass(frozen=True)
@@ -114,13 +198,22 @@ class CampaignResult:
 
     Attributes:
         name: the campaign's label.
-        values: one task value per point, ordered by point index.
+        values: one task value per point, ordered by point index
+            (``None`` for points that failed under a non-raising policy —
+            see ``errors``).
         points: the resolved points (same order).
         cache_hits: points served from the result cache.
         checkpoint_hits: points replayed from the checkpoint file.
-        computed: points actually executed this run.
+        computed: points actually executed this run (failed ones
+            included).
         workers: pool width used (1 = serial).
         duration_s: wall-clock time of the run.
+        errors: structured error records for points that terminally
+            failed under a ``"continue"``/``"retry"`` policy, in point
+            order; each carries the point's index/key/params/seed, the
+            failure ``kind`` (``"exception"`` / ``"crash"`` /
+            ``"timeout"``), the attempt and crash counts, and the
+            error type/message (+ traceback for exceptions).
     """
 
     name: str
@@ -131,9 +224,15 @@ class CampaignResult:
     computed: int
     workers: int
     duration_s: float
+    errors: list = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.values)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every point produced a value (no error records)."""
+        return not self.errors
 
     @property
     def hit_fraction(self) -> float:
@@ -143,9 +242,15 @@ class CampaignResult:
         return (self.cache_hits + self.checkpoint_hits) / len(self.values)
 
     def as_table(self) -> list[dict]:
-        """Per-point records ``{**params, "seed": ..., "value": ...}``."""
+        """Per-point records ``{**params, "seed", "value", "ok"}``."""
+        failed = {record["index"] for record in self.errors}
         return [
-            {**point.params, "seed": point.seed, "value": value}
+            {
+                **point.params,
+                "seed": point.seed,
+                "value": value,
+                "ok": point.index not in failed,
+            }
             for point, value in zip(self.points, self.values)
         ]
 
@@ -155,13 +260,60 @@ class PointResult(NamedTuple):
 
     Attributes:
         point: the resolved :class:`CampaignPoint`.
-        value: the task's (JSON-normalised) return value.
+        value: the task's (JSON-normalised) return value (``None`` when
+            ``ok`` is false).
         source: ``"cache"``, ``"checkpoint"``, or ``"computed"``.
+        ok: whether the point produced a value (``False`` = a terminal
+            failure recorded under a non-raising policy).
+        error: the structured error record when ``ok`` is false.
     """
 
     point: CampaignPoint
     value: object
     source: str
+    ok: bool = True
+    error: dict | None = None
+
+
+# ----------------------------------------------------------------------
+# checkpoints
+# ----------------------------------------------------------------------
+@contextmanager
+def _shield_interrupts():
+    """Defer ``SIGINT`` for the duration of the block (main thread only).
+
+    Used around checkpoint appends so a ``KeyboardInterrupt`` can never
+    tear the final record: the interrupt is re-delivered (or re-raised)
+    immediately *after* the write completes.  Off the main thread —
+    where Python never delivers SIGINT anyway — this is a no-op.
+    """
+    try:
+        in_main = threading.current_thread() is threading.main_thread()
+        previous = signal.getsignal(signal.SIGINT) if in_main else None
+    except ValueError:  # pragma: no cover - exotic embedding
+        in_main = False
+    if not in_main or previous is None:
+        yield
+        return
+    received: list = []
+
+    def _defer(signum, frame):
+        received.append((signum, frame))
+
+    try:
+        signal.signal(signal.SIGINT, _defer)
+    except ValueError:  # pragma: no cover - not actually the main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+        if received:
+            if callable(previous):
+                previous(*received[0])
+            else:  # pragma: no cover - SIG_IGN/SIG_DFL stand-ins
+                raise KeyboardInterrupt
 
 
 def _load_checkpoint(path: Path) -> dict[str, object]:
@@ -171,6 +323,11 @@ def _load_checkpoint(path: Path) -> dict[str, object]:
     corrupted file may contain arbitrary garbage.  Either way every
     well-formed line is recovered and the rest are recomputed — the
     checkpoint can only ever *save* work, never wedge a campaign.
+
+    Records are status-tagged: only ``"ok"`` records (and legacy
+    untagged ones) replay.  ``"error"`` records are deliberately *not*
+    treated as done — a resume retries transient failures while
+    replaying successes verbatim.
     """
     done: dict[str, object] = {}
     try:
@@ -183,16 +340,476 @@ def _load_checkpoint(path: Path) -> dict[str, object]:
             continue
         try:
             record = json.loads(line)
+            if record.get("status", "ok") != "ok":
+                continue
             done[record["key"]] = record["value"]
-        except (ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError, AttributeError):
             continue
     return done
 
 
-def _append_checkpoint(handle, point: CampaignPoint, value) -> None:
-    record = {"key": point.key, "index": point.index, "value": value}
-    handle.write(json.dumps(record) + "\n")
-    handle.flush()
+def _append_checkpoint(
+    handle, point: CampaignPoint, value=None, *, status: str = "ok", error=None
+) -> None:
+    """Append one status-tagged record, shielded against interrupts."""
+    record: dict = {"key": point.key, "index": point.index, "status": status}
+    if status == "ok":
+        record["value"] = value
+    else:
+        record["error"] = error
+    line = json.dumps(record) + "\n"
+    with _shield_interrupts():
+        handle.write(line)
+        handle.flush()
+
+
+# ----------------------------------------------------------------------
+# supervised worker pool
+# ----------------------------------------------------------------------
+def _spawn_worker_process(ctx):
+    """Fork one supervised worker; returns ``(process, parent_conn)``."""
+    parent, child = ctx.Pipe(duplex=True)
+    process = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+    process.start()
+    child.close()
+    return process, parent
+
+
+class _Worker:
+    """One supervised worker process and its private duplex pipe."""
+
+    __slots__ = ("process", "conn", "item", "deadline")
+
+    def __init__(self, ctx) -> None:
+        self.process, self.conn = _spawn_worker_process(ctx)
+        #: ``(run, dispatch, uid)`` while busy, else ``None``.
+        self.item = None
+        #: ``time.monotonic()`` deadline for the in-flight point.
+        self.deadline: float | None = None
+
+
+class _Dispatch:
+    """One point's execution lifecycle inside a supervised run."""
+
+    __slots__ = ("point", "tries", "failures", "crashes")
+
+    def __init__(self, point: CampaignPoint) -> None:
+        self.point = point
+        self.tries = 0  # executions started (failures + crashes + successes)
+        self.failures = 0  # completed attempts that raised or timed out
+        self.crashes = 0  # worker deaths while this point was in flight
+
+
+class _SupervisedRun:
+    """The supervisor-side state of one submitted campaign."""
+
+    def __init__(self, pool, task_ref, pending, policy, faults) -> None:
+        self.pool = pool
+        self.task_ref = task_ref
+        self.policy = policy
+        self.faults = faults
+        self.ready: deque[_Dispatch] = deque(_Dispatch(p) for p in pending)
+        self.waiting: list = []  # heap of (ready_at, seq, dispatch)
+        self.inflight = 0
+        self.events: deque = deque()  # (point, ("ok", value) | ("error", rec))
+        self.failure: BaseException | None = None
+        self.abandoned = False
+        #: point.index -> executions started (for retry-budget assertions).
+        self.attempts: dict[int, int] = {}
+
+    @property
+    def outstanding(self) -> bool:
+        return bool(self.ready or self.waiting or self.inflight)
+
+    def abandon(self) -> None:
+        """Stop scheduling; in-flight completions will be discarded."""
+        self.abandoned = True
+        self.ready.clear()
+        self.waiting.clear()
+
+
+class _SupervisedPool:
+    """A fixed-width pool of supervised workers with per-point dispatch.
+
+    The supervisor owns every worker process and its pipe.  Dispatch is
+    one point per worker; progress is pumped from the consuming thread:
+    each :meth:`next_event` call dispatches ready work, then waits on
+    all busy workers' result pipes *and* process sentinels at once, so a
+    result, a worker death, a point deadline, or a matured retry backoff
+    — whichever happens first — wakes the supervisor.  Dead workers are
+    respawned and their in-flight point re-dispatched under the run's
+    :class:`FailurePolicy`; overdue points get their worker killed and
+    respawned.  Many runs may be live at once: events for runs other
+    than the one being pumped accumulate on their own queues.
+    """
+
+    def __init__(self, ctx, width: int, counters: dict) -> None:
+        self._ctx = ctx
+        self._counters = counters
+        self._workers = [_Worker(ctx) for _ in range(width)]
+        self._runs: list[_SupervisedRun] = []
+        self._uids = itertools.count()
+        self._seq = itertools.count()
+
+    # -- public surface ------------------------------------------------
+    def submit(self, task_ref, pending, policy, faults) -> _SupervisedRun:
+        run = _SupervisedRun(self, task_ref, pending, policy, faults)
+        self._runs.append(run)
+        self._dispatch()
+        return run
+
+    def next_event(self, run: _SupervisedRun):
+        """The run's next completion event, pumping the pool as needed.
+
+        Returns ``(point, outcome)`` with ``outcome`` either
+        ``("ok", value)`` or ``("error", record)``; ``None`` when the
+        run is complete.  Raises the failing exception for a
+        ``fail_fast`` run (after already-queued events have drained).
+        """
+        while True:
+            if run.events:
+                return run.events.popleft()
+            if run.failure is not None:
+                exc = run.failure
+                self._forget(run)
+                raise exc
+            if not run.outstanding:
+                self._forget(run)
+                return None
+            self._pump()
+
+    @property
+    def idle(self) -> bool:
+        """Whether no worker holds an in-flight point."""
+        return all(worker.item is None for worker in self._workers)
+
+    def worker_processes(self) -> list:
+        """The live worker process objects (for tests/diagnostics)."""
+        return [worker.process for worker in self._workers]
+
+    def shutdown(self, timeout: float = 5.0) -> bool:
+        """Tear the pool down; graceful when nothing is in flight.
+
+        With every worker idle and no run holding undelivered work, each
+        worker receives the stop sentinel and is joined within
+        ``timeout`` — a clean exit that never aborts anything.  Any
+        other state (an abandoned stream's points still running) falls
+        back to terminate.  Returns whether the drain was graceful.
+        """
+        graceful = self.idle and not any(run.outstanding for run in self._runs)
+        if graceful:
+            for worker in self._workers:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+            deadline = time.monotonic() + max(0.0, timeout)
+            for worker in self._workers:
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    graceful = False
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+                if worker.process.is_alive():  # pragma: no cover - stubborn
+                    worker.process.kill()
+                    worker.process.join(1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+        self._runs = []
+        return graceful
+
+    # -- scheduling ----------------------------------------------------
+    def _forget(self, run: _SupervisedRun) -> None:
+        if run in self._runs:
+            self._runs.remove(run)
+
+    def _release_waiting(self) -> None:
+        now = time.monotonic()
+        for run in self._runs:
+            while run.waiting and run.waiting[0][0] <= now:
+                _, _, dispatch = heapq.heappop(run.waiting)
+                run.ready.append(dispatch)
+
+    def _next_ready(self):
+        for run in self._runs:
+            if run.abandoned or run.failure is not None:
+                continue
+            if run.ready:
+                return run, run.ready.popleft()
+        return None
+
+    def _dispatch(self) -> None:
+        self._release_waiting()
+        for worker in self._workers:
+            if worker.item is not None:
+                continue
+            picked = self._next_ready()
+            if picked is None:
+                return
+            run, dispatch = picked
+            self._send(worker, run, dispatch)
+
+    def _send(self, worker: _Worker, run: _SupervisedRun, dispatch: _Dispatch):
+        while True:
+            dispatch.tries += 1
+            run.attempts[dispatch.point.index] = dispatch.tries
+            uid = next(self._uids)
+            try:
+                worker.conn.send(
+                    (uid, run.task_ref, dispatch.point, dispatch.tries, run.faults)
+                )
+            except (OSError, ValueError):
+                # The worker died while idle (or its pipe tore): the
+                # dispatch never reached it — roll the attempt back,
+                # respawn, and try again on the fresh process.
+                dispatch.tries -= 1
+                run.attempts[dispatch.point.index] = dispatch.tries
+                self._respawn(worker)
+                continue
+            worker.item = (run, dispatch, uid)
+            worker.deadline = (
+                time.monotonic() + run.policy.timeout
+                if run.policy.timeout is not None
+                else None
+            )
+            run.inflight += 1
+            return
+
+    def _next_backoff_delta(self, now: float) -> float | None:
+        ready_ats = [run.waiting[0][0] for run in self._runs if run.waiting]
+        if not ready_ats:
+            return None
+        return max(0.0, min(ready_ats) - now)
+
+    # -- the pump ------------------------------------------------------
+    def _pump(self) -> None:
+        """One supervision step: dispatch, wait, classify, recover."""
+        self._dispatch()
+        now = time.monotonic()
+        busy = [worker for worker in self._workers if worker.item is not None]
+        if not busy:
+            # Nothing in flight: the only possible progress is a retry
+            # backoff maturing.  Sleep until the earliest one.
+            delay = self._next_backoff_delta(now)
+            if delay is None:  # pragma: no cover - guarded by next_event
+                raise SimulationError("supervised pool pumped with no work")
+            time.sleep(min(delay + 1e-4, 0.05))
+            self._dispatch()
+            return
+        horizons = [worker.deadline for worker in busy if worker.deadline is not None]
+        backoff = self._next_backoff_delta(now)
+        if backoff is not None:
+            horizons.append(now + backoff)
+        timeout = max(0.0, min(horizons) - now) if horizons else None
+        by_object: dict = {}
+        wait_on = []
+        for worker in busy:
+            by_object[worker.conn] = worker
+            by_object[worker.process.sentinel] = worker
+            wait_on.extend((worker.conn, worker.process.sentinel))
+        ready = connection.wait(wait_on, timeout)
+        woken: list[_Worker] = []
+        seen: set[int] = set()
+        for obj in ready:
+            worker = by_object[obj]
+            if id(worker) not in seen:
+                seen.add(id(worker))
+                woken.append(worker)
+        for worker in woken:
+            if worker.item is None:
+                continue
+            # A message beats a death verdict: a worker that finished its
+            # point and *then* died (kill fault landing between points)
+            # still delivers the finished result.
+            if worker.conn.poll():
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._on_crash(worker)
+                    continue
+                self._on_message(worker, message)
+            elif not worker.process.is_alive():
+                self._on_crash(worker)
+        now = time.monotonic()
+        for worker in self._workers:
+            if (
+                worker.item is not None
+                and worker.deadline is not None
+                and now >= worker.deadline
+            ):
+                self._on_timeout(worker)
+        self._dispatch()
+
+    # -- outcome handling ----------------------------------------------
+    def _release(self, worker: _Worker):
+        run, dispatch, uid = worker.item
+        worker.item = None
+        worker.deadline = None
+        run.inflight -= 1
+        return run, dispatch, uid
+
+    def _on_message(self, worker: _Worker, message) -> None:
+        kind, uid, payload, exc = message
+        run, dispatch, expected = self._release(worker)
+        if uid != expected or run.abandoned:
+            return
+        if kind == "ok":
+            run.events.append((dispatch.point, ("ok", payload)))
+        else:
+            self._on_failed_attempt(run, dispatch, "exception", payload, exc)
+
+    def _on_crash(self, worker: _Worker) -> None:
+        run, dispatch, _uid = self._release(worker)
+        exitcode = worker.process.exitcode
+        self._respawn(worker)
+        if run.abandoned:
+            return
+        dispatch.crashes += 1
+        if dispatch.crashes <= run.policy.max_crashes:
+            # Re-dispatch at the head of the queue: the point loses no
+            # scheduling priority to its worker's death.
+            run.ready.appendleft(dispatch)
+            return
+        info = {
+            "error_type": "WorkerCrashError",
+            "message": (
+                f"worker process died (exit code {exitcode}) with point "
+                f"{dispatch.point.index} in flight, {dispatch.crashes} "
+                f"deaths total (max_crashes={run.policy.max_crashes})"
+            ),
+            "traceback": None,
+        }
+        self._terminal_failure(run, dispatch, "crash", info, None)
+
+    def _on_timeout(self, worker: _Worker) -> None:
+        run, dispatch, _uid = self._release(worker)
+        self._counters["timeouts"] += 1
+        worker.process.terminate()
+        worker.process.join(1.0)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(1.0)
+        self._respawn(worker)
+        if run.abandoned:
+            return
+        info = {
+            "error_type": "PointTimeoutError",
+            "message": (
+                f"point {dispatch.point.index} exceeded its "
+                f"{run.policy.timeout}s per-point timeout"
+            ),
+            "traceback": None,
+        }
+        self._on_failed_attempt(run, dispatch, "timeout", info, None)
+
+    def _on_failed_attempt(self, run, dispatch, kind, info, exc) -> None:
+        """A completed attempt raised or timed out: retry or terminalise."""
+        dispatch.failures += 1
+        policy = run.policy
+        if policy.mode == "retry" and dispatch.failures < policy.max_attempts:
+            self._counters["retries"] += 1
+            delay = policy.backoff_delay(dispatch.point, dispatch.tries)
+            heapq.heappush(
+                run.waiting,
+                (time.monotonic() + delay, next(self._seq), dispatch),
+            )
+            return
+        self._terminal_failure(run, dispatch, kind, info, exc)
+
+    def _terminal_failure(self, run, dispatch, kind, info, exc) -> None:
+        if run.policy.mode == "fail_fast":
+            run.failure = (
+                exc
+                if exc is not None
+                else SimulationError(
+                    f"campaign point {dispatch.point.index} failed "
+                    f"({kind}): {info['message']}"
+                )
+            )
+            run.abandon()
+            return
+        run.events.append(
+            (dispatch.point, ("error", _error_record(dispatch, kind, info)))
+        )
+
+    def _respawn(self, worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.terminate()
+            worker.process.join(1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+        worker.process, worker.conn = _spawn_worker_process(self._ctx)
+        worker.item = None
+        worker.deadline = None
+        self._counters["respawns"] += 1
+
+
+def _error_record(dispatch: _Dispatch, kind: str, info: dict) -> dict:
+    """The structured, JSON-safe record of one point's terminal failure."""
+    point = dispatch.point
+    return {
+        "index": point.index,
+        "key": point.key,
+        "params": _safe_jsonable(point.params),
+        "seed": point.seed,
+        "kind": kind,
+        "attempts": dispatch.failures,
+        "crashes": dispatch.crashes,
+        "error_type": info.get("error_type"),
+        "message": info.get("message"),
+        "traceback": info.get("traceback"),
+    }
+
+
+def _serial_error_record(point, kind, info, failures):
+    dispatch = _Dispatch(point)
+    dispatch.failures = failures
+    return _error_record(dispatch, kind, info)
+
+
+def _serial_events(task_ref, pending, policy, faults, counters, attempts):
+    """In-process execution honouring the failure policy (no timeouts).
+
+    Yields ``(point, outcome)`` like the supervised pool.  Kill faults
+    are skipped (never kill the host process); retry backoff sleeps
+    deterministically.
+    """
+    for point in pending:
+        failures = 0
+        while True:
+            attempt = failures + 1
+            attempts[point.index] = attempt
+            try:
+                value = _execute_point(
+                    task_ref, point, attempt, faults, in_worker=False
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                failures += 1
+                if policy.mode == "retry" and failures < policy.max_attempts:
+                    counters["retries"] += 1
+                    time.sleep(policy.backoff_delay(point, attempt))
+                    continue
+                if policy.mode == "fail_fast":
+                    raise
+                record = _serial_error_record(
+                    point, "exception", _describe_error(exc), failures
+                )
+                yield point, ("error", record)
+                break
+            yield point, ("ok", value)
+            break
 
 
 class CampaignHandle:
@@ -200,11 +817,11 @@ class CampaignHandle:
 
     Created by :meth:`CampaignExecutor.submit` — never directly.  The
     handle owns the campaign's bookkeeping (which points were served from
-    the cache or checkpoint, which were computed) and exposes the three
-    consumption styles described in the module docstring.  All styles
-    share one underlying event stream, so they can be mixed freely: a
-    caller may pull a few events from :meth:`as_completed`, then call
-    :meth:`result` to drain the rest.
+    the cache or checkpoint, which were computed, which failed) and
+    exposes the three consumption styles described in the module
+    docstring.  All styles share one underlying event stream, so they can
+    be mixed freely: a caller may pull a few events from
+    :meth:`as_completed`, then call :meth:`result` to drain the rest.
     """
 
     def __init__(
@@ -216,7 +833,9 @@ class CampaignHandle:
         pending: list[CampaignPoint],
         cache: ResultCache | None,
         checkpoint_path: Path | None,
-        result_iter,
+        run,
+        policy: FailurePolicy,
+        faults,
         start: float,
     ) -> None:
         self._executor = executor
@@ -224,13 +843,18 @@ class CampaignHandle:
         self._points = points
         self._cache = cache
         self._checkpoint_path = checkpoint_path
+        self._policy = policy
+        self._faults = faults
         # Clock starts when submit() began, so duration_s covers the
         # cache/checkpoint hit resolution too (a fully-cached campaign's
         # cost IS that scan).
         self._start = start
         self._seen: list[PointResult] = []
         self._values: dict[int, object] = {}
-        self._pool_backed = result_iter is not None
+        self._errors: dict[int, dict] = {}
+        self._run = run
+        self._pool_backed = run is not None
+        self._serial_attempts: dict[int, int] = {}
         self._failed: BaseException | None = None
         self.cache_hits = sum(1 for hit in hits if hit.source == "cache")
         self.checkpoint_hits = len(hits) - self.cache_hits
@@ -238,8 +862,8 @@ class CampaignHandle:
         # Effective pool width: a campaign whose pending work is 0 or 1
         # points runs in-process (reported as serial), exactly like the
         # one-shot runner always did.
-        self.workers = executor.workers if result_iter is not None else 1
-        self._events = self._event_stream(hits, pending, result_iter)
+        self.workers = executor.workers if run is not None else 1
+        self._events = self._event_stream(hits, pending, run)
 
     @property
     def name(self) -> str:
@@ -251,16 +875,33 @@ class CampaignHandle:
         """The campaign's resolved points, in deterministic order."""
         return self._points
 
+    @property
+    def policy(self) -> FailurePolicy:
+        """The failure policy governing this submission."""
+        return self._policy
+
+    @property
+    def errors(self) -> list[dict]:
+        """Error records for terminally-failed points (point order)."""
+        return [self._errors[index] for index in sorted(self._errors)]
+
+    @property
+    def attempts(self) -> dict[int, int]:
+        """Executions started per point index (computed points only)."""
+        if self._run is not None:
+            return dict(self._run.attempts)
+        return dict(self._serial_attempts)
+
     def __len__(self) -> int:
         return len(self._points)
 
     # -- event production ------------------------------------------------
-    def _event_stream(self, hits, pending, result_iter):
+    def _event_stream(self, hits, pending, run):
         """Yield :class:`PointResult` events in completion order.
 
         Hits are yielded first (they were resolved at submit time, before
-        anything touched the pool); computed points follow as the pool —
-        or the in-process serial loop — delivers them.
+        anything touched the pool); computed points follow as the
+        supervised pool — or the in-process serial loop — delivers them.
         """
         checkpoint_handle = None
         try:
@@ -271,17 +912,26 @@ class CampaignHandle:
             if self._checkpoint_path is not None:
                 self._checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
                 checkpoint_handle = self._checkpoint_path.open("a")
-            if result_iter is None:
-                task_ref = self._campaign.task_reference
-                for point in pending:
-                    value = _call_task(task_ref, point)
-                    self._record(point, value, checkpoint_handle)
-                    yield PointResult(point, value, "computed")
+            if run is None:
+                source = _serial_events(
+                    self._campaign.task_reference,
+                    pending,
+                    self._policy,
+                    self._faults,
+                    self._executor._counters,
+                    self._serial_attempts,
+                )
             else:
-                for index, _key, value in result_iter:
-                    point = self._points[index]
+                source = iter(lambda: run.pool.next_event(run), None)
+            for point, outcome in source:
+                if outcome[0] == "ok":
+                    value = outcome[1]
                     self._record(point, value, checkpoint_handle)
                     yield PointResult(point, value, "computed")
+                else:
+                    record = outcome[1]
+                    self._record_error(point, record, checkpoint_handle)
+                    yield PointResult(point, None, "computed", False, record)
         finally:
             if checkpoint_handle is not None:
                 checkpoint_handle.close()
@@ -293,6 +943,14 @@ class CampaignHandle:
             self._cache.put(point.key, value)
         if checkpoint_handle is not None:
             _append_checkpoint(checkpoint_handle, point, value)
+
+    def _record_error(self, point, record, checkpoint_handle) -> None:
+        """A terminal failure: never cached, checkpointed as an error."""
+        self.computed += 1
+        self._executor._points_computed += 1
+        self._errors[point.index] = record
+        if checkpoint_handle is not None:
+            _append_checkpoint(checkpoint_handle, point, status="error", error=record)
 
     def _advance(self) -> PointResult:
         if self._failed is not None:
@@ -307,8 +965,8 @@ class CampaignHandle:
             and self._executor._closed
             and len(self._seen) < len(self._points)
         ):
-            # The pool was terminated with results still undelivered;
-            # next() on its imap iterator would block forever.
+            # The pool was torn down with results still undelivered;
+            # waiting on it would block forever.
             raise SimulationError(
                 f"executor is closed with campaign {self.name!r} still "
                 f"incomplete ({len(self._seen)}/{len(self._points)} points "
@@ -320,6 +978,8 @@ class CampaignHandle:
             raise
         except BaseException as exc:
             self._failed = exc
+            if self._run is not None:
+                self._run.abandon()
             raise
         self._seen.append(event)
         self._values[event.point.index] = event.value
@@ -331,8 +991,10 @@ class CampaignHandle:
 
         Cache/checkpoint hits come first (in point order), computed
         points as they finish (scheduling order under a pool).  A task
-        exception propagates from the iterator; the executor and its pool
-        survive it.  Multiple iterators may be taken — each replays the
+        failure under ``fail_fast`` propagates from the iterator (the
+        executor and its pool survive it); under ``continue``/``retry``
+        failed points arrive as ``ok=False`` events carrying their error
+        record.  Multiple iterators may be taken — each replays the
         events already observed, then continues the shared stream.
         """
         position = 0
@@ -352,7 +1014,10 @@ class CampaignHandle:
         before the campaign barrier — which is what lets an adaptive
         caller issue its next campaign early.  Because the order is the
         deterministic point order, any early-stop decision made while
-        streaming is independent of worker count and scheduling.
+        streaming is independent of worker count and scheduling.  A
+        point that terminally failed under a non-raising policy yields
+        ``None`` (check :attr:`errors` / use :meth:`as_completed` for
+        the records).
         """
         for point in self._points:
             while point.index not in self._values:
@@ -390,30 +1055,44 @@ class CampaignHandle:
             computed=self.computed,
             workers=self.workers,
             duration_s=time.perf_counter() - self._start,
+            errors=[
+                self._errors[point.index]
+                for point in points
+                if point.index in self._errors
+            ],
         )
 
 
 class CampaignExecutor:
-    """A reusable campaign execution service with a warm worker pool.
+    """A reusable, fault-tolerant campaign service with a warm worker pool.
 
     The pool is created lazily on the first submission that needs it and
-    then *kept* — subsequent campaigns reuse the forked workers, which is
-    where short-sweep batteries win big (fork + numpy import cost is paid
-    once, not per campaign).  Close the executor (or use it as a context
-    manager) to tear the pool down.
+    then *kept* — subsequent campaigns reuse the spawned workers, which
+    is where short-sweep batteries win big (fork + numpy import cost is
+    paid once, not per campaign).  Workers are *supervised*: a worker
+    that dies mid-point is respawned and its point re-dispatched, and
+    per-point timeouts/retries follow each submission's
+    :class:`FailurePolicy`.  Close the executor (or use it as a context
+    manager) to tear the pool down — gracefully when nothing is in
+    flight.
 
     Args:
         workers: pool width; ``None``/``0``/``1`` executes in-process
             (streaming still works — points are computed lazily).
         cache: default :class:`ResultCache` (or directory path) applied
             to every submission unless overridden per call.
-        chunk_size: default points-per-dispatch for :meth:`submit`
-            (default 1: streaming-friendly; :meth:`run` balances chunks
-            for barrier throughput instead).
+        chunk_size: retained for API compatibility; supervised dispatch
+            is always per point (the scheduling quantum chunking used to
+            amortise no longer exists), so this knob is accepted and
+            ignored.
+        policy: default :class:`FailurePolicy` (or mode string) for
+            submissions that don't pass their own.
 
     Attributes:
         stats: counters — ``pools_created``, ``campaigns``,
-            ``points_computed`` — for asserting pool reuse.
+            ``points_computed``, plus the resilience counters
+            ``respawns`` / ``retries`` / ``timeouts`` — for asserting
+            pool reuse and recovery behaviour.
     """
 
     def __init__(
@@ -422,6 +1101,7 @@ class CampaignExecutor:
         *,
         cache: ResultCache | str | Path | None = None,
         chunk_size: int | None = None,
+        policy: FailurePolicy | str | None = None,
     ) -> None:
         n_workers = int(workers or 1)
         if n_workers < 0:
@@ -431,14 +1111,16 @@ class CampaignExecutor:
             cache = ResultCache(cache)
         self.cache = cache
         self.chunk_size = chunk_size
-        self._pool = None
+        self.policy = FailurePolicy.coerce(policy)
+        self._pool: _SupervisedPool | None = None
         self._closed = False
         self._pools_created = 0
         self._campaigns = 0
         self._points_computed = 0
+        self._counters = {"respawns": 0, "retries": 0, "timeouts": 0}
 
     # -- pool lifecycle --------------------------------------------------
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> _SupervisedPool:
         if self._closed:
             raise SimulationError("executor is closed")
         if self._pool is None:
@@ -448,7 +1130,7 @@ class CampaignExecutor:
             # the task is re-imported inside the child — so every start
             # method works.
             ctx = multiprocessing.get_context()
-            self._pool = ctx.Pool(processes=self.workers)
+            self._pool = _SupervisedPool(ctx, self.workers, self._counters)
             self._pools_created += 1
         return self._pool
 
@@ -465,24 +1147,35 @@ class CampaignExecutor:
 
     @property
     def stats(self) -> dict:
-        """Executor-lifetime counters (pool reuse, work done)."""
+        """Executor-lifetime counters (pool reuse, work done, recovery)."""
         return {
             "workers": self.workers,
             "pools_created": self._pools_created,
             "campaigns": self._campaigns,
             "points_computed": self._points_computed,
             "pool_alive": self._pool is not None,
+            **self._counters,
         }
 
-    def close(self) -> None:
-        """Tear down the pool.  Safe to call twice; submits then fail."""
+    def close(self, timeout: float = 5.0) -> bool:
+        """Tear down the pool.  Safe to call twice; submits then fail.
+
+        When no submission holds undelivered in-flight work, the workers
+        drain gracefully: each receives the stop sentinel and is joined
+        within ``timeout`` seconds.  Otherwise — an abandoned stream's
+        points still running — the pool is terminated (those results go
+        nowhere anyway).  Either way every worker process is gone when
+        this returns.
+
+        Returns:
+            Whether the shutdown was graceful (trivially ``True`` when
+            no pool was ever created).
+        """
         self._closed = True
-        if self._pool is not None:
-            # terminate (not close): abandoned streams may have orphaned
-            # points still running, and their results go nowhere.
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            return pool.shutdown(timeout)
+        return True
 
     def __enter__(self) -> "CampaignExecutor":
         return self
@@ -498,33 +1191,43 @@ class CampaignExecutor:
         cache: ResultCache | str | Path | None = _UNSET,
         checkpoint: str | Path | None = None,
         chunk_size: int | None = None,
+        policy: FailurePolicy | str | None = None,
+        faults=None,
     ) -> CampaignHandle:
         """Start a campaign; consume it through the returned handle.
 
         Cache and checkpoint hits are resolved *now* — before any point
         is dispatched — so a fully-cached campaign never touches the
         pool.  Pending points are dispatched to the warm pool immediately
-        (workers proceed while the caller is between ``next()`` calls);
-        with ``workers <= 1`` they are computed lazily in-process as the
-        handle is consumed.
+        (up to one per worker; the supervisor keeps workers fed as the
+        handle is consumed); with ``workers <= 1`` they are computed
+        lazily in-process as the handle is consumed.
 
         Args:
             campaign: the declarative spec.
             cache: override the executor default for this submission
-                (``None`` disables caching).
+                (``None`` disables caching).  Only successful values are
+                ever cached.
             checkpoint: JSON-lines resume file, replayed then appended.
-            chunk_size: points per pool dispatch (default: the
-                executor's ``chunk_size``, else 1 for low latency).  The
-                string ``"balanced"`` splits the pending points so each
-                worker sees ~4 chunks — best for barrier consumption.
+                Records are status-tagged: successes replay verbatim on
+                resume, error records are retried.
+            chunk_size: accepted for compatibility, ignored (supervised
+                dispatch is per point).
+            policy: :class:`FailurePolicy` (or mode string) for this
+                submission; defaults to the executor's policy.
+            faults: a :class:`repro.exec.faults.FaultPlan` injecting
+                deterministic faults into this submission's executions
+                (testing only).
         """
         if self._closed:
             raise SimulationError("executor is closed")
+        del chunk_size  # per-point supervised dispatch: nothing to chunk
         start = time.perf_counter()
         if cache is _UNSET:
             cache = self.cache
         elif isinstance(cache, (str, Path)):
             cache = ResultCache(cache)
+        policy = FailurePolicy.coerce(policy if policy is not None else self.policy)
         points = campaign.points()
         checkpoint_path = Path(checkpoint) if checkpoint is not None else None
         replayed = _load_checkpoint(checkpoint_path) if checkpoint_path else {}
@@ -545,21 +1248,13 @@ class CampaignExecutor:
                 continue
             pending.append(point)
 
-        if chunk_size is None:
-            chunk_size = self.chunk_size if self.chunk_size is not None else 1
-        if chunk_size == "balanced":
-            chunk_size = max(1, len(pending) // (self.workers * 4))
-        result_iter = None
+        run = None
         if self.workers > 1 and len(pending) > 1:
-            # Dispatch now: imap feeds the pool from a background thread,
+            # Dispatch now: up to one point per worker starts immediately,
             # so workers make progress while the caller is off doing
             # something other than consuming the handle.
             pool = self._ensure_pool()
-            task_ref = campaign.task_reference
-            payloads = [(task_ref, point) for point in pending]
-            result_iter = pool.imap_unordered(
-                _pool_worker, payloads, chunksize=max(1, int(chunk_size))
-            )
+            run = pool.submit(campaign.task_reference, pending, policy, faults)
         handle = CampaignHandle(
             executor=self,
             campaign=campaign,
@@ -568,7 +1263,9 @@ class CampaignExecutor:
             pending=pending,
             cache=cache,
             checkpoint_path=checkpoint_path,
-            result_iter=result_iter,
+            run=run,
+            policy=policy,
+            faults=faults,
             start=start,
         )
         self._campaigns += 1
@@ -581,19 +1278,17 @@ class CampaignExecutor:
         cache: ResultCache | str | Path | None = _UNSET,
         checkpoint: str | Path | None = None,
         chunk_size: int | None = None,
+        policy: FailurePolicy | str | None = None,
+        faults=None,
     ) -> CampaignResult:
-        """Submit and drain one campaign (the barrier style).
-
-        Equivalent to ``submit(...).result()`` except for the default
-        chunking: with no explicit ``chunk_size`` the pending points are
-        split so each worker sees ~4 chunks, amortising IPC without
-        starving the tail — the right default when nobody is watching
-        the stream.
-        """
-        if chunk_size is None and self.chunk_size is None:
-            chunk_size = "balanced"
+        """Submit and drain one campaign (the barrier style)."""
         handle = self.submit(
-            campaign, cache=cache, checkpoint=checkpoint, chunk_size=chunk_size
+            campaign,
+            cache=cache,
+            checkpoint=checkpoint,
+            chunk_size=chunk_size,
+            policy=policy,
+            faults=faults,
         )
         return handle.result()
 
@@ -604,22 +1299,30 @@ def executor_scope(
     *,
     workers: int | None = None,
     cache: ResultCache | str | Path | None = None,
+    policy: FailurePolicy | str | None = None,
 ):
     """The executor-or-own pattern shared by the workload drivers.
 
     Yields ``(executor, submit_kwargs)``.  With a caller-provided
     executor it is yielded as-is (and *not* closed afterwards), and
-    ``submit_kwargs`` carries the caller's cache as an explicit override
-    when one was given — a ``cache=None`` caller defers to the
-    executor's own cache rather than disabling caching.  Without one, a
-    transient :class:`CampaignExecutor` is created with the caller's
-    ``workers``/``cache`` and closed on exit, and ``submit_kwargs`` is
-    empty (the cache is already the executor default).
+    ``submit_kwargs`` carries the caller's cache/policy as explicit
+    overrides when given — a ``cache=None`` caller defers to the
+    executor's own cache rather than disabling caching, and likewise for
+    the failure policy.  Without one, a transient
+    :class:`CampaignExecutor` is created with the caller's
+    ``workers``/``cache``/``policy`` and closed on exit, and
+    ``submit_kwargs`` is empty (the settings are already executor
+    defaults).
     """
     if executor is not None:
-        yield executor, ({} if cache is None else {"cache": cache})
+        kwargs = {}
+        if cache is not None:
+            kwargs["cache"] = cache
+        if policy is not None:
+            kwargs["policy"] = policy
+        yield executor, kwargs
         return
-    owned = CampaignExecutor(workers, cache=cache)
+    owned = CampaignExecutor(workers, cache=cache, policy=policy)
     try:
         yield owned, {}
     finally:
@@ -633,6 +1336,8 @@ def run_campaign(
     cache: ResultCache | str | Path | None = None,
     checkpoint: str | Path | None = None,
     chunk_size: int | None = None,
+    policy: FailurePolicy | str | None = None,
+    faults=None,
 ) -> CampaignResult:
     """Execute every point of a campaign, skipping already-known results.
 
@@ -650,15 +1355,26 @@ def run_campaign(
         cache: a :class:`ResultCache` (or a directory path for one).
             Points found by content key are served without executing —
             across reruns *and* across different campaigns that share
-            points.  Freshly computed values are written back.
+            points.  Freshly computed successful values are written back;
+            failures never are.
         checkpoint: JSON-lines file appended as points complete; an
             existing file is replayed first (resume after a kill), with
-            corrupted lines skipped.
-        chunk_size: points handed to a worker per scheduling quantum
-            (default: balanced so each worker sees ~4 chunks).
+            corrupted lines skipped and error records retried.
+        chunk_size: accepted for compatibility, ignored (supervised
+            dispatch is per point).
+        policy: :class:`FailurePolicy` (or mode string) governing task
+            failures, worker crashes, and per-point timeouts.
+        faults: a :class:`repro.exec.faults.FaultPlan` for deterministic
+            fault injection (testing only).
 
     Returns:
         A :class:`CampaignResult` with values in point order.
     """
     with CampaignExecutor(workers, cache=cache) as executor:
-        return executor.run(campaign, checkpoint=checkpoint, chunk_size=chunk_size)
+        return executor.run(
+            campaign,
+            checkpoint=checkpoint,
+            chunk_size=chunk_size,
+            policy=policy,
+            faults=faults,
+        )

@@ -12,13 +12,13 @@ pool down.  This module keeps the historical import surface
 from __future__ import annotations
 
 # The private helpers are re-exported too, so existing imports (and any
-# queued pool payloads referencing them) keep resolving.
+# supervised worker payloads referencing them) keep resolving.
 from .executor import (  # noqa: F401
     CampaignResult,
     _append_checkpoint,
     _call_task,
     _load_checkpoint,
-    _pool_worker,
+    _worker_main,
     run_campaign,
     to_jsonable,
 )

@@ -33,6 +33,7 @@ __all__ = [
     "Campaign",
     "CampaignPoint",
     "resolve_task",
+    "retry_seed",
     "task_ref",
 ]
 
@@ -298,3 +299,26 @@ def _point_seed(root: int, params: Mapping) -> int:
     entropy = int(stable_hash(dict(params))[:16], 16)
     child = np.random.SeedSequence([int(root) & (2**63 - 1), entropy])
     return int(child.generate_state(2, np.uint64)[0])
+
+
+def retry_seed(point: CampaignPoint, attempt: int) -> int:
+    """Deterministic per-``(point, attempt)`` seed for retry machinery.
+
+    Used for backoff jitter (:meth:`repro.exec.FailurePolicy.backoff_delay`)
+    and available to fault-injection schedules.  Deliberately *distinct*
+    from the point's task seed: a retried execution must reuse the
+    original spawned seed bit-for-bit (so recovered results equal the
+    serial run), while the retry machinery still needs decorrelated
+    randomness per attempt.  Depends only on the point's content key and
+    the attempt number — never on wall-clock or process identity.
+
+    Args:
+        point: the resolved campaign point.
+        attempt: 1-based execution attempt.
+
+    Returns:
+        A 63-bit seed, stable across processes and runs.
+    """
+    entropy = int(point.key[:16], 16)
+    child = np.random.SeedSequence([entropy, int(attempt)])
+    return int(child.generate_state(1, np.uint64)[0]) & (2**63 - 1)

@@ -256,6 +256,7 @@ def ndar_restart_battery(
     seed: int = 0,
     target_cost: int | None = None,
     executor=None,
+    policy=None,
     **task_params,
 ) -> dict:
     """Run an NDAR restart battery as one streamed, cached campaign.
@@ -283,6 +284,8 @@ def ndar_restart_battery(
             ``<=`` this value (``None`` = run the full battery).
         executor: an existing :class:`repro.exec.CampaignExecutor` whose
             warm pool should be reused.
+        policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
+            the battery; defaults to the executor's policy.
         **task_params: fixed :func:`ndar_restart_task` parameters
             (``n_nodes``, ``loss_per_layer``, ``n_rounds``, ...).
 
@@ -305,7 +308,8 @@ def ndar_restart_battery(
         base_params=task_params,
         seed=seed,
     )
-    with executor_scope(executor, workers=workers, cache=cache) as (ex, kwargs):
+    scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
+    with scope as (ex, kwargs):
         handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
         records: list[dict] = []
         stopped_early = False

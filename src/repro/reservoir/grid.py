@@ -114,6 +114,7 @@ def reservoir_grid_campaign(
     checkpoint=None,
     seed: int = 0,
     executor=None,
+    policy=None,
     on_result=None,
     **task_params,
 ) -> dict:
@@ -127,6 +128,8 @@ def reservoir_grid_campaign(
             when an ``executor`` is given).
         executor: an existing :class:`repro.exec.CampaignExecutor` —
             re-tuning loops that sweep many grids reuse its warm pool.
+        policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
+            the grid campaign; defaults to the executor's policy.
         on_result: optional ``callback(point, value)`` invoked as each
             grid point completes (pool completion order) — a progress
             hook for long grids; the returned ``best`` is selected from
@@ -151,7 +154,8 @@ def reservoir_grid_campaign(
         base_params=task_params,
         seed=seed,
     )
-    with executor_scope(executor, workers=workers, cache=cache) as (ex, kwargs):
+    scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
+    with scope as (ex, kwargs):
         handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
         if on_result is not None:
             for event in handle.as_completed():

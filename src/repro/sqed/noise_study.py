@@ -380,6 +380,7 @@ def damage_campaign(
     seed: int = 0,
     name: str = "sqed-damage",
     executor=None,
+    policy=None,
     **task_params,
 ):
     """Score a whole epsilon sweep as one parallel, cached campaign.
@@ -396,6 +397,9 @@ def damage_campaign(
         name: campaign label.
         executor: an existing :class:`repro.exec.CampaignExecutor` to run
             on — its warm pool is reused instead of forking a fresh one.
+        policy: a :class:`repro.exec.FailurePolicy` (or mode string)
+            governing point failures for this campaign; defaults to the
+            executor's policy.
         **task_params: fixed :func:`damage_task` parameters (``n_sites``,
             ``encoding``, ``method``, ...).
 
@@ -406,7 +410,8 @@ def damage_campaign(
     from ..exec import executor_scope
 
     campaign = _damage_campaign_spec(epsilons, name, seed, task_params)
-    with executor_scope(executor, workers=workers, cache=cache) as (ex, kwargs):
+    scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
+    with scope as (ex, kwargs):
         return ex.run(campaign, checkpoint=checkpoint, **kwargs)
 
 
@@ -419,6 +424,7 @@ def noise_threshold_campaign(
     cache=None,
     seed: int = 0,
     executor=None,
+    policy=None,
     **task_params,
 ) -> float:
     """Campaign-backed noise-threshold bisection, streamed.
@@ -449,6 +455,8 @@ def noise_threshold_campaign(
         seed: campaign root seed.
         executor: an existing :class:`repro.exec.CampaignExecutor`; by
             default one is created (and closed) for this bisection.
+        policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
+            the probe campaigns; defaults to the executor's policy.
         **task_params: fixed :func:`damage_task` parameters.
 
     Returns:
@@ -461,7 +469,8 @@ def noise_threshold_campaign(
             epsilons, "sqed-threshold-probe", seed, task_params
         )
 
-    with executor_scope(executor, workers=workers, cache=cache) as (ex, kwargs):
+    scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
+    with scope as (ex, kwargs):
 
         def probe_one(epsilon) -> float:
             return ex.run(spec([epsilon]), **kwargs).values[0]

@@ -332,3 +332,149 @@ class TestHandleLifetimeErrors:
                 for event in handle.as_completed():
                     events.append(event.point.params["x"])
             assert events == [0, 1]
+
+
+class TestGracefulClose:
+    """close() drains workers when nothing is in flight (satellite:
+    no more unconditional pool.terminate())."""
+
+    def test_drained_executor_closes_gracefully(self):
+        executor = CampaignExecutor(2)
+        executor.run(_campaign(n=4))
+        pool = executor._pool
+        assert pool is not None
+        processes = pool.worker_processes()
+        assert all(p.is_alive() for p in processes)
+        assert executor.close() is True  # graceful drain, not terminate
+        assert all(not p.is_alive() for p in processes)
+        # Stop-sentinel exits are clean (exit code 0), never signalled.
+        assert all(p.exitcode == 0 for p in processes)
+
+    def test_abandoned_stream_falls_back_to_terminate(self):
+        executor = CampaignExecutor(2)
+        handle = executor.submit(_campaign(n=8, task=slow_task))
+        next(handle.stream_results())  # abandon with points in flight
+        pool = executor._pool
+        processes = pool.worker_processes()
+        assert executor.close() is False  # undelivered work: hard stop
+        assert all(not p.is_alive() for p in processes)
+
+    def test_close_twice_is_safe(self):
+        executor = CampaignExecutor(2)
+        executor.run(_campaign(n=4))
+        assert executor.close() is True
+        assert executor.close() is True  # no pool left: trivially graceful
+
+    def test_serial_close_is_trivially_graceful(self):
+        executor = CampaignExecutor(1)
+        executor.run(_campaign(n=3))
+        assert executor.close() is True
+
+
+class TestInterruptSafety:
+    """KeyboardInterrupt leaves the checkpoint consistent and the pool
+    torn down (satellite: no torn final record)."""
+
+    def test_sigint_mid_write_never_tears_the_record(self, tmp_path):
+        """A SIGINT landing *during* a checkpoint append is deferred
+        until the record is fully written and flushed."""
+        import json
+        import signal as _signal
+
+        from repro.exec.executor import _append_checkpoint
+
+        path = tmp_path / "ckpt.jsonl"
+        point = _campaign(n=1).points()[0]
+
+        class InterruptMidWrite:
+            def __init__(self, handle):
+                self.handle = handle
+
+            def write(self, line):
+                self.handle.write(line[: len(line) // 2])
+                # Mid-record interrupt: without the shield this raises
+                # here and leaves a torn line behind.
+                os.kill(os.getpid(), _signal.SIGINT)
+                self.handle.write(line[len(line) // 2 :])
+
+            def flush(self):
+                self.handle.flush()
+
+        with path.open("a") as raw:
+            with pytest.raises(KeyboardInterrupt):
+                _append_checkpoint(InterruptMidWrite(raw), point, {"v": 1})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])  # parses: not torn
+        assert record == {
+            "key": point.key,
+            "index": 0,
+            "status": "ok",
+            "value": {"v": 1},
+        }
+
+    def test_interrupted_stream_leaves_consistent_checkpoint(self, tmp_path):
+        """Abort a pool-backed stream mid-campaign: every checkpoint
+        line parses, the pool tears down, and a resume replays cleanly."""
+        import json
+
+        checkpoint = tmp_path / "interrupted.jsonl"
+        executor = CampaignExecutor(2)
+        try:
+            handle = executor.submit(
+                _campaign(n=8, task=slow_task), checkpoint=checkpoint
+            )
+            with pytest.raises(KeyboardInterrupt):
+                for i, _ in enumerate(handle.as_completed()):
+                    if i >= 2:  # the user hits Ctrl-C mid-consumption
+                        raise KeyboardInterrupt
+        finally:
+            pool = executor._pool
+            processes = pool.worker_processes() if pool is not None else []
+            executor.close()
+        assert all(not p.is_alive() for p in processes)
+        lines = checkpoint.read_text().splitlines()
+        assert len(lines) >= 3
+        for line in lines:
+            record = json.loads(line)  # every line is complete JSON
+            assert record["status"] == "ok"
+        resumed = run_campaign(_campaign(n=8, task=slow_task), checkpoint=checkpoint)
+        clean = run_campaign(_campaign(n=8, task=slow_task))
+        assert resumed.values == clean.values
+        assert resumed.checkpoint_hits >= 3
+
+    def test_interrupt_in_serial_task_propagates(self, tmp_path):
+        """KeyboardInterrupt raised by the task itself is never swallowed
+        by retry machinery."""
+        from repro.exec import FailurePolicy
+
+        checkpoint = tmp_path / "serial.jsonl"
+        policy = FailurePolicy(mode="retry", max_attempts=5, backoff_base=0.0)
+        with CampaignExecutor(1) as executor:
+            handle = executor.submit(
+                _campaign(n=4, task=interrupting_task),
+                checkpoint=checkpoint,
+                policy=policy,
+            )
+            with pytest.raises(KeyboardInterrupt):
+                handle.result()
+        import json
+
+        for line in checkpoint.read_text().splitlines():
+            json.loads(line)  # whatever was written is whole
+
+
+def interrupting_task(x, seed=0):
+    if x == 2:
+        raise KeyboardInterrupt
+    return int(x)
+
+
+class TestResilienceCounters:
+    def test_counters_present_and_zero_on_clean_runs(self):
+        with CampaignExecutor(2) as executor:
+            executor.run(_campaign(n=4))
+            stats = executor.stats
+        assert stats["respawns"] == 0
+        assert stats["retries"] == 0
+        assert stats["timeouts"] == 0

@@ -185,6 +185,8 @@ def test_exec_bench_smoke(tmp_path):
         battery_workers=4,
         streaming_points=24,
         streaming_delay_ms=25.0,
+        overhead_points=16,
+        overhead_delay_ms=25.0,
         workers=8,
         calibration_scale=1,
         cache_dir=tmp_path / "cache",
@@ -200,6 +202,13 @@ def test_exec_bench_smoke(tmp_path):
     streaming = report["streaming"]
     assert streaming["time_to_first_s"] < streaming["barrier_total_s"]
     assert streaming["first_vs_barrier_ratio"] <= 0.6
+    # Supervised dispatch (liveness monitoring, respawn, deadlines) must
+    # not meaningfully tax a latency-bound battery.  The committed-record
+    # bound is 1.10x; the tiny smoke sizes are noisier, so allow slack
+    # while still catching a pathological regression.
+    overhead = report["supervised_overhead"]
+    assert overhead["raw_pool_s"] > 0 and overhead["supervised_s"] > 0
+    assert overhead["overhead_ratio"] <= 1.5
     # Cached replay serves (almost) everything without recomputation.
     sqed = report["sqed_campaign"]
     assert sqed["replay_hit_fraction"] >= 0.95
@@ -223,7 +232,9 @@ def test_committed_bench_exec_json_meets_targets():
     >= 2x scheduler concurrency at 8 workers on the latency-bound smoke
     campaign, >= 2x from pool reuse on the short-campaign battery, a
     streamed time-to-first-result <= 0.5x the barrier runner's total
-    wall time, a >= 10x cached replay serving >= 95% of the 64-point
+    wall time, supervised (fault-tolerant) dispatch within 10% of a raw
+    unsupervised pool on the latency-bound battery, a >= 10x cached
+    replay serving >= 95% of the 64-point
     sQED campaign, and the auto-selector's anchor decisions (statevector
     for a small noiseless register, a tensor network for 12 noisy
     qutrits).  The CPU-bound parallel speedup is recorded together with
@@ -241,6 +252,10 @@ def test_committed_bench_exec_json_meets_targets():
     assert streaming["n_points"] >= 16
     assert streaming["first_vs_barrier_ratio"] <= 0.5
     assert streaming["time_to_first_s"] <= 0.5 * streaming["barrier_total_s"]
+    overhead = report["supervised_overhead"]
+    assert overhead["n_points"] >= 16
+    assert overhead["workers"] >= 8
+    assert overhead["overhead_ratio"] <= 1.10
     sqed = report["sqed_campaign"]
     assert sqed["n_points"] >= 64
     assert sqed["workers"] >= 8

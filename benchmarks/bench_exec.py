@@ -1,6 +1,6 @@
 """Campaign-subsystem benchmark — parallel speedup, cache replay, calibration.
 
-Seven sections, emitted to the committed ``BENCH_exec.json``:
+Eight sections, emitted to the committed ``BENCH_exec.json``:
 
 1. **calibration** — measures the per-unit cost constants the
    ``get_backend("auto")`` cost model ranks engines with (seconds per
@@ -40,6 +40,14 @@ Seven sections, emitted to the committed ``BENCH_exec.json``:
    timeouts) vs the supervised executor.  The supervised wall time is
    required to be <= 1.10x the raw pool's — crash detection must cost
    under 10% on latency-bound work.
+8. **obs_overhead** — the observability tax: a CPU-bound gate-apply
+   workload (the hottest instrumented call sites, :mod:`repro.obs`)
+   timed with telemetry disabled, enabled, and disabled again,
+   min-of-k.  The disabled-after/disabled-before ratio is required to
+   be <= 1.05 — the instrumentation must be near-free when off (one
+   module-attribute check per call site) and must leave no residue
+   behind after an enabled run.  The enabled ratio is on record too,
+   together with proof the enabled run actually collected telemetry.
 
 Run as a script to (re)generate the committed record::
 
@@ -350,6 +358,63 @@ def bench_supervised_overhead(
     }
 
 
+def bench_obs_overhead(
+    n_qudits: int = 6, gate_loops: int = 40, repeats: int = 5
+) -> dict:
+    """The cost of the observability instrumentation, on and off.
+
+    Runs a CPU-bound statevector circuit (every gate apply crosses an
+    instrumented call site) three ways — telemetry disabled, enabled,
+    and disabled again — taking the min over ``repeats`` to suppress
+    scheduler noise.  ``disabled_ratio`` (after/before, both disabled)
+    is the committed <= 1.05 guard: with collection off the entire cost
+    per call site is one module-attribute check, and an enabled run
+    must leave no lingering slowdown behind.  The enabled ratio is
+    informational (it pays real dict/span work), and the recorded
+    sample counts prove the enabled run actually collected telemetry.
+    """
+    from repro import obs
+
+    circuit = _clean_circuit(n_qudits)
+    backend = get_backend("statevector")
+
+    def once() -> float:
+        start = time.perf_counter()
+        for _ in range(gate_loops):
+            backend.run(circuit)
+        return time.perf_counter() - start
+
+    obs.disable()
+    obs.reset()
+    disabled_before_s = min(once() for _ in range(repeats))
+
+    obs.enable()
+    enabled_s = min(once() for _ in range(repeats))
+    snap = obs.metrics.snapshot()
+    gate_applies = sum(
+        snap.get("gate_applies", {}).get("values", {}).values()
+    )
+    n_spans = len(obs.tracing.events())
+
+    obs.disable()
+    obs.reset()
+    disabled_after_s = min(once() for _ in range(repeats))
+
+    assert gate_applies > 0 and n_spans > 0  # the enabled run collected
+    return {
+        "n_qudits": n_qudits,
+        "gate_loops": gate_loops,
+        "repeats": repeats,
+        "disabled_before_s": round(disabled_before_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "disabled_after_s": round(disabled_after_s, 4),
+        "disabled_ratio": round(disabled_after_s / disabled_before_s, 4),
+        "enabled_ratio": round(enabled_s / disabled_before_s, 4),
+        "gate_applies_observed": int(gate_applies),
+        "spans_recorded": n_spans,
+    }
+
+
 def bench_sqed_campaign(
     n_points: int, workers: int, cache_dir: Path, n_sites: int, n_steps: int
 ) -> dict:
@@ -410,6 +475,9 @@ def run_benchmarks(
     streaming_delay_ms: float = 25.0,
     overhead_points: int = 32,
     overhead_delay_ms: float = 25.0,
+    obs_qudits: int = 6,
+    obs_gate_loops: int = 40,
+    obs_repeats: int = 5,
     workers: int = 8,
     calibration_scale: int = 2,
     cache_dir: Path | str | None = None,
@@ -427,6 +495,8 @@ def run_benchmarks(
         streaming_points, streaming_delay_ms: streaming section size.
         overhead_points, overhead_delay_ms: supervised-overhead section
             size (same latency-bound shape, two dispatch architectures).
+        obs_qudits, obs_gate_loops, obs_repeats: observability-overhead
+            section size (CPU-bound gate-apply workload, min-of-k).
         workers: pool width for the parallel sections.
         calibration_scale: probe-size multiplier for the calibration.
         cache_dir: where the replay cache lives (a temp dir if omitted).
@@ -447,6 +517,7 @@ def run_benchmarks(
     overhead = bench_supervised_overhead(
         overhead_points, overhead_delay_ms, workers
     )
+    obs_overhead = bench_obs_overhead(obs_qudits, obs_gate_loops, obs_repeats)
     if cache_dir is None:
         with tempfile.TemporaryDirectory() as tmp:
             sqed = bench_sqed_campaign(
@@ -469,6 +540,7 @@ def run_benchmarks(
         "pool_reuse": pool_reuse,
         "streaming": streaming,
         "supervised_overhead": overhead,
+        "obs_overhead": obs_overhead,
         "sqed_campaign": sqed,
     }
     if out_path is not None:

@@ -13,6 +13,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .channels import QuditChannel
 from .circuit import Instruction, QuditCircuit
 from .dims import digits_to_index, index_to_digits, total_dim, validate_dims
@@ -118,6 +120,26 @@ class DensityMatrix:
         bra_targets = tuple(t + n for t in targets)
         if structures is None:
             structures = [None] * len(matrices)
+        if _metrics.enabled or _tracing.enabled:
+            kinds = {
+                (classify_gate(op) if s is None else s).kind
+                for op, s in zip(matrices, structures)
+            }
+            kind = kinds.pop() if len(kinds) == 1 else "mixed"
+            _metrics.inc("gate_applies", backend="density", kind=kind)
+            with _tracing.span(
+                "gate_apply", backend="density", kind=kind, kraus=len(matrices)
+            ):
+                return self._apply_local_terms(
+                    tensor, out, matrices, structures, targets, bra_targets
+                )
+        return self._apply_local_terms(
+            tensor, out, matrices, structures, targets, bra_targets
+        )
+
+    def _apply_local_terms(
+        self, tensor, out, matrices, structures, targets, bra_targets
+    ) -> np.ndarray:
         for op, structure in zip(matrices, structures):
             term = apply_matrix(
                 tensor, op, self.dims * 2, targets, structure=structure
@@ -204,6 +226,19 @@ class DensityMatrix:
         """
         structures = instruction.kraus_structures()
         targets = tuple(instruction.qudits)
+        if _metrics.enabled or _tracing.enabled:
+            kinds = {s.kind for s in structures}
+            kind = kinds.pop() if len(kinds) == 1 else "mixed"
+            _metrics.inc("channel_applies", backend="density", kind=kind)
+            with _tracing.span(
+                "channel_apply", backend="density", kind=kind, kraus=len(structures)
+            ):
+                return self._apply_channel_dispatch(instruction, structures, targets)
+        return self._apply_channel_dispatch(instruction, structures, targets)
+
+    def _apply_channel_dispatch(
+        self, instruction: Instruction, structures, targets
+    ) -> "DensityMatrix":
         if all(s.kind == DIAGONAL for s in structures):
             diags = np.stack([s.diag for s in structures])
             return DensityMatrix(

@@ -48,6 +48,8 @@ from .dims import validate_dims
 from .exceptions import DimensionError, SimulationError
 from .mps import MPSState, _classify_observable, _sorted_gate, operator_schmidt_factors
 from .rng import ensure_rng, sanitize_probabilities
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .structure import DIAGONAL, PERMUTATION, GateStructure, classify_gate
 from .tensor_utils import qr_step_left, qr_step_right, truncated_svd
 
@@ -311,11 +313,23 @@ class LPDOState:
         :attr:`truncation_error`, and rescales the kept spectrum so
         ``Tr(rho)`` is preserved.
         """
-        left, right, discarded = truncated_svd(
-            mat, max_keep=self.max_bond, rel_tol=self.svd_tol
-        )
+        if _tracing.enabled:
+            with _tracing.span("truncated_svd", backend="lpdo") as ev:
+                left, right, discarded = truncated_svd(
+                    mat, max_keep=self.max_bond, rel_tol=self.svd_tol
+                )
+                ev["args"]["chi"] = int(left.shape[1])
+        else:
+            left, right, discarded = truncated_svd(
+                mat, max_keep=self.max_bond, rel_tol=self.svd_tol
+            )
         if discarded > 1e-16:
             self.truncation_error += discarded
+        if _metrics.enabled:
+            _metrics.set_gauge("bond_dim", left.shape[1], backend="lpdo")
+            _metrics.set_gauge(
+                "truncation_error", self.truncation_error, backend="lpdo"
+            )
         return left, right
 
     def _split_run(self, start: int, theta: np.ndarray) -> None:
@@ -363,11 +377,27 @@ class LPDOState:
         """
         t = self._tensors[i]
         l, d, k, r = t.shape
-        left, right, discarded = truncated_svd(
-            t.reshape(l, d * k * r), max_keep=self.max_bond, rel_tol=self.svd_tol
-        )
+        if _tracing.enabled:
+            with _tracing.span("truncated_svd", backend="lpdo") as ev:
+                left, right, discarded = truncated_svd(
+                    t.reshape(l, d * k * r),
+                    max_keep=self.max_bond,
+                    rel_tol=self.svd_tol,
+                )
+                ev["args"]["chi"] = int(left.shape[1])
+        else:
+            left, right, discarded = truncated_svd(
+                t.reshape(l, d * k * r),
+                max_keep=self.max_bond,
+                rel_tol=self.svd_tol,
+            )
         if discarded > 1e-16:
             self.truncation_error += discarded
+        if _metrics.enabled:
+            _metrics.set_gauge("bond_dim", left.shape[1], backend="lpdo")
+            _metrics.set_gauge(
+                "truncation_error", self.truncation_error, backend="lpdo"
+            )
         self._tensors[i - 1] = np.tensordot(
             self._tensors[i - 1], left, axes=(3, 0)
         )
@@ -428,6 +458,13 @@ class LPDOState:
         if discarded > 1e-16:
             self.purification_error += discarded
         new = (mat @ vec[:, keep]) * np.sqrt(total / kept)
+        if _metrics.enabled:
+            _metrics.set_gauge(
+                "kraus_dim", int(np.count_nonzero(keep)), backend="lpdo"
+            )
+            _metrics.set_gauge(
+                "purification_error", self.purification_error, backend="lpdo"
+            )
         return np.ascontiguousarray(
             new.reshape(l, d, r, -1).transpose(0, 1, 3, 2)
         )
@@ -589,6 +626,15 @@ class LPDOState:
         for t in targets:
             if not 0 <= t < self.num_sites:
                 raise SimulationError(f"wire {t} out of range")
+        if _metrics.enabled or _tracing.enabled:
+            _metrics.inc("gate_applies", backend="lpdo", kind=structure.kind)
+            with _tracing.span("gate_apply", backend="lpdo", kind=structure.kind):
+                self._dispatch_gate(targets, structure)
+            return
+        self._dispatch_gate(targets, structure)
+
+    def _dispatch_gate(self, targets: tuple[int, ...], structure) -> None:
+        """Route a validated, sorted gate to the contiguous-run kernel."""
         m = len(targets)
         first = targets[0]
         if targets == tuple(range(first, first + m)):

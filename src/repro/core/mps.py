@@ -46,6 +46,8 @@ from .circuit import Instruction, QuditCircuit
 from .dims import validate_dims
 from .exceptions import DimensionError, SimulationError
 from .rng import ensure_rng
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .structure import DIAGONAL, PERMUTATION, GateStructure, classify_gate
 from .tensor_utils import qr_step_left, qr_step_right, truncated_svd
 
@@ -391,11 +393,23 @@ class MPSState:
         :attr:`truncation_error`, and rescales the kept spectrum so the
         state norm is preserved.
         """
-        left, right, discarded = truncated_svd(
-            mat, max_keep=self.max_bond, rel_tol=self.svd_tol
-        )
+        if _tracing.enabled:
+            with _tracing.span("truncated_svd", backend="mps") as ev:
+                left, right, discarded = truncated_svd(
+                    mat, max_keep=self.max_bond, rel_tol=self.svd_tol
+                )
+                ev["args"]["chi"] = int(left.shape[1])
+        else:
+            left, right, discarded = truncated_svd(
+                mat, max_keep=self.max_bond, rel_tol=self.svd_tol
+            )
         if discarded > 1e-16:
             self.truncation_error += discarded
+        if _metrics.enabled:
+            _metrics.set_gauge("bond_dim", left.shape[1], backend="mps")
+            _metrics.set_gauge(
+                "truncation_error", self.truncation_error, backend="mps"
+            )
         return left, right
 
     def _split_run(self, start: int, theta: np.ndarray) -> None:
@@ -579,6 +593,15 @@ class MPSState:
         for t in targets:
             if not 0 <= t < self.num_sites:
                 raise SimulationError(f"wire {t} out of range")
+        if _metrics.enabled or _tracing.enabled:
+            _metrics.inc("gate_applies", backend="mps", kind=structure.kind)
+            with _tracing.span("gate_apply", backend="mps", kind=structure.kind):
+                self._dispatch_gate(targets, structure)
+            return
+        self._dispatch_gate(targets, structure)
+
+    def _dispatch_gate(self, targets: tuple[int, ...], structure) -> None:
+        """Route a validated, sorted gate to the contiguous-run kernel."""
         k = len(targets)
         first = targets[0]
         if targets == tuple(range(first, first + k)):

@@ -22,6 +22,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .circuit import QuditCircuit
 from .dims import digits_to_index, index_to_digits, strides, total_dim, validate_dims
 from .exceptions import DimensionError, SimulationError
@@ -420,13 +422,21 @@ class Statevector:
         """
         if isinstance(targets, (int, np.integer)):
             targets = (int(targets),)
-        tensor = apply_matrix(
-            self._tensor,
-            np.asarray(matrix, dtype=complex),
-            self.dims,
-            targets,
-            structure=structure,
-        )
+        matrix = np.asarray(matrix, dtype=complex)
+        if _metrics.enabled or _tracing.enabled:
+            if structure is None:
+                structure = classify_gate(matrix)
+            _metrics.inc("gate_applies", backend="statevector", kind=structure.kind)
+            with _tracing.span(
+                "gate_apply", backend="statevector", kind=structure.kind
+            ):
+                tensor = apply_matrix(
+                    self._tensor, matrix, self.dims, targets, structure=structure
+                )
+        else:
+            tensor = apply_matrix(
+                self._tensor, matrix, self.dims, targets, structure=structure
+            )
         return Statevector(tensor.reshape(-1), self.dims)
 
     def evolve(self, circuit: QuditCircuit) -> "Statevector":

@@ -34,6 +34,8 @@ from .circuit import Instruction, QuditCircuit
 from .dims import index_to_digits, total_dim
 from .exceptions import SimulationError
 from .rng import derive_seed, ensure_rng, spawn_seeds
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .statevector import Statevector, apply_matrix, broadcast_over_targets
 
 __all__ = ["TrajectorySimulator"]
@@ -384,14 +386,30 @@ class TrajectorySimulator:
         dim = initial.dim
         sizes = self._chunk_sizes(n_trajectories)
         seeds = spawn_seeds(derive_seed(self._rng), len(sizes))
-        for size, seed in zip(sizes, seeds):
+        for index, (size, seed) in enumerate(zip(sizes, seeds)):
             batch = np.ascontiguousarray(
                 np.broadcast_to(
                     initial.tensor[..., None], initial.tensor.shape + (size,)
                 )
             )
             gen = np.random.default_rng(seed)
-            yield self.evolve_states(batch, rng=gen).reshape(dim, size), gen
+            if _metrics.enabled or _tracing.enabled:
+                _metrics.inc("trajectory_chunks", backend="trajectories")
+                _metrics.inc(
+                    "trajectories_evolved", size, backend="trajectories"
+                )
+                # The chunk is evolved inside the span, then yielded
+                # outside it, so consumer time never inflates the span.
+                with _tracing.span(
+                    "trajectory_chunk",
+                    backend="trajectories",
+                    index=index,
+                    size=size,
+                ):
+                    final = self.evolve_states(batch, rng=gen).reshape(dim, size)
+                yield final, gen
+            else:
+                yield self.evolve_states(batch, rng=gen).reshape(dim, size), gen
 
     def _sample_indices(
         self, flat: np.ndarray, rng: np.random.Generator | None = None

@@ -42,6 +42,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.exceptions import SimulationError
+from ..obs import metrics as _metrics
 
 __all__ = ["stable_hash", "point_key", "ResultCache", "MISS"]
 
@@ -180,6 +181,15 @@ class ResultCache:
         self.max_entries = max_entries
         self.evict_interval = evict_interval
         self._puts_since_evict = 0
+        #: Lifetime operation counts for this cache object (always kept;
+        #: mirrored into the metrics registry when collection is on).
+        self._counts = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "evictions": 0,
+            "corrupt_healed": 0,
+        }
 
     @property
     def _bounded(self) -> bool:
@@ -204,16 +214,24 @@ class ResultCache:
         try:
             text = path.read_text()
         except OSError:  # includes FileNotFoundError
+            self._count("misses", "cache_misses")
             return MISS
         try:
             payload = json.loads(text)
             if payload["key"] != key:
                 raise ValueError("key mismatch")
         except (ValueError, KeyError, TypeError):
-            _removed, recovered = self._discard(path, expect_key=key)
+            removed, recovered = self._discard(path, expect_key=key)
+            if removed:
+                self._count("corrupt_healed", "cache_corrupt_healed")
+            if recovered is MISS:
+                self._count("misses", "cache_misses")
+            else:
+                self._count("hits", "cache_hits")
             return recovered
         if self._bounded:
             self._touch(path)
+        self._count("hits", "cache_hits")
         return payload["value"]
 
     def put(self, key: str, value, *, ok: bool = True) -> None:
@@ -246,12 +264,19 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._count("puts", "cache_puts")
         if self._bounded:
             self._puts_since_evict += 1
             if self._puts_since_evict >= self.evict_interval:
                 self.evict()
 
     # -- lifecycle ---------------------------------------------------
+    def _count(self, field: str, metric: str, n: int = 1) -> None:
+        """Bump one lifetime counter (+ registry mirror when enabled)."""
+        self._counts[field] += n
+        if _metrics.enabled:
+            _metrics.inc(metric, n)
+
     @staticmethod
     def _touch(path: Path) -> None:
         """Stamp an access time (mtime) on a hit — the LRU signal."""
@@ -326,13 +351,20 @@ class ResultCache:
         return records
 
     def stats(self) -> dict:
-        """Occupancy and caps: ``{entries, total_bytes, max_*}``."""
+        """Occupancy, caps, and lifetime operation counts.
+
+        ``{entries, total_bytes, max_bytes, max_entries}`` describe the
+        store on disk (shared by every process using the directory);
+        ``{hits, misses, puts, evictions, corrupt_healed}`` count this
+        cache *object's* operations since construction.
+        """
         records = self._entries()
         return {
             "entries": len(records),
             "total_bytes": sum(size for _, size, _ in records),
             "max_bytes": self.max_bytes,
             "max_entries": self.max_entries,
+            **self._counts,
         }
 
     def evict(self) -> dict:
@@ -381,6 +413,8 @@ class ResultCache:
                 evicted_bytes += size
             n_entries -= 1
             total_bytes -= size
+        if evicted:
+            self._count("evictions", "cache_evictions", evicted)
         return {
             "evicted_entries": evicted,
             "evicted_bytes": evicted_bytes,

@@ -49,6 +49,7 @@ import heapq
 import itertools
 import json
 import multiprocessing
+import os
 import signal
 import threading
 import time
@@ -63,6 +64,8 @@ from typing import NamedTuple
 import numpy as np
 
 from ..core.exceptions import SimulationError
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .cache import MISS, ResultCache
 from .policy import FailurePolicy
 from .sweep import Campaign, CampaignPoint, resolve_task
@@ -152,16 +155,58 @@ def _describe_error(exc: BaseException) -> dict:
     }
 
 
+def _sync_worker_obs(obs_conf) -> None:
+    """Mirror the supervisor's obs enablement inside a worker process.
+
+    ``obs_conf`` is ``None`` (everything off — the common case, one
+    comparison per point) or ``(metrics_on, tracing_on)``; flipping the
+    module flags here is what makes the instrumented backends record in
+    the worker without any per-call coordination.
+    """
+    metrics_on, tracing_on = obs_conf if obs_conf is not None else (False, False)
+    if _metrics.enabled != metrics_on:
+        _metrics.enable() if metrics_on else _metrics.disable()
+    if _tracing.enabled != tracing_on:
+        _tracing.enable() if tracing_on else _tracing.disable()
+
+
+def _worker_obs_payload(started: float) -> dict:
+    """The per-point telemetry piggybacked onto the result reply.
+
+    ``pid``/``exec_s`` are always present (they cost two fields on a
+    message the pipe was carrying anyway — this is how timelines work
+    with observability off); metric deltas and spans ride along only
+    when collection is on, drained so the next point starts from zero.
+    """
+    payload = {"pid": os.getpid(), "exec_s": time.monotonic() - started}
+    if _metrics.enabled:
+        payload["metrics"] = _metrics.REGISTRY.drain()
+    if _tracing.enabled:
+        payload["spans"] = _tracing.drain()
+    return payload
+
+
 def _worker_main(conn) -> None:
     """Supervised worker loop (module-level: picklable under spawn).
 
-    Receives ``(uid, task_ref, point, attempt, faults)`` messages over
-    its private duplex pipe, executes, and replies ``("ok", uid, value,
-    None)`` or ``("err", uid, info, exception)``.  ``None`` is the stop
-    sentinel.  Every task exception is *reported*, never fatal to the
-    worker — only a hard death (kill/exit/segfault) ends the loop, and
-    the supervisor notices that via the process sentinel.
+    Receives ``(uid, task_ref, point, attempt, faults, obs_conf)``
+    messages over its private duplex pipe, executes, and replies
+    ``("ok", uid, value, None, obs)`` or ``("err", uid, info, exception,
+    obs)`` where ``obs`` piggybacks the point's telemetry (see
+    :func:`_worker_obs_payload`) — the hot path gains no extra syscalls.
+    ``None`` is the stop sentinel.  Every task exception is *reported*,
+    never fatal to the worker — only a hard death (kill/exit/segfault)
+    ends the loop, and the supervisor notices that via the process
+    sentinel.
     """
+    # Under the fork start method the child inherits the parent's obs
+    # state — enabled flags, accumulated counters, buffered spans.  A
+    # drained "delta" would then re-ship the parent's samples and the
+    # supervisor would double-count them on merge.  Start clean.
+    _metrics.disable()
+    _tracing.disable()
+    _metrics.REGISTRY.reset()
+    _tracing.reset()
     while True:
         try:
             message = conn.recv()
@@ -169,21 +214,31 @@ def _worker_main(conn) -> None:
             break
         if message is None:
             break
-        uid, task_ref, point, attempt, faults = message
+        uid, task_ref, point, attempt, faults, obs_conf = message
+        _sync_worker_obs(obs_conf)
+        started = time.monotonic()
         try:
-            value = _execute_point(task_ref, point, attempt, faults, in_worker=True)
+            if _tracing.enabled:
+                with _tracing.span("point", index=point.index, attempt=attempt):
+                    value = _execute_point(
+                        task_ref, point, attempt, faults, in_worker=True
+                    )
+            else:
+                value = _execute_point(task_ref, point, attempt, faults, in_worker=True)
         except BaseException as exc:
+            obs = _worker_obs_payload(started)
             info = _describe_error(exc)
             try:
-                conn.send(("err", uid, info, exc))
+                conn.send(("err", uid, info, exc, obs))
             except Exception:
                 try:
-                    conn.send(("err", uid, info, None))
+                    conn.send(("err", uid, info, None, obs))
                 except Exception:
                     break
             continue
+        obs = _worker_obs_payload(started)
         try:
-            conn.send(("ok", uid, value, None))
+            conn.send(("ok", uid, value, None, obs))
         except Exception:
             break
     try:
@@ -212,8 +267,17 @@ class CampaignResult:
             failed under a ``"continue"``/``"retry"`` policy, in point
             order; each carries the point's index/key/params/seed, the
             failure ``kind`` (``"exception"`` / ``"crash"`` /
-            ``"timeout"``), the attempt and crash counts, and the
+            ``"timeout"``), the attempt and crash counts, the cumulative
+            retry-backoff slept for the point (``backoff_s``), and the
             error type/message (+ traceback for exceptions).
+        timeline: one record per resolved point, in point order — always
+            collected (the fields ride the result pipe the point already
+            used, so they cost nothing extra).  Hits carry ``{"index",
+            "source"}``; computed points add ``queue_wait_s`` (submit →
+            first dispatch), ``exec_s`` (in-worker execution, summed
+            over attempts), ``backoff_s``, ``attempts``, ``crashes``,
+            ``pids`` (worker processes that ran the point),
+            ``cache_put_s``, and ``ok``.
     """
 
     name: str
@@ -225,6 +289,7 @@ class CampaignResult:
     workers: int
     duration_s: float
     errors: list = field(default_factory=list)
+    timeline: list = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.values)
@@ -391,13 +456,40 @@ class _Worker:
 class _Dispatch:
     """One point's execution lifecycle inside a supervised run."""
 
-    __slots__ = ("point", "tries", "failures", "crashes")
+    __slots__ = (
+        "point",
+        "tries",
+        "failures",
+        "crashes",
+        "created",
+        "first_sent",
+        "backoff_s",
+        "exec_s",
+        "pids",
+    )
 
     def __init__(self, point: CampaignPoint) -> None:
         self.point = point
         self.tries = 0  # executions started (failures + crashes + successes)
         self.failures = 0  # completed attempts that raised or timed out
         self.crashes = 0  # worker deaths while this point was in flight
+        self.created = time.monotonic()  # when the point entered the queue
+        self.first_sent: float | None = None  # first dispatch to a worker
+        self.backoff_s = 0.0  # cumulative retry-backoff slept
+        self.exec_s = 0.0  # in-worker execution time, summed over attempts
+        self.pids: list[int] = []  # worker processes that ran the point
+
+    def meta(self) -> dict:
+        """The point's timeline fields (supervisor-side view)."""
+        sent = self.first_sent if self.first_sent is not None else self.created
+        return {
+            "queue_wait_s": max(0.0, sent - self.created),
+            "exec_s": self.exec_s,
+            "backoff_s": self.backoff_s,
+            "attempts": self.tries,
+            "crashes": self.crashes,
+            "pids": list(self.pids),
+        }
 
 
 class _SupervisedRun:
@@ -411,7 +503,8 @@ class _SupervisedRun:
         self.ready: deque[_Dispatch] = deque(_Dispatch(p) for p in pending)
         self.waiting: list = []  # heap of (ready_at, seq, dispatch)
         self.inflight = 0
-        self.events: deque = deque()  # (point, ("ok", value) | ("error", rec))
+        #: (point, ("ok", value) | ("error", rec), meta) triples.
+        self.events: deque = deque()
         self.failure: BaseException | None = None
         self.abandoned = False
         #: point.index -> executions started (for retry-budget assertions).
@@ -461,9 +554,10 @@ class _SupervisedPool:
     def next_event(self, run: _SupervisedRun):
         """The run's next completion event, pumping the pool as needed.
 
-        Returns ``(point, outcome)`` with ``outcome`` either
-        ``("ok", value)`` or ``("error", record)``; ``None`` when the
-        run is complete.  Raises the failing exception for a
+        Returns ``(point, outcome, meta)`` with ``outcome`` either
+        ``("ok", value)`` or ``("error", record)`` and ``meta`` the
+        point's timeline fields (:meth:`_Dispatch.meta`); ``None`` when
+        the run is complete.  Raises the failing exception for a
         ``fail_fast`` run (after already-queued events have drained).
         """
         while True:
@@ -559,9 +653,21 @@ class _SupervisedPool:
             dispatch.tries += 1
             run.attempts[dispatch.point.index] = dispatch.tries
             uid = next(self._uids)
+            obs_conf = (
+                (_metrics.enabled, _tracing.enabled)
+                if (_metrics.enabled or _tracing.enabled)
+                else None
+            )
             try:
                 worker.conn.send(
-                    (uid, run.task_ref, dispatch.point, dispatch.tries, run.faults)
+                    (
+                        uid,
+                        run.task_ref,
+                        dispatch.point,
+                        dispatch.tries,
+                        run.faults,
+                        obs_conf,
+                    )
                 )
             except (OSError, ValueError):
                 # The worker died while idle (or its pipe tore): the
@@ -571,6 +677,14 @@ class _SupervisedPool:
                 run.attempts[dispatch.point.index] = dispatch.tries
                 self._respawn(worker)
                 continue
+            if dispatch.first_sent is None:
+                dispatch.first_sent = time.monotonic()
+            pid = worker.process.pid
+            if pid is not None and pid not in dispatch.pids:
+                dispatch.pids.append(pid)
+            if _metrics.enabled:
+                _metrics.inc("exec_dispatches")
+                _metrics.inc("exec_attempts")
             worker.item = (run, dispatch, uid)
             worker.deadline = (
                 time.monotonic() + run.policy.timeout
@@ -653,13 +767,28 @@ class _SupervisedPool:
         run.inflight -= 1
         return run, dispatch, uid
 
+    def _absorb_obs(self, dispatch: _Dispatch, obs: dict) -> None:
+        """Fold a worker's piggybacked telemetry into supervisor state."""
+        dispatch.exec_s += float(obs.get("exec_s", 0.0))
+        pid = obs.get("pid")
+        if pid is not None and pid not in dispatch.pids:
+            dispatch.pids.append(pid)
+        snap = obs.get("metrics")
+        if snap:
+            _metrics.REGISTRY.merge(snap)
+        spans = obs.get("spans")
+        if spans:
+            _tracing.add_events(spans)
+
     def _on_message(self, worker: _Worker, message) -> None:
-        kind, uid, payload, exc = message
+        kind, uid, payload, exc, obs = message
         run, dispatch, expected = self._release(worker)
         if uid != expected or run.abandoned:
             return
+        if obs:
+            self._absorb_obs(dispatch, obs)
         if kind == "ok":
-            run.events.append((dispatch.point, ("ok", payload)))
+            run.events.append((dispatch.point, ("ok", payload), dispatch.meta()))
         else:
             self._on_failed_attempt(run, dispatch, "exception", payload, exc)
 
@@ -670,6 +799,8 @@ class _SupervisedPool:
         if run.abandoned:
             return
         dispatch.crashes += 1
+        if _metrics.enabled:
+            _metrics.inc("exec_crashes")
         if dispatch.crashes <= run.policy.max_crashes:
             # Re-dispatch at the head of the queue: the point loses no
             # scheduling priority to its worker's death.
@@ -689,6 +820,8 @@ class _SupervisedPool:
     def _on_timeout(self, worker: _Worker) -> None:
         run, dispatch, _uid = self._release(worker)
         self._counters["timeouts"] += 1
+        if _metrics.enabled:
+            _metrics.inc("exec_timeouts")
         worker.process.terminate()
         worker.process.join(1.0)
         if worker.process.is_alive():
@@ -713,7 +846,10 @@ class _SupervisedPool:
         policy = run.policy
         if policy.mode == "retry" and dispatch.failures < policy.max_attempts:
             self._counters["retries"] += 1
+            if _metrics.enabled:
+                _metrics.inc("exec_retries")
             delay = policy.backoff_delay(dispatch.point, dispatch.tries)
+            dispatch.backoff_s += delay
             heapq.heappush(
                 run.waiting,
                 (time.monotonic() + delay, next(self._seq), dispatch),
@@ -734,7 +870,11 @@ class _SupervisedPool:
             run.abandon()
             return
         run.events.append(
-            (dispatch.point, ("error", _error_record(dispatch, kind, info)))
+            (
+                dispatch.point,
+                ("error", _error_record(dispatch, kind, info)),
+                dispatch.meta(),
+            )
         )
 
     def _respawn(self, worker: _Worker) -> None:
@@ -752,6 +892,8 @@ class _SupervisedPool:
         worker.item = None
         worker.deadline = None
         self._counters["respawns"] += 1
+        if _metrics.enabled:
+            _metrics.inc("exec_respawns")
 
 
 def _error_record(dispatch: _Dispatch, kind: str, info: dict) -> dict:
@@ -765,51 +907,110 @@ def _error_record(dispatch: _Dispatch, kind: str, info: dict) -> dict:
         "kind": kind,
         "attempts": dispatch.failures,
         "crashes": dispatch.crashes,
+        "backoff_s": dispatch.backoff_s,
         "error_type": info.get("error_type"),
         "message": info.get("message"),
         "traceback": info.get("traceback"),
     }
 
 
-def _serial_error_record(point, kind, info, failures):
+def _serial_error_record(point, kind, info, failures, backoff_s=0.0):
     dispatch = _Dispatch(point)
     dispatch.failures = failures
+    dispatch.backoff_s = backoff_s
     return _error_record(dispatch, kind, info)
 
 
 def _serial_events(task_ref, pending, policy, faults, counters, attempts):
     """In-process execution honouring the failure policy (no timeouts).
 
-    Yields ``(point, outcome)`` like the supervised pool.  Kill faults
-    are skipped (never kill the host process); retry backoff sleeps
-    deterministically.
+    Yields ``(point, outcome, meta)`` like the supervised pool.  Kill
+    faults are skipped (never kill the host process); retry backoff
+    sleeps deterministically.  Telemetry needs no piggybacking here —
+    the task runs in the consumer's own process, so instrumented code
+    records straight into the live registry and trace buffer.
     """
+    pid = os.getpid()
     for point in pending:
         failures = 0
+        backoff = 0.0
+        exec_s = 0.0
         while True:
             attempt = failures + 1
             attempts[point.index] = attempt
+            if _metrics.enabled:
+                _metrics.inc("exec_attempts")
+            started = time.monotonic()
             try:
-                value = _execute_point(
-                    task_ref, point, attempt, faults, in_worker=False
-                )
+                if _tracing.enabled:
+                    with _tracing.span("point", index=point.index, attempt=attempt):
+                        value = _execute_point(
+                            task_ref, point, attempt, faults, in_worker=False
+                        )
+                else:
+                    value = _execute_point(
+                        task_ref, point, attempt, faults, in_worker=False
+                    )
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:
+                exec_s += time.monotonic() - started
                 failures += 1
                 if policy.mode == "retry" and failures < policy.max_attempts:
                     counters["retries"] += 1
-                    time.sleep(policy.backoff_delay(point, attempt))
+                    if _metrics.enabled:
+                        _metrics.inc("exec_retries")
+                    delay = policy.backoff_delay(point, attempt)
+                    backoff += delay
+                    time.sleep(delay)
                     continue
                 if policy.mode == "fail_fast":
                     raise
                 record = _serial_error_record(
-                    point, "exception", _describe_error(exc), failures
+                    point, "exception", _describe_error(exc), failures, backoff
                 )
-                yield point, ("error", record)
+                meta = {
+                    "queue_wait_s": 0.0,
+                    "exec_s": exec_s,
+                    "backoff_s": backoff,
+                    "attempts": attempt,
+                    "crashes": 0,
+                    "pids": [pid],
+                }
+                yield point, ("error", record), meta
                 break
-            yield point, ("ok", value)
+            exec_s += time.monotonic() - started
+            meta = {
+                "queue_wait_s": 0.0,
+                "exec_s": exec_s,
+                "backoff_s": backoff,
+                "attempts": attempt,
+                "crashes": 0,
+                "pids": [pid],
+            }
+            yield point, ("ok", value), meta
             break
+
+
+def _preregister_exec_metrics() -> None:
+    """Register the executor's metric families (zero-valued until used).
+
+    Called at submit time when metrics are on, so a run's snapshot
+    always *contains* the lifecycle counters — a campaign with no
+    respawns reports ``exec_respawns`` at zero rather than omitting it,
+    which is what lets consumers sum counters against
+    :class:`CampaignResult` without existence checks.
+    """
+    reg = _metrics.REGISTRY
+    reg.counter("exec_submits", "campaign submissions")
+    reg.counter("exec_dispatches", "points sent to supervised workers")
+    reg.counter("exec_attempts", "point executions started")
+    reg.counter("exec_retries", "failed attempts rescheduled by policy")
+    reg.counter("exec_crashes", "worker deaths with a point in flight")
+    reg.counter("exec_timeouts", "points killed by the per-point deadline")
+    reg.counter("exec_respawns", "worker processes respawned")
+    reg.counter("exec_points", "points resolved, by source")
+    reg.histogram("exec_point_s", "in-worker execution seconds per point")
 
 
 class CampaignHandle:
@@ -852,6 +1053,8 @@ class CampaignHandle:
         self._seen: list[PointResult] = []
         self._values: dict[int, object] = {}
         self._errors: dict[int, dict] = {}
+        self._timeline: dict[int, dict] = {}
+        self._callbacks: list = []
         self._run = run
         self._pool_backed = run is not None
         self._serial_attempts: dict[int, int] = {}
@@ -906,6 +1109,12 @@ class CampaignHandle:
         checkpoint_handle = None
         try:
             for hit in hits:
+                self._timeline[hit.point.index] = {
+                    "index": hit.point.index,
+                    "source": hit.source,
+                }
+                if _metrics.enabled:
+                    _metrics.inc("exec_points", source=hit.source)
                 yield hit
             if not pending:
                 return
@@ -923,26 +1132,54 @@ class CampaignHandle:
                 )
             else:
                 source = iter(lambda: run.pool.next_event(run), None)
-            for point, outcome in source:
+            for point, outcome, meta in source:
                 if outcome[0] == "ok":
                     value = outcome[1]
-                    self._record(point, value, checkpoint_handle)
+                    put_s = self._record(point, value, checkpoint_handle)
+                    self._timeline[point.index] = {
+                        "index": point.index,
+                        "source": "computed",
+                        "ok": True,
+                        "cache_put_s": put_s,
+                        **meta,
+                    }
+                    if _metrics.enabled:
+                        _metrics.inc("exec_points", source="computed")
+                        _metrics.observe(
+                            "exec_point_s", meta["exec_s"], outcome="ok"
+                        )
                     yield PointResult(point, value, "computed")
                 else:
                     record = outcome[1]
                     self._record_error(point, record, checkpoint_handle)
+                    self._timeline[point.index] = {
+                        "index": point.index,
+                        "source": "computed",
+                        "ok": False,
+                        "cache_put_s": None,
+                        **meta,
+                    }
+                    if _metrics.enabled:
+                        _metrics.inc("exec_points", source="computed")
+                        _metrics.observe(
+                            "exec_point_s", meta["exec_s"], outcome="error"
+                        )
                     yield PointResult(point, None, "computed", False, record)
         finally:
             if checkpoint_handle is not None:
                 checkpoint_handle.close()
 
-    def _record(self, point, value, checkpoint_handle) -> None:
+    def _record(self, point, value, checkpoint_handle) -> float | None:
         self.computed += 1
         self._executor._points_computed += 1
+        put_s = None
         if self._cache is not None:
+            put_started = time.monotonic()
             self._cache.put(point.key, value)
+            put_s = time.monotonic() - put_started
         if checkpoint_handle is not None:
             _append_checkpoint(checkpoint_handle, point, value)
+        return put_s
 
     def _record_error(self, point, record, checkpoint_handle) -> None:
         """A terminal failure: never cached, checkpointed as an error."""
@@ -983,7 +1220,58 @@ class CampaignHandle:
             raise
         self._seen.append(event)
         self._values[event.point.index] = event.value
+        for callback in self._callbacks:
+            callback(event.point, event.value)
         return event
+
+    # -- observation -----------------------------------------------------
+    def on_result(self, callback) -> "CampaignHandle":
+        """Register ``callback(point, value)`` for every resolved point.
+
+        This is the one implementation behind every driver's
+        ``on_result=`` hook: events already observed are replayed
+        immediately (cache/checkpoint hits resolve at submit time), then
+        the callback fires as each further point resolves — whichever
+        consumption style drives the stream.  Failed points (under a
+        non-raising policy) fire with ``value=None``.  Returns the
+        handle for chaining; ``None`` is accepted and ignored so drivers
+        can pass their own optional hook straight through.
+        """
+        if callback is None:
+            return self
+        for event in self._seen:
+            callback(event.point, event.value)
+        self._callbacks.append(callback)
+        return self
+
+    @property
+    def timeline(self) -> list[dict]:
+        """Timeline records for the points resolved so far (point order)."""
+        return [
+            self._timeline[point.index]
+            for point in self._points
+            if point.index in self._timeline
+        ]
+
+    def stats(self) -> dict:
+        """Progress counters, per-point timeline, and a metrics snapshot.
+
+        Never blocks — reports the state *so far*.  ``metrics`` is the
+        process-global registry snapshot (worker deltas already merged
+        in) when metrics collection is on, else ``None``.
+        """
+        return {
+            "name": self.name,
+            "points": len(self._points),
+            "resolved": len(self._seen),
+            "cache_hits": self.cache_hits,
+            "checkpoint_hits": self.checkpoint_hits,
+            "computed": self.computed,
+            "errors": len(self._errors),
+            "attempts": self.attempts,
+            "timeline": self.timeline,
+            "metrics": _metrics.snapshot() if _metrics.enabled else None,
+        }
 
     # -- consumption styles ----------------------------------------------
     def as_completed(self):
@@ -1059,6 +1347,11 @@ class CampaignHandle:
                 self._errors[point.index]
                 for point in points
                 if point.index in self._errors
+            ],
+            timeline=[
+                self._timeline[point.index]
+                for point in points
+                if point.index in self._timeline
             ],
         )
 
@@ -1223,6 +1516,9 @@ class CampaignExecutor:
             raise SimulationError("executor is closed")
         del chunk_size  # per-point supervised dispatch: nothing to chunk
         start = time.perf_counter()
+        if _metrics.enabled:
+            _preregister_exec_metrics()
+            _metrics.inc("exec_submits")
         if cache is _UNSET:
             cache = self.cache
         elif isinstance(cache, (str, Path)):

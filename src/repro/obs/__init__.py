@@ -1,0 +1,98 @@
+"""Observability for campaign runs: metrics, tracing spans, timelines.
+
+Two stdlib-only modules, deliberately import-light so every layer of the
+codebase (executor, cache, all five backends) can instrument itself
+without circular imports:
+
+- :mod:`repro.obs.metrics` — labelled counters/gauges/histograms with
+  plain-dict snapshots, cross-process merge, and Prometheus-style text
+  exposition.
+- :mod:`repro.obs.tracing` — ``span()`` context manager producing
+  JSON-lines trace events with monotonic timestamps and parent ids,
+  exportable to Chrome ``trace_event`` format for Perfetto.
+
+Both are off by default and near-free when off (one module-attribute
+check per instrumented call).  ``obs.enable()`` flips both on;
+``REPRO_OBS=1`` in the environment enables them at import time so
+scripts can be traced without code changes.  Telemetry never perturbs
+simulation results — enabling observability changes no random stream and
+no numerical path, only what gets recorded about them.
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import metrics, tracing
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exposition,
+    inc,
+    observe,
+    set_gauge,
+    snapshot,
+)
+from .tracing import (
+    read_jsonl,
+    span,
+    to_chrome,
+    write_chrome,
+    write_jsonl,
+)
+
+__all__ = [
+    "metrics",
+    "tracing",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "exposition",
+    "span",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome",
+    "write_chrome",
+]
+
+
+def enable() -> None:
+    """Enable metrics and tracing together (idempotent)."""
+    metrics.enable()
+    tracing.enable()
+
+
+def disable() -> None:
+    """Disable metrics and tracing; collected data is kept."""
+    metrics.disable()
+    tracing.disable()
+
+
+def is_enabled() -> bool:
+    """True if either metrics or tracing collection is on."""
+    return metrics.enabled or tracing.enabled
+
+
+def reset() -> None:
+    """Drop all collected metrics and spans (does not change enablement)."""
+    REGISTRY.reset()
+    tracing.reset()
+
+
+if os.environ.get("REPRO_OBS", "").strip() not in ("", "0"):
+    enable()

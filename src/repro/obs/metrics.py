@@ -1,0 +1,432 @@
+"""Labelled metrics: counters, gauges, fixed-bucket histograms.
+
+The registry answers "how many cache hits / retries / SVD truncations did
+this run make, and how were the point durations distributed?" without a
+profiler.  Design constraints, in order:
+
+1. **Near-zero cost when disabled.**  Every instrumented call site in
+   the hot layers goes through the module-level helpers (:func:`inc`,
+   :func:`set_gauge`, :func:`observe`) or guards on the module-level
+   :data:`enabled` flag directly; with observability off the entire cost
+   is one module-attribute load (and, via the helpers, one early-return
+   function call).  No objects are allocated, no locks taken.
+2. **Mergeable across processes.**  :meth:`MetricsRegistry.snapshot`
+   emits plain JSON-safe dicts and :meth:`MetricsRegistry.merge` folds a
+   snapshot back in (counters and histograms add, gauges last-write-win),
+   which is how supervised campaign workers ship their per-point deltas
+   to the supervisor over the existing result pipes
+   (:mod:`repro.exec.executor`) — the hot path gains no extra syscalls.
+3. **Results must never be perturbed.**  Nothing here touches numpy's
+   global state or any random generator; instruments only read the
+   values handed to them.
+
+Prometheus-style text exposition is available via
+:meth:`MetricsRegistry.exposition` for scraping or eyeballing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "enabled",
+    "enable",
+    "disable",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "exposition",
+]
+
+#: Module-level fast-path flag.  Instrumented call sites may read this
+#: directly (``if metrics.enabled: ...``); the helpers below check it
+#: first and return immediately when off.
+enabled: bool = False
+
+#: Default histogram buckets — log-spaced seconds, apt for both
+#: microsecond gate applies and minute-long campaign points.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    0.1,
+    1.0,
+    10.0,
+    60.0,
+    600.0,
+)
+
+
+def _label_key(labels: dict) -> str:
+    """Canonical string key for a label set (sorted, JSON-safe).
+
+    The snapshot/merge cycle keys samples by this string, so merging
+    never needs to parse labels back out — identical label sets always
+    produce the identical key, in any process.
+    """
+    if not labels:
+        return ""
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+class _Metric:
+    """Shared machinery: a named family of labelled samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _snapshot_values(self) -> dict:
+        return dict(self._values)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class Counter(_Metric):
+    """A monotonically-increasing labelled count."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(value)
+
+    def value(self, **labels) -> float:
+        return float(self._values.get(_label_key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """A labelled point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels) -> float:
+        return float(self._values.get(_label_key(labels), 0.0))
+
+
+class Histogram(_Metric):
+    """Fixed-bucket labelled histogram (cumulative-style buckets).
+
+    Each sample records ``buckets`` (one count per upper bound, plus a
+    final +Inf overflow slot), ``sum``, and ``count`` — the exact shape
+    Prometheus exposes and the shape that merges across processes by
+    plain elementwise addition.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} buckets must be ascending")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            sample = self._values.get(key)
+            if sample is None:
+                sample = {
+                    "buckets": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                self._values[key] = sample
+            slot = len(self.buckets)  # +Inf overflow by default
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot = i
+                    break
+            sample["buckets"][slot] += 1
+            sample["sum"] += value
+            sample["count"] += 1
+
+    def sample(self, **labels) -> dict | None:
+        found = self._values.get(_label_key(labels))
+        if found is None:
+            return None
+        return {
+            "buckets": list(found["buckets"]),
+            "sum": found["sum"],
+            "count": found["count"],
+        }
+
+    def _snapshot_values(self) -> dict:
+        return {
+            key: {
+                "buckets": list(sample["buckets"]),
+                "sum": sample["sum"],
+                "count": sample["count"],
+            }
+            for key, sample in self._values.items()
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with snapshot / merge / exposition.
+
+    One process-global instance (:data:`REGISTRY`) backs the module-level
+    helpers; independent registries can be created for tests or isolated
+    subsystems.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name: str, help: str = "", **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- snapshot / merge / drain ------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view of every metric: JSON-safe and mergeable.
+
+        Shape: ``{name: {"type", "help", "values", ["buckets"]}}`` with
+        ``values`` keyed by the canonical label string (see
+        :func:`_label_key`); histogram values are
+        ``{"buckets": [...], "sum", "count"}``.
+        """
+        out = {}
+        for name, metric in self._metrics.items():
+            entry = {
+                "type": metric.kind,
+                "help": metric.help,
+                "values": metric._snapshot_values(),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            out[name] = entry
+        return out
+
+    def merge(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` back in (the cross-process merge).
+
+        Counters and histograms add; gauges take the incoming value
+        (last write wins — the incoming snapshot is the more recent
+        observation).  Unknown metrics are created on the fly so a
+        worker process can report families the supervisor never
+        registered locally.
+        """
+        for name, entry in snap.items():
+            kind = entry.get("type", "counter")
+            cls = _KINDS.get(kind)
+            if cls is None:
+                raise ValueError(f"cannot merge unknown metric type {kind!r}")
+            if cls is Histogram:
+                metric = self._register(
+                    cls,
+                    name,
+                    entry.get("help", ""),
+                    buckets=tuple(entry.get("buckets", DEFAULT_BUCKETS)),
+                )
+            else:
+                metric = self._register(cls, name, entry.get("help", ""))
+            with metric._lock:
+                for key, value in entry.get("values", {}).items():
+                    if kind == "histogram":
+                        sample = metric._values.get(key)
+                        if sample is None:
+                            metric._values[key] = {
+                                "buckets": list(value["buckets"]),
+                                "sum": float(value["sum"]),
+                                "count": int(value["count"]),
+                            }
+                        else:
+                            incoming = value["buckets"]
+                            if len(incoming) != len(sample["buckets"]):
+                                raise ValueError(
+                                    f"histogram {name!r} bucket shapes differ"
+                                )
+                            for i, count in enumerate(incoming):
+                                sample["buckets"][i] += count
+                            sample["sum"] += float(value["sum"])
+                            sample["count"] += int(value["count"])
+                    elif kind == "gauge":
+                        metric._values[key] = float(value)
+                    else:
+                        previous = metric._values.get(key, 0.0)
+                        metric._values[key] = previous + float(value)
+
+    def drain(self) -> dict:
+        """Snapshot every metric, then reset all samples (deltas survive).
+
+        Campaign workers call this after each point: the returned
+        snapshot is the point's *delta*, shipped to the supervisor and
+        merged there, while the worker starts the next point from zero.
+        Metric registrations (names/types/buckets) are kept.
+        """
+        snap = self.snapshot()
+        for metric in self._metrics.values():
+            metric.clear()
+        return snap
+
+    def reset(self) -> None:
+        """Drop every metric entirely (tests / fresh sessions)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- text exposition ----------------------------------------------
+    def exposition(self) -> str:
+        """Prometheus-style text format of the current samples."""
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            values = metric._snapshot_values()
+            for key in sorted(values):
+                value = values[key]
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, value["buckets"]):
+                        cumulative += count
+                        lines.append(
+                            f"{name}_bucket{{{_merge_label(key, 'le', _fmt(bound))}}}"
+                            f" {cumulative}"
+                        )
+                    cumulative += value["buckets"][-1]
+                    lines.append(
+                        f"{name}_bucket{{{_merge_label(key, 'le', '+Inf')}}}"
+                        f" {cumulative}"
+                    )
+                    suffix = _label_suffix(key)
+                    lines.append(f"{name}_sum{suffix} {_fmt(value['sum'])}")
+                    lines.append(f"{name}_count{suffix} {value['count']}")
+                else:
+                    lines.append(f"{name}{_label_suffix(key)} {_fmt(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_pairs(key: str) -> list[tuple[str, str]]:
+    if not key:
+        return []
+    return [tuple(item.split("=", 1)) for item in key.split(",")]
+
+
+def _label_suffix(key: str) -> str:
+    pairs = _label_pairs(key)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _merge_label(key: str, extra_key: str, extra_value: str) -> str:
+    pairs = _label_pairs(key) + [(extra_key, extra_value)]
+    return ",".join(f'{k}="{v}"' for k, v in pairs)
+
+
+#: The process-global registry behind the module-level helpers.
+REGISTRY = MetricsRegistry()
+
+
+def enable() -> None:
+    """Turn the module-level helpers on (idempotent)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn the module-level helpers off; collected samples are kept."""
+    global enabled
+    enabled = False
+
+
+def inc(name: str, value: float = 1.0, **labels) -> None:
+    """Increment a counter on the global registry (no-op when disabled)."""
+    if not enabled:
+        return
+    REGISTRY.counter(name).inc(value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge on the global registry (no-op when disabled)."""
+    if not enabled:
+        return
+    REGISTRY.gauge(name).set(value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Observe into a histogram on the global registry (no-op when disabled)."""
+    if not enabled:
+        return
+    REGISTRY.histogram(name).observe(value, **labels)
+
+
+def snapshot() -> dict:
+    """Snapshot of the global registry (works whether or not enabled)."""
+    return REGISTRY.snapshot()
+
+
+def exposition() -> str:
+    """Prometheus-style text of the global registry."""
+    return REGISTRY.exposition()

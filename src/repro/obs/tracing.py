@@ -1,0 +1,243 @@
+"""Span tracing: nested timed regions with JSON-lines + Chrome export.
+
+``with span("gate_apply", backend="mps"):`` times a region and records a
+plain-dict event — name, monotonic start/duration, process id, thread
+id, a span id, and the id of the enclosing span (parent ids come from a
+per-thread stack, so nesting falls out of ``with`` scoping).  Events
+accumulate in a per-process buffer; campaign workers drain the buffer
+after each point and piggyback the spans onto the existing result pipe
+(no extra syscalls on the hot path), and the supervisor folds them into
+its own buffer via :func:`add_events`.
+
+Timestamps are ``time.monotonic()``: on Linux that is CLOCK_MONOTONIC,
+which is shared across processes on the same host, so spans from
+supervisor and workers land on one comparable timeline.
+
+Persistence is JSON-lines (:func:`write_jsonl` / :func:`read_jsonl`);
+:func:`write_chrome` converts to the Chrome ``trace_event`` array format
+that chrome://tracing and Perfetto load directly.
+
+Same contract as :mod:`repro.obs.metrics`: a module-level
+:data:`enabled` flag makes the disabled path a single attribute check,
+and nothing here may perturb simulation results — spans only read the
+clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "span",
+    "add_event",
+    "add_events",
+    "events",
+    "drain",
+    "reset",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome",
+    "write_chrome",
+]
+
+#: Module-level fast-path flag; :func:`span` is a no-op context manager
+#: when this is False.
+enabled: bool = False
+
+_buffer: list[dict] = []
+_buffer_lock = threading.Lock()
+_ids = itertools.count(1)
+_stack = threading.local()
+
+
+def enable() -> None:
+    """Turn span collection on (idempotent)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn span collection off; buffered events are kept."""
+    global enabled
+    enabled = False
+
+
+def _parents() -> list[int]:
+    parents = getattr(_stack, "parents", None)
+    if parents is None:
+        parents = []
+        _stack.parents = parents
+    return parents
+
+
+@contextmanager
+def span(name: str, **args):
+    """Time a region; record an event dict on exit (when enabled).
+
+    Extra keyword arguments become the event's ``args`` — labels such as
+    ``backend="mps"`` or ``kind="diagonal"``.  The yielded dict is the
+    event under construction; instrumented code may add observed values
+    to ``event["args"]`` inside the block (e.g. the chi actually kept by
+    a truncation).  When tracing is disabled the body runs untouched and
+    a throwaway dict is yielded so call sites need no guard.
+    """
+    if not enabled:
+        yield {"args": {}}
+        return
+    parents = _parents()
+    span_id = next(_ids)
+    event = {
+        "name": name,
+        "ts": time.monotonic(),
+        "dur": 0.0,
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "id": span_id,
+        "parent": parents[-1] if parents else None,
+        "args": dict(args),
+    }
+    parents.append(span_id)
+    try:
+        yield event
+    finally:
+        parents.pop()
+        event["dur"] = time.monotonic() - event["ts"]
+        with _buffer_lock:
+            _buffer.append(event)
+
+
+def add_event(name: str, ts: float, dur: float, *, args: dict | None = None) -> None:
+    """Record a pre-timed event (for code that measured its own window).
+
+    Unlike :func:`span` this ignores the parent stack — the caller
+    already owns the timing — but still respects :data:`enabled`.
+    """
+    if not enabled:
+        return
+    event = {
+        "name": name,
+        "ts": float(ts),
+        "dur": float(dur),
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "id": next(_ids),
+        "parent": None,
+        "args": dict(args or {}),
+    }
+    with _buffer_lock:
+        _buffer.append(event)
+
+
+def add_events(incoming: list[dict]) -> None:
+    """Append events collected elsewhere (the cross-process merge).
+
+    Events keep their original pid/tid/ids, so a supervisor buffer ends
+    up holding the true multi-process timeline.  Works regardless of
+    :data:`enabled` — merging is bookkeeping, not collection.
+    """
+    if not incoming:
+        return
+    with _buffer_lock:
+        _buffer.extend(incoming)
+
+
+def events() -> list[dict]:
+    """Copy of the current event buffer (chronological by append order)."""
+    with _buffer_lock:
+        return list(_buffer)
+
+
+def drain() -> list[dict]:
+    """Return buffered events and clear the buffer (worker per-point ship)."""
+    with _buffer_lock:
+        out = list(_buffer)
+        _buffer.clear()
+    return out
+
+
+def reset() -> None:
+    """Drop all buffered events (tests / fresh sessions)."""
+    with _buffer_lock:
+        _buffer.clear()
+
+
+# -- persistence ------------------------------------------------------
+
+
+def write_jsonl(path, evs: list[dict] | None = None) -> int:
+    """Write events (default: current buffer) as JSON-lines; return count."""
+    if evs is None:
+        evs = events()
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in evs:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return len(evs)
+
+
+def read_jsonl(path) -> list[dict]:
+    """Load events written by :func:`write_jsonl`."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# -- Chrome trace_event export ---------------------------------------
+
+
+def to_chrome(evs: list[dict] | None = None) -> dict:
+    """Convert events to the Chrome ``trace_event`` JSON object format.
+
+    Each span becomes a ``ph="X"`` (complete) event with microsecond
+    ``ts``/``dur`` rebased to the earliest span, plus one ``ph="M"``
+    process_name metadata event per pid so Perfetto labels the worker
+    rows.  The result round-trips through ``json.dumps`` directly.
+    """
+    if evs is None:
+        evs = events()
+    trace: list[dict] = []
+    if evs:
+        base = min(ev["ts"] for ev in evs)
+        for pid in sorted({ev["pid"] for ev in evs}):
+            trace.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"pid {pid}"},
+                }
+            )
+        for ev in evs:
+            trace.append(
+                {
+                    "ph": "X",
+                    "name": ev["name"],
+                    "cat": "repro",
+                    "ts": (ev["ts"] - base) * 1e6,
+                    "dur": ev["dur"] * 1e6,
+                    "pid": ev["pid"],
+                    "tid": ev["tid"],
+                    "args": ev.get("args", {}),
+                }
+            )
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome(path, evs: list[dict] | None = None) -> int:
+    """Write the Chrome-trace JSON for chrome://tracing / Perfetto."""
+    doc = to_chrome(evs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

@@ -257,6 +257,7 @@ def ndar_restart_battery(
     target_cost: int | None = None,
     executor=None,
     policy=None,
+    on_result=None,
     **task_params,
 ) -> dict:
     """Run an NDAR restart battery as one streamed, cached campaign.
@@ -286,6 +287,10 @@ def ndar_restart_battery(
             warm pool should be reused.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
             the battery; defaults to the executor's policy.
+        on_result: optional ``callback(point, value)`` fired as each
+            restart resolves (completion order), via
+            :meth:`repro.exec.CampaignHandle.on_result`; independent of
+            the early-stop stream, which consumes in point order.
         **task_params: fixed :func:`ndar_restart_task` parameters
             (``n_nodes``, ``loss_per_layer``, ``n_rounds``, ...).
 
@@ -311,6 +316,7 @@ def ndar_restart_battery(
     scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
     with scope as (ex, kwargs):
         handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
+        handle.on_result(on_result)
         records: list[dict] = []
         stopped_early = False
         for record in handle.stream_results():

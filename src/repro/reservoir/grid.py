@@ -157,10 +157,7 @@ def reservoir_grid_campaign(
     scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
     with scope as (ex, kwargs):
         handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
-        if on_result is not None:
-            for event in handle.as_completed():
-                on_result(event.point, event.value)
-        result = handle.result()
+        result = handle.on_result(on_result).result()
     best_index = int(
         np.argmin([record["nmse"] for record in result.values])
     )

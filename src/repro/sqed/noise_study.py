@@ -381,6 +381,7 @@ def damage_campaign(
     name: str = "sqed-damage",
     executor=None,
     policy=None,
+    on_result=None,
     **task_params,
 ):
     """Score a whole epsilon sweep as one parallel, cached campaign.
@@ -400,6 +401,9 @@ def damage_campaign(
         policy: a :class:`repro.exec.FailurePolicy` (or mode string)
             governing point failures for this campaign; defaults to the
             executor's policy.
+        on_result: optional ``callback(point, value)`` fired as each
+            epsilon resolves (completion order — cache hits first), via
+            :meth:`repro.exec.CampaignHandle.on_result`.
         **task_params: fixed :func:`damage_task` parameters (``n_sites``,
             ``encoding``, ``method``, ...).
 
@@ -412,7 +416,8 @@ def damage_campaign(
     campaign = _damage_campaign_spec(epsilons, name, seed, task_params)
     scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
     with scope as (ex, kwargs):
-        return ex.run(campaign, checkpoint=checkpoint, **kwargs)
+        handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
+        return handle.on_result(on_result).result()
 
 
 def noise_threshold_campaign(
@@ -425,6 +430,7 @@ def noise_threshold_campaign(
     seed: int = 0,
     executor=None,
     policy=None,
+    on_result=None,
     **task_params,
 ) -> float:
     """Campaign-backed noise-threshold bisection, streamed.
@@ -457,6 +463,10 @@ def noise_threshold_campaign(
             default one is created (and closed) for this bisection.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
             the probe campaigns; defaults to the executor's policy.
+        on_result: optional ``callback(point, value)`` fired for every
+            probe the bisection evaluates (single probes, ladder rungs,
+            and midpoints alike), via
+            :meth:`repro.exec.CampaignHandle.on_result`.
         **task_params: fixed :func:`damage_task` parameters.
 
     Returns:
@@ -473,7 +483,8 @@ def noise_threshold_campaign(
     with scope as (ex, kwargs):
 
         def probe_one(epsilon) -> float:
-            return ex.run(spec([epsilon]), **kwargs).values[0]
+            handle = ex.submit(spec([epsilon]), **kwargs)
+            return handle.on_result(on_result).result().values[0]
 
         if probe_one(eps_hi) < damage_tol:
             return eps_hi
@@ -487,7 +498,7 @@ def noise_threshold_campaign(
             if lo < 1e-8:
                 break
             ladder.append(lo)
-        handle = ex.submit(spec(ladder), **kwargs)
+        handle = ex.submit(spec(ladder), **kwargs).on_result(on_result)
         lo = None
         for eps, damage in zip(ladder, handle.stream_results()):
             if damage < damage_tol:

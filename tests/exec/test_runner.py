@@ -225,6 +225,43 @@ class TestWorkloadCampaigns:
         assert again["best_cost"] == first["best_cost"]
         assert again["mean_best_cost"] == first["mean_best_cost"]
 
+    def test_drivers_share_the_on_result_hook(self, tmp_path):
+        """Every campaign driver exposes the same progress callback."""
+        from repro.qaoa import ndar_restart_battery
+        from repro.sqed.noise_study import damage_campaign
+
+        seen = []
+
+        def hook(point, value):
+            seen.append(point.index)
+
+        out = ndar_restart_battery(
+            n_restarts=3,
+            n_nodes=4,
+            degree=2,
+            n_rounds=2,
+            shots=10,
+            seed=5,
+            cache=tmp_path,
+            on_result=hook,
+        )
+        assert sorted(seen) == [0, 1, 2]
+        assert out["n_evaluated"] == 3
+
+        seen.clear()
+        result = damage_campaign(
+            epsilons=[0.01, 0.1],
+            n_sites=2,
+            spin=1,
+            t_total=1.0,
+            n_steps=2,
+            method="auto",
+            cache=tmp_path,
+            on_result=hook,
+        )
+        assert sorted(seen) == [0, 1]
+        assert len(result.values) == 2
+
     def test_sqed_threshold_campaign_matches_serial(self, tmp_path):
         from repro.sqed.encodings import QuditEncoding
         from repro.sqed.noise_study import (

@@ -1,0 +1,20 @@
+"""Shared fixtures for the observability suite.
+
+Metrics and tracing state are process-global by design (that is what
+makes the disabled path one attribute check), so every test here runs
+between hard resets — no sample, span, or enablement flag may leak from
+one test into the next.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,301 @@
+"""Campaign-level observability: the telemetry must be free of side effects.
+
+The contract under test everywhere here: **observability changes what is
+recorded, never what is computed**.  A campaign run with metrics and
+tracing enabled — serial, pooled, resumed, or under injected worker
+kills — produces values bit-identical to the same campaign with
+observability off, while the collected counters, per-point timeline, and
+multi-process spans stay consistent with the :class:`CampaignResult`.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.exec import (
+    Campaign,
+    CampaignExecutor,
+    FailurePolicy,
+    FaultPlan,
+    ResultCache,
+    run_campaign,
+    zip_sweep,
+)
+from repro.exec.cache import MISS
+from repro.exec.faults import corrupt_cache_entry
+from repro.obs import metrics, tracing
+
+
+def stochastic_task(x, scale=1.0, seed=0):
+    """Seed-sensitive task (module-level: importable in worker processes)."""
+    rng = np.random.default_rng(seed)
+    return float(x * scale + rng.normal())
+
+
+def brittle_task(x, bad=(), seed=0):
+    if x in tuple(bad):
+        raise ValueError(f"point {x} is permanently broken")
+    return float(x + np.random.default_rng(seed).random())
+
+
+def _campaign(n=8, task=stochastic_task, **kwargs):
+    defaults = dict(
+        task=task,
+        sweep=zip_sweep(x=list(range(n))),
+        base_params={"scale": 2.0} if task is stochastic_task else {},
+        seed=42,
+    )
+    defaults.update(kwargs)
+    return Campaign(**defaults)
+
+
+def _counter_value(snap, name, **labels):
+    key = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return snap.get(name, {}).get("values", {}).get(key, 0.0)
+
+
+class TestBitEquality:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        workers=st.integers(min_value=1, max_value=2),
+    )
+    def test_values_identical_obs_on_and_off(self, n, workers):
+        obs.disable()
+        obs.reset()
+        baseline = run_campaign(_campaign(n=n), workers=workers).values
+        obs.enable()
+        observed = run_campaign(_campaign(n=n), workers=workers).values
+        obs.disable()
+        obs.reset()
+        assert observed == baseline  # bit-identical, not approx
+
+    def test_resumed_run_identical_with_obs_on(self, tmp_path):
+        checkpoint = tmp_path / "progress.jsonl"
+        baseline = run_campaign(_campaign(n=6), checkpoint=checkpoint).values
+        obs.enable()
+        with CampaignExecutor(workers=1, cache=None) as ex:
+            handle = ex.submit(_campaign(n=6), checkpoint=checkpoint)
+            resumed = handle.result()
+        assert resumed.values == baseline
+        assert all(rec["source"] == "checkpoint" for rec in resumed.timeline)
+
+    def test_pool_values_identical_to_serial_with_obs_on(self):
+        serial = run_campaign(_campaign(n=8), workers=1).values
+        obs.enable()
+        parallel = run_campaign(_campaign(n=8), workers=3).values
+        assert parallel == serial
+
+
+class TestCrossProcessCollection:
+    def test_worker_metrics_and_spans_merge_under_kills(self):
+        """Every first attempt kills its worker; telemetry still adds up."""
+        baseline = run_campaign(_campaign(n=6), workers=1).values
+        obs.enable()
+        plan = FaultPlan(seed=3, p_kill=1.0, max_faulty_attempts=1)
+        with CampaignExecutor(workers=2, cache=None) as ex:
+            handle = ex.submit(_campaign(n=6), faults=plan)
+            result = handle.result()
+        assert result.values == baseline
+        snap = metrics.snapshot()
+        assert _counter_value(snap, "exec_crashes") == 6.0
+        assert _counter_value(snap, "exec_respawns") >= 1.0
+        # Dispatches: 6 killed attempts + 6 clean ones, all accounted for.
+        assert _counter_value(snap, "exec_dispatches") == 12.0
+        point_spans = [ev for ev in tracing.events() if ev["name"] == "point"]
+        assert len(point_spans) == 6  # killed attempts never report spans
+        assert os.getpid() not in {ev["pid"] for ev in point_spans}
+
+    def test_acceptance_32_points_across_workers(self, tmp_path):
+        """The ISSUE acceptance scenario, end to end."""
+        baseline = run_campaign(_campaign(n=32), workers=1).values
+
+        obs.enable()
+        cache = ResultCache(tmp_path / "cache")
+        with CampaignExecutor(workers=4, cache=cache) as ex:
+            cold = ex.submit(_campaign(n=32)).result()
+            warm = ex.submit(_campaign(n=32)).result()
+
+        # (c) values bit-identical to the obs-disabled run.
+        assert cold.values == baseline
+        assert warm.values == baseline
+
+        # (a) metrics snapshot consistent with the CampaignResult.
+        snap = metrics.snapshot()
+        assert _counter_value(snap, "cache_misses") == 32.0
+        assert _counter_value(snap, "cache_puts") == 32.0
+        assert _counter_value(snap, "cache_hits") == float(warm.cache_hits) == 32.0
+        assert _counter_value(snap, "exec_points", source="computed") == 32.0
+        assert _counter_value(snap, "exec_points", source="cache") == 32.0
+        assert _counter_value(snap, "exec_attempts") == 32.0
+        assert _counter_value(snap, "exec_submits") == 2.0
+        hist = snap["exec_point_s"]["values"]["outcome=ok"]
+        assert hist["count"] == 32
+
+        # (b) a valid Chrome trace spanning >= 2 worker processes.
+        point_spans = [ev for ev in tracing.events() if ev["name"] == "point"]
+        assert len(point_spans) == 32
+        worker_pids = {ev["pid"] for ev in point_spans}
+        assert len(worker_pids) >= 2
+        assert os.getpid() not in worker_pids
+        trace_path = tmp_path / "trace.json"
+        tracing.write_chrome(trace_path)
+        doc = json.loads(trace_path.read_text())
+        chrome_pids = {
+            ev["pid"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "X" and ev["name"] == "point"
+        }
+        assert chrome_pids == worker_pids
+
+
+class TestTimeline:
+    def test_serial_timeline_collected_even_with_obs_off(self):
+        with CampaignExecutor(workers=1, cache=None) as ex:
+            handle = ex.submit(_campaign(n=4))
+            result = handle.result()
+        assert [rec["index"] for rec in result.timeline] == [0, 1, 2, 3]
+        for rec in result.timeline:
+            assert rec["source"] == "computed"
+            assert rec["ok"] is True
+            assert rec["attempts"] == 1
+            assert rec["pids"] == [os.getpid()]
+            assert rec["exec_s"] >= 0.0
+            assert rec["queue_wait_s"] == 0.0
+        assert handle.timeline == result.timeline
+
+    def test_pool_timeline_records_worker_pids(self):
+        with CampaignExecutor(workers=2, cache=None) as ex:
+            result = ex.submit(_campaign(n=6)).result()
+        pids = {pid for rec in result.timeline for pid in rec["pids"]}
+        assert len(pids) >= 2
+        assert os.getpid() not in pids
+        assert all(rec["queue_wait_s"] >= 0.0 for rec in result.timeline)
+
+    def test_cache_hits_appear_in_timeline(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_campaign(_campaign(n=3), cache=cache)
+        with CampaignExecutor(workers=1, cache=cache) as ex:
+            result = ex.submit(_campaign(n=3)).result()
+        assert [rec["source"] for rec in result.timeline] == ["cache"] * 3
+
+    def test_stats_reports_progress_and_metrics(self):
+        with CampaignExecutor(workers=1, cache=None) as ex:
+            handle = ex.submit(_campaign(n=3))
+            assert handle.stats()["metrics"] is None  # obs off
+            handle.result()
+            obs.enable()
+            stats = handle.stats()
+        assert stats["points"] == stats["resolved"] == 3
+        assert stats["computed"] == 3
+        assert stats["errors"] == 0
+        assert len(stats["timeline"]) == 3
+        assert isinstance(stats["metrics"], dict)
+
+
+class TestFailureTelemetry:
+    def test_error_records_carry_cumulative_backoff(self):
+        policy = FailurePolicy(
+            mode="retry", max_attempts=3, backoff_base=0.004, backoff_max=0.02
+        )
+        with CampaignExecutor(workers=1, cache=None) as ex:
+            result = ex.submit(
+                _campaign(n=3, task=brittle_task, base_params={"bad": [1]}),
+                policy=policy,
+            ).result()
+        (error,) = result.errors
+        assert error["attempts"] == 3
+        assert error["backoff_s"] >= 2 * 0.004  # two sleeps before giving up
+        failed = [rec for rec in result.timeline if not rec["ok"]]
+        assert len(failed) == 1 and failed[0]["attempts"] == 3
+
+    def test_retry_counters_under_obs(self):
+        obs.enable()
+        policy = FailurePolicy(mode="retry", max_attempts=2, backoff_base=0.001)
+        result = run_campaign(
+            _campaign(n=3, task=brittle_task, base_params={"bad": [1]}),
+            policy=policy,
+        )
+        assert len(result.errors) == 1
+        snap = metrics.snapshot()
+        assert _counter_value(snap, "exec_retries") == 1.0
+        assert _counter_value(snap, "exec_attempts") == 4.0  # 2 + 1 + 1
+        hist = snap["exec_point_s"]["values"]["outcome=error"]
+        assert hist["count"] == 1
+
+
+class TestCacheCounters:
+    def test_lifetime_counts_without_obs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" * 32) is MISS  # counted as a miss
+        cache.put("ab" * 32, {"v": 1})
+        cache.get("ab" * 32)
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["hits"] == 1
+        assert stats["evictions"] == 0
+        assert stats["corrupt_healed"] == 0
+
+    def test_corrupt_heal_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"v": 1})
+        corrupt_cache_entry(cache, key, mode="garbage")
+        assert cache.get(key) is MISS
+        stats = cache.stats()
+        assert stats["corrupt_healed"] == 1
+        assert stats["misses"] == 1
+
+    def test_eviction_counted_and_mirrored(self, tmp_path):
+        obs.enable()
+        cache = ResultCache(tmp_path, max_entries=2, evict_interval=1)
+        for i in range(4):
+            cache.put(f"{i:02d}" * 32, {"v": i})
+        stats = cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["entries"] == 2
+        snap = metrics.snapshot()
+        assert _counter_value(snap, "cache_evictions") == 2.0
+        assert _counter_value(snap, "cache_puts") == 4.0
+
+
+class TestOnResult:
+    def test_callback_fires_per_point_and_replays(self):
+        calls = []
+        with CampaignExecutor(workers=1, cache=None) as ex:
+            handle = ex.submit(_campaign(n=4))
+            handle.on_result(lambda point, value: calls.append(point.index))
+            result = handle.result()
+            # A late registration replays the already-seen events.
+            replay = []
+            handle.on_result(lambda point, value: replay.append(point.index))
+        assert calls == [0, 1, 2, 3]
+        assert replay == calls
+        assert len(result.values) == 4
+
+    def test_none_callback_is_accepted(self):
+        with CampaignExecutor(workers=1, cache=None) as ex:
+            result = ex.submit(_campaign(n=2)).on_result(None).result()
+        assert len(result.values) == 2
+
+    def test_callback_sees_failed_points(self):
+        seen = {}
+        with CampaignExecutor(workers=1, cache=None) as ex:
+            handle = ex.submit(
+                _campaign(n=3, task=brittle_task, base_params={"bad": [1]}),
+                policy="continue",
+            )
+            handle.on_result(lambda point, value: seen.update({point.index: value}))
+            handle.result()
+        assert seen[1] is None  # failed point reported with value=None
+        assert seen[0] is not None and seen[2] is not None

@@ -1,0 +1,212 @@
+"""Unit tests for the metrics registry: bucketing, merge, exposition."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _label_key,
+)
+
+
+class TestLabelKey:
+    def test_empty_labels_key_is_empty(self):
+        assert _label_key({}) == ""
+
+    def test_key_is_order_invariant(self):
+        assert _label_key({"b": 2, "a": 1}) == _label_key({"a": 1, "b": 2})
+        assert _label_key({"a": 1, "b": 2}) == "a=1,b=2"
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.0)
+        c.inc(backend="mps")
+        assert c.value() == 3.0
+        assert c.value(backend="mps") == 1.0
+
+    def test_negative_increment_raises(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("hits").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("chi")
+        g.set(4.0, backend="mps")
+        g.set(7.0, backend="mps")
+        assert g.value(backend="mps") == 7.0
+        assert g.value(backend="lpdo") == 0.0
+
+
+class TestHistogramBucketing:
+    def test_observation_lands_in_first_bound_at_least_value(self):
+        h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        h.observe(0.05)
+        assert h.sample()["buckets"] == [0, 1, 0, 0]
+
+    def test_boundary_value_is_inclusive(self):
+        h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        h.observe(0.1)
+        assert h.sample()["buckets"] == [0, 1, 0, 0]
+
+    def test_overflow_goes_to_final_inf_slot(self):
+        h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        h.observe(50.0)
+        assert h.sample()["buckets"] == [0, 0, 0, 1]
+
+    def test_sum_and_count_track_observations(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(4.0)
+        sample = h.sample()
+        assert sample["count"] == 2
+        assert sample["sum"] == pytest.approx(4.25)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("lat", buckets=(1.0, 0.5))
+
+    def test_missing_label_set_samples_none(self):
+        assert Histogram("lat").sample(backend="mps") is None
+
+    @given(st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    def test_every_observation_lands_in_exactly_one_slot(self, value):
+        h = Histogram("lat", buckets=DEFAULT_BUCKETS)
+        h.observe(value)
+        sample = h.sample()
+        assert sum(sample["buckets"]) == 1
+        slot = sample["buckets"].index(1)
+        if slot < len(DEFAULT_BUCKETS):
+            assert value <= DEFAULT_BUCKETS[slot]
+        if slot > 0:
+            assert value > DEFAULT_BUCKETS[slot - 1]
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("hits")
+
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "cache hits").inc(3, backend="mps")
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["hits"]["type"] == "counter"
+        assert snap["hits"]["values"]["backend=mps"] == 3.0
+        assert snap["lat"]["buckets"] == [0.1, 1.0]
+        assert snap["lat"]["values"][""]["buckets"] == [0, 1, 0]
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            reg.counter("hits").inc(2)
+            reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        a.merge(b.snapshot())
+        assert a.get("hits").value() == 4.0
+        assert a.get("lat").sample() == {"buckets": [2, 0], "sum": 1.0, "count": 2}
+
+    def test_merge_gauge_takes_incoming_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("chi").set(4.0)
+        b.gauge("chi").set(9.0)
+        a.merge(b.snapshot())
+        assert a.get("chi").value() == 9.0
+
+    def test_merge_creates_unknown_metrics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("worker_only").inc(5)
+        a.merge(b.snapshot())
+        assert a.get("worker_only").value() == 5.0
+
+    def test_merge_rejects_bucket_shape_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = b.snapshot()  # craft a mismatched incoming sample
+        snap["lat"] = {
+            "type": "histogram",
+            "help": "",
+            "buckets": [1.0],
+            "values": {"": {"buckets": [1, 0, 0], "sum": 0.5, "count": 1}},
+        }
+        with pytest.raises(ValueError, match="bucket shapes differ"):
+            a.merge(snap)
+
+    def test_drain_clears_samples_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        delta = reg.drain()
+        assert delta["hits"]["values"][""] == 3.0
+        assert "hits" in reg
+        assert reg.snapshot()["hits"]["values"] == {}
+
+    def test_merge_roundtrip_doubles(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3, backend="mps")
+        reg.merge(reg.snapshot())
+        assert reg.get("hits").value(backend="mps") == 6.0
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "cache hits").inc(3, backend="mps")
+        reg.gauge("chi").set(7.0)
+        text = reg.exposition()
+        assert "# HELP hits cache hits" in text
+        assert "# TYPE hits counter" in text
+        assert 'hits{backend="mps"} 3' in text
+        assert "# TYPE chi gauge\nchi 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05, op="svd")
+        h.observe(0.5, op="svd")
+        h.observe(9.0, op="svd")
+        text = reg.exposition()
+        assert 'lat_bucket{op="svd",le="0.1"} 1' in text
+        assert 'lat_bucket{op="svd",le="1"} 2' in text
+        assert 'lat_bucket{op="svd",le="+Inf"} 3' in text
+        assert 'lat_sum{op="svd"} 9.55' in text
+        assert 'lat_count{op="svd"} 3' in text
+
+    def test_empty_registry_exposes_empty_string(self):
+        assert MetricsRegistry().exposition() == ""
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_record_nothing(self):
+        metrics.inc("hits")
+        metrics.set_gauge("chi", 4.0)
+        metrics.observe("lat", 0.5)
+        assert metrics.snapshot() == {}
+
+    def test_enabled_helpers_hit_global_registry(self):
+        metrics.enable()
+        metrics.inc("hits", backend="mps")
+        metrics.set_gauge("chi", 4.0)
+        metrics.observe("lat", 0.5)
+        snap = metrics.snapshot()
+        assert snap["hits"]["values"]["backend=mps"] == 1.0
+        assert snap["chi"]["values"][""] == 4.0
+        assert snap["lat"]["values"][""]["count"] == 1
+        assert "lat_bucket" in metrics.exposition()

@@ -1,0 +1,114 @@
+"""Unit tests for span tracing: nesting, persistence, Chrome export."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import tracing
+
+
+class TestSpan:
+    def test_disabled_span_records_nothing(self):
+        with tracing.span("gate_apply", backend="mps") as ev:
+            ev["args"]["chi"] = 4  # call sites may write unguarded
+        assert tracing.events() == []
+
+    def test_enabled_span_records_event_fields(self):
+        tracing.enable()
+        with tracing.span("gate_apply", backend="mps"):
+            pass
+        (ev,) = tracing.events()
+        assert ev["name"] == "gate_apply"
+        assert ev["args"] == {"backend": "mps"}
+        assert ev["pid"] == os.getpid()
+        assert ev["tid"] == threading.get_ident()
+        assert ev["parent"] is None
+        assert ev["dur"] >= 0.0
+
+    def test_nested_span_parent_is_enclosing_id(self):
+        tracing.enable()
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                pass
+        inner, outer = tracing.events()  # inner exits (and records) first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_span_records_on_exception(self):
+        tracing.enable()
+        with pytest.raises(RuntimeError):
+            with tracing.span("attempt"):
+                raise RuntimeError("task failed")
+        assert [ev["name"] for ev in tracing.events()] == ["attempt"]
+
+    def test_observed_args_written_inside_block_are_kept(self):
+        tracing.enable()
+        with tracing.span("truncated_svd", backend="mps") as ev:
+            ev["args"]["chi"] = 7
+        assert tracing.events()[0]["args"] == {"backend": "mps", "chi": 7}
+
+
+class TestBufferOps:
+    def test_add_event_respects_enabled(self):
+        tracing.add_event("queue_wait", ts=1.0, dur=0.5)
+        assert tracing.events() == []
+        tracing.enable()
+        tracing.add_event("queue_wait", ts=1.0, dur=0.5, args={"index": 3})
+        (ev,) = tracing.events()
+        assert (ev["ts"], ev["dur"], ev["args"]) == (1.0, 0.5, {"index": 3})
+
+    def test_add_events_merges_even_when_disabled(self):
+        incoming = [{"name": "point", "ts": 0.0, "dur": 1.0, "pid": 99, "tid": 1}]
+        tracing.add_events(incoming)
+        assert tracing.events() == incoming
+
+    def test_drain_returns_and_clears(self):
+        tracing.enable()
+        with tracing.span("a"):
+            pass
+        drained = tracing.drain()
+        assert [ev["name"] for ev in drained] == ["a"]
+        assert tracing.events() == []
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracing.enable()
+        with tracing.span("outer", backend="mps"):
+            with tracing.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracing.write_jsonl(path) == 2
+        assert tracing.read_jsonl(path) == tracing.events()
+
+    def test_chrome_export_shape(self):
+        tracing.enable()
+        with tracing.span("gate_apply", backend="mps"):
+            pass
+        foreign = dict(tracing.events()[0], pid=12345, ts=0.0)
+        tracing.add_events([foreign])
+        doc = tracing.to_chrome()
+        doc = json.loads(json.dumps(doc))  # must round-trip
+        assert doc["displayTimeUnit"] == "ms"
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        spans = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert {ev["pid"] for ev in meta} == {os.getpid(), 12345}
+        assert all(ev["name"] == "process_name" for ev in meta)
+        assert len(spans) == 2
+        assert min(ev["ts"] for ev in spans) == 0.0  # rebased to earliest
+        assert all(ev["cat"] == "repro" for ev in spans)
+
+    def test_chrome_export_empty_buffer(self):
+        assert tracing.to_chrome() == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_write_chrome_counts_trace_events(self, tmp_path):
+        tracing.enable()
+        with tracing.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        count = tracing.write_chrome(path)
+        assert count == 2  # one process_name meta + one span
+        assert len(json.loads(path.read_text())["traceEvents"]) == 2

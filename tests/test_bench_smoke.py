@@ -187,6 +187,9 @@ def test_exec_bench_smoke(tmp_path):
         streaming_delay_ms=25.0,
         overhead_points=16,
         overhead_delay_ms=25.0,
+        obs_qudits=5,
+        obs_gate_loops=2,
+        obs_repeats=3,
         workers=8,
         calibration_scale=1,
         cache_dir=tmp_path / "cache",
@@ -209,6 +212,13 @@ def test_exec_bench_smoke(tmp_path):
     overhead = report["supervised_overhead"]
     assert overhead["raw_pool_s"] > 0 and overhead["supervised_s"] > 0
     assert overhead["overhead_ratio"] <= 1.5
+    # Observability must be near-free when disabled.  The committed-record
+    # bound is 1.05x; the smoke workload is tiny and timing-noisy, so
+    # allow slack while still catching an always-on instrumentation bug.
+    obs_overhead = report["obs_overhead"]
+    assert obs_overhead["gate_applies_observed"] > 0
+    assert obs_overhead["spans_recorded"] > 0
+    assert obs_overhead["disabled_ratio"] <= 1.5
     # Cached replay serves (almost) everything without recomputation.
     sqed = report["sqed_campaign"]
     assert sqed["replay_hit_fraction"] >= 0.95
@@ -226,6 +236,49 @@ def test_exec_bench_smoke(tmp_path):
 
 
 @pytest.mark.bench_smoke
+def test_obs_demo_campaign_trace_artifact(tmp_path):
+    """A demo campaign traced end to end, published next to BENCH_*.json.
+
+    Runs a small pooled campaign with observability on, checks the
+    telemetry is genuinely multi-process and perturbation-free, and
+    publishes the JSON-lines span log (plus its Chrome-trace rendering)
+    as CI artifacts so a run's per-point timeline can be inspected in
+    Perfetto without rerunning anything.
+    """
+    from bench_exec import _latency_campaign
+
+    from repro import obs
+    from repro.exec import CampaignExecutor, run_campaign
+    from repro.obs import tracing
+
+    obs.disable()
+    obs.reset()
+    try:
+        baseline = run_campaign(_latency_campaign(16, 5.0), workers=1).values
+        obs.enable()
+        with CampaignExecutor(workers=2) as executor:
+            result = executor.submit(_latency_campaign(16, 5.0)).result()
+        assert result.values == baseline  # telemetry never perturbs values
+
+        spans = [ev for ev in tracing.events() if ev["name"] == "point"]
+        assert len(spans) == 16
+        assert len({ev["pid"] for ev in spans}) >= 2  # true multi-process
+
+        trace_jsonl = tmp_path / "TRACE_exec_demo.jsonl"
+        trace_chrome = tmp_path / "TRACE_exec_demo.chrome.json"
+        assert tracing.write_jsonl(trace_jsonl) >= 16
+        tracing.write_chrome(trace_chrome)
+        assert tracing.read_jsonl(trace_jsonl) == tracing.events()
+        doc = json.loads(trace_chrome.read_text())
+        assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
+        _publish_artifact(trace_jsonl)
+        _publish_artifact(trace_chrome)
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+@pytest.mark.bench_smoke
 def test_committed_bench_exec_json_meets_targets():
     """The committed BENCH_exec.json must document the campaign claims:
 
@@ -239,7 +292,8 @@ def test_committed_bench_exec_json_meets_targets():
     for a small noiseless register, a tensor network for 12 noisy
     qutrits).  The CPU-bound parallel speedup is recorded together with
     the host's core count; the >= 2x guard applies where cores exist to
-    use.
+    use.  Observability instrumentation must be near-free when disabled
+    (disabled ratio <= 1.05).
     """
     report = json.loads((REPO_ROOT / "BENCH_exec.json").read_text())
     latency = report["latency_campaign"]
@@ -256,6 +310,10 @@ def test_committed_bench_exec_json_meets_targets():
     assert overhead["n_points"] >= 16
     assert overhead["workers"] >= 8
     assert overhead["overhead_ratio"] <= 1.10
+    obs_overhead = report["obs_overhead"]
+    assert obs_overhead["gate_applies_observed"] > 0
+    assert obs_overhead["spans_recorded"] > 0
+    assert obs_overhead["disabled_ratio"] <= 1.05
     sqed = report["sqed_campaign"]
     assert sqed["n_points"] >= 64
     assert sqed["workers"] >= 8

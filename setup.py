@@ -10,6 +10,8 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: ship the inline annotations to downstream type checkers.
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.11",
     install_requires=[
         "numpy>=1.26",

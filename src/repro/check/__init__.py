@@ -1,0 +1,58 @@
+"""Domain-aware static analysis for the repro codebase.
+
+The correctness story of the campaign stack rests on invariants no unit
+test can see at every call site: seeds must be threaded, not conjured;
+task callables must survive a process boundary; registered backends must
+honour the run/prepare protocol; metric names must stay one consistent
+family per name; exception handlers in the supervision paths must never
+swallow silently.  This package enforces those invariants *before any
+process is forked*, from the command line and in CI::
+
+    python -m repro.check src tests examples benchmarks
+
+Architecture: :mod:`repro.check.engine` parses each file once and walks
+its AST a single time, dispatching nodes to every registered rule
+(:mod:`repro.check.rules`).  Findings carry ``path:line``, a stable rule
+id, and a message; an inline ``# repro: ignore[rule-id]`` comment
+suppresses a finding at its line, and a committed baseline
+(:mod:`repro.check.baseline`) grandfathers historical findings without
+letting new ones in.  ``python -m repro.check --list-rules`` shows each
+rule's one-line rationale.
+"""
+
+from . import rules  # noqa: F401  (import registers the built-in rules)
+from .baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
+from .cli import main
+from .engine import (
+    Analysis,
+    FileContext,
+    Finding,
+    Rule,
+    discover_files,
+    get_rules,
+    register_rule,
+    rule_ids,
+    run_check,
+)
+
+__all__ = [
+    "Analysis",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "register_rule",
+    "rule_ids",
+    "get_rules",
+    "run_check",
+    "discover_files",
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "subtract_baseline",
+    "main",
+]

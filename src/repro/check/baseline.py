@@ -1,0 +1,107 @@
+"""Baseline files: grandfather existing findings, gate new ones.
+
+A baseline is a committed JSON file listing known findings by their
+line-independent fingerprint (``path :: rule :: message``).  The CLI
+subtracts the baseline from the current findings, so introducing a *new*
+violation fails while a grandfathered one merely persists until fixed.
+Multiplicity is respected: a baseline entry recorded twice tolerates two
+matching findings — a third is new.
+
+The committed repository baseline (``.repro-check-baseline.json``) is
+**empty for src/repro**: every violation the analyzer found there was
+fixed (or, where the pattern is the sanctioned implementation — e.g. the
+one process-global generator in ``core/rng.py`` — suppressed inline with
+a stated reason), so the gate runs at full strength on the real code.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .engine import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "subtract_baseline",
+]
+
+#: Conventional baseline filename, looked up in the working directory.
+DEFAULT_BASELINE = ".repro-check-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint multiset from a baseline file.
+
+    Raises:
+        ValueError: on a malformed or wrong-version baseline — a damaged
+            gate must fail loudly, not silently admit everything.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path} is not a version-{_VERSION} repro.check baseline"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} has no findings list")
+    counts: Counter = Counter()
+    for entry in entries:
+        try:
+            finding = Finding(
+                path=entry["path"],
+                line=int(entry.get("line", 1)),
+                rule=entry["rule"],
+                message=entry["message"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"baseline {path} entry {entry!r}: {exc}") from exc
+        counts[finding.fingerprint()] += 1
+    return counts
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> int:
+    """Write the given findings as the new baseline; return the count.
+
+    Entries keep their line numbers for human readability, but matching
+    ignores them (see :meth:`Finding.fingerprint`).
+    """
+    payload = {
+        "version": _VERSION,
+        "findings": [f.as_json() for f in sorted(findings)],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(findings)
+
+
+def subtract_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, baselined-count) against a baseline.
+
+    Findings are consumed against the baseline multiset in sorted order,
+    so the decision is deterministic when several findings share a
+    fingerprint.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    matched = 0
+    for finding in sorted(findings):
+        print_key = finding.fingerprint()
+        if remaining[print_key] > 0:
+            remaining[print_key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    return new, matched

@@ -1,0 +1,151 @@
+"""``python -m repro.check`` — the analyzer's command-line front end.
+
+Typical invocations::
+
+    python -m repro.check src                       # gate the library
+    python -m repro.check src tests examples        # gate everything
+    python -m repro.check --json src                # machine-readable
+    python -m repro.check --list-rules              # what runs, and why
+    python -m repro.check --write-baseline src      # grandfather findings
+
+Exit status: ``0`` when no new findings remain after baseline
+subtraction, ``1`` when new findings exist, ``2`` on usage errors
+(unknown rule id, unreadable path or baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from . import rules  # noqa: F401  (importing registers every built-in rule)
+from .baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
+from .engine import get_rules, rule_ids, run_check
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON on stdout instead of human lines",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rule ids with their rationale and exit",
+    )
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    return default if default.exists() else None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in get_rules():
+            print(f"{rule.id}: {rule.rationale}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        analysis = run_check(args.paths, select=select)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = _resolve_baseline(args)
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        count = write_baseline(target, analysis.findings)
+        print(f"wrote {count} finding(s) to {target}")
+        return 0
+
+    baseline: Counter = Counter()
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    new, baselined = subtract_baseline(analysis.findings, baseline)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_json() for f in new],
+                    "counts": {
+                        "new": len(new),
+                        "baselined": baselined,
+                        "suppressed": analysis.suppressed_count,
+                        "files": len(analysis.files),
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = (
+            f"{len(new)} finding(s) in {len(analysis.files)} file(s)"
+            f" ({baselined} baselined, {analysis.suppressed_count} suppressed)"
+        )
+        print(summary)
+    return 1 if new else 0

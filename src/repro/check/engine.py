@@ -1,0 +1,327 @@
+"""The analysis engine: one parse per file, all rules in one walk.
+
+Every scanned file is read and parsed exactly once.  A single recursive
+walk over the AST dispatches each node to every active rule that declares
+a ``visit_<NodeType>`` method (plus ``leave_<NodeType>`` on the way back
+up, which is how rules track lexical scope without their own traversal).
+Rules report :class:`Finding` objects carrying ``path:line``, a rule id,
+and a message; the engine drops findings suppressed by an inline
+``# repro: ignore[rule-id]`` comment on the offending line.
+
+Cross-file rules (protocol conformance, metric-label consistency) hold
+state on the rule instance across files and emit their findings from
+``finish_run`` — suppression still applies, because the engine keeps each
+file's suppression map for the whole run.
+
+The rule registry is a plugin point: subclass :class:`Rule`, decorate
+with :func:`register_rule`, and the CLI picks it up by id.  Rule ids are
+kebab-case and stable — they are the suppression and baseline currency.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "FileContext",
+    "Analysis",
+    "register_rule",
+    "rule_ids",
+    "get_rules",
+    "run_check",
+    "discover_files",
+]
+
+#: ``# repro: ignore`` (all rules) or ``# repro: ignore[id, id]``.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_\-, ]*)\])?")
+
+#: Finding identity used by the baseline: deliberately excludes the line
+#: number, so grandfathered findings survive unrelated edits above them.
+_FINGERPRINT_SEP = "::"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-independent identity for baseline matching."""
+        return _FINGERPRINT_SEP.join((self.path, self.rule, self.message))
+
+    def render(self) -> str:
+        """Human one-liner: ``path:line: [rule-id] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set :attr:`id` (kebab-case, stable — the suppression and
+    baseline currency) and :attr:`rationale` (one line, shown by
+    ``--list-rules`` and the README table), implement any
+    ``visit_<NodeType>(node, ctx)`` / ``leave_<NodeType>(node, ctx)``
+    methods they need, and report through ``ctx.report``.  Rules holding
+    cross-file state emit from :meth:`finish_run`.
+    """
+
+    id: str = ""
+    rationale: str = ""
+
+    def begin_file(self, ctx: "FileContext") -> None:
+        """Reset per-file state (called before the walk)."""
+
+    def finish_file(self, ctx: "FileContext") -> None:
+        """Emit findings that need the whole file (called after the walk)."""
+
+    def finish_run(self, analysis: "Analysis") -> None:
+        """Emit cross-file findings (called once, after every file)."""
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _RULES:
+        raise ValueError(f"rule id {cls.id!r} is already registered")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Sorted ids of every registered rule."""
+    return tuple(sorted(_RULES))
+
+
+def get_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (default: all), in id order.
+
+    Args:
+        select: rule ids to activate; unknown ids raise ``ValueError``.
+    """
+    if select is None:
+        wanted = list(rule_ids())
+    else:
+        wanted = list(select)
+        unknown = [rid for rid in wanted if rid not in _RULES]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(sorted(unknown))!s}; "
+                f"known: {', '.join(rule_ids())}"
+            )
+    return [_RULES[rid]() for rid in sorted(set(wanted))]
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed rule ids (``None`` = all rules).
+
+    Comments are found with :mod:`tokenize`, never with a regex over raw
+    lines, so a ``# repro: ignore`` *inside a string literal* (fixture
+    snippets, docs) can never suppress anything.
+    """
+    out: dict[int, set[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            line = tok.start[0]
+            ids = match.group(1)
+            if ids is None:
+                out[line] = None
+            elif out.get(line, set()) is not None:
+                current = out.setdefault(line, set())
+                assert current is not None
+                current.update(
+                    part.strip() for part in ids.split(",") if part.strip()
+                )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    return out
+
+
+class FileContext:
+    """Everything the rules may need about one parsed file."""
+
+    def __init__(self, path: Path, relpath: str, source: str, tree: ast.AST) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.suppressions = _suppressions(source)
+        self._analysis: "Analysis | None" = None
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """True if an inline comment silences ``rule_id`` on ``line``."""
+        if line not in self.suppressions:
+            return False
+        ids = self.suppressions[line]
+        return ids is None or rule_id in ids
+
+    def report(self, rule: Rule | str, node: ast.AST | int, message: str) -> None:
+        """File a finding (dropped silently if suppressed inline)."""
+        assert self._analysis is not None
+        rule_id = rule if isinstance(rule, str) else rule.id
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        self._analysis.report(self.relpath, line, rule_id, message)
+
+
+class Analysis:
+    """One run of the engine over a set of files."""
+
+    def __init__(self, rules: Sequence[Rule], root: Path | None = None) -> None:
+        self.rules = list(rules)
+        self.root = Path(root) if root is not None else Path.cwd()
+        self.findings: list[Finding] = []
+        self.suppressed_count = 0
+        self.files: dict[str, FileContext] = {}
+        #: visit/leave method cache: (rule index, node type) -> methods.
+        self._dispatch: dict[str, list[tuple[Callable, Callable]]] = {}
+
+    # -- reporting -----------------------------------------------------
+    def report(self, relpath: str, line: int, rule_id: str, message: str) -> None:
+        """File a finding unless the target line suppresses the rule."""
+        ctx = self.files.get(relpath)
+        if ctx is not None and ctx.suppressed(rule_id, line):
+            self.suppressed_count += 1
+            return
+        self.findings.append(Finding(relpath, line, rule_id, message))
+
+    # -- walking -------------------------------------------------------
+    def _handlers(self, type_name: str) -> list[tuple[Callable, Callable]]:
+        cached = self._dispatch.get(type_name)
+        if cached is None:
+            cached = []
+            for rule in self.rules:
+                visit = getattr(rule, f"visit_{type_name}", None)
+                leave = getattr(rule, f"leave_{type_name}", None)
+                if visit is not None or leave is not None:
+                    cached.append((visit, leave))
+            self._dispatch[type_name] = cached
+        return cached
+
+    def _walk(self, node: ast.AST, ctx: FileContext) -> None:
+        handlers = self._handlers(type(node).__name__)
+        for visit, _ in handlers:
+            if visit is not None:
+                visit(node, ctx)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx)
+        for _, leave in handlers:
+            if leave is not None:
+                leave(node, ctx)
+
+    def check_file(self, path: Path) -> None:
+        """Parse one file (once) and run every rule over it."""
+        relpath = self._relpath(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            self.findings.append(
+                Finding(relpath, int(line), "parse-error", f"cannot analyse: {exc}")
+            )
+            return
+        ctx = FileContext(path, relpath, source, tree)
+        ctx._analysis = self
+        self.files[relpath] = ctx
+        for rule in self.rules:
+            rule.begin_file(ctx)
+        self._walk(tree, ctx)
+        for rule in self.rules:
+            rule.finish_file(ctx)
+
+    def finish(self) -> list[Finding]:
+        """Run the cross-file passes and return sorted findings."""
+        for rule in self.rules:
+            rule.finish_run(self)
+        self.findings.sort()
+        return self.findings
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    ``__pycache__`` and hidden directories are skipped.  A named path
+    that does not exist raises ``FileNotFoundError`` — a typo'd CLI path
+    must not silently scan nothing.
+    """
+    seen: set[Path] = set()
+    out: list[Path] = []
+
+    def _add(path: Path) -> None:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            out.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            _add(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = sub.relative_to(path).parts
+                if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                    continue
+                _add(sub)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    out.sort(key=lambda p: p.as_posix())
+    return out
+
+
+def run_check(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    root: Path | None = None,
+) -> Analysis:
+    """Run the selected rules over the given paths.
+
+    Args:
+        paths: files and/or directories to scan.
+        select: rule ids to run (default: every registered rule).
+        root: base for the relative paths in findings (default: cwd).
+
+    Returns:
+        The finished :class:`Analysis` (``.findings`` is sorted).
+    """
+    analysis = Analysis(get_rules(select), root=root)
+    for path in discover_files(paths):
+        analysis.check_file(path)
+    analysis.finish()
+    return analysis

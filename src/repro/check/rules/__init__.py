@@ -1,0 +1,33 @@
+"""Built-in rules — importing this package registers them all.
+
+Rule ids (stable; the suppression and baseline currency):
+
+* ``seed-discipline`` — no unseeded / global-state / wall-clock-derived
+  randomness; thread :mod:`repro.core.rng` generators or explicit seeds.
+* ``pickle-safety`` — campaign tasks must be importable module-level
+  functions that do not mutate module globals.
+* ``backend-protocol`` — classes registered with ``register_backend``
+  must structurally implement the run/prepare/result protocol.
+* ``obs-discipline`` — metric names are Prometheus-safe and each name
+  keeps one label set across every call site.
+* ``error-hygiene`` — no bare ``except:`` and no silently-swallowing
+  broad handlers.
+
+Third-party rules register the same way: subclass
+:class:`repro.check.Rule`, decorate with :func:`repro.check.register_rule`,
+and import the module before invoking the engine.
+"""
+
+from .backend_protocol import BackendProtocolRule
+from .error_hygiene import ErrorHygieneRule
+from .obs_discipline import ObsDisciplineRule
+from .pickle_safety import PickleSafetyRule
+from .seed_discipline import SeedDisciplineRule
+
+__all__ = [
+    "BackendProtocolRule",
+    "ErrorHygieneRule",
+    "ObsDisciplineRule",
+    "PickleSafetyRule",
+    "SeedDisciplineRule",
+]

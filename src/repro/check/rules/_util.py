@@ -1,0 +1,43 @@
+"""Shared AST helpers for the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "terminal_name", "is_none_constant", "body_is_silent"]
+
+
+def dotted_name(node: ast.AST) -> tuple[str, ...] | None:
+    """A pure ``a.b.c`` attribute chain as a name tuple, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The final name of a ``Name`` or ``Attribute`` node, else ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_none_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def body_is_silent(body: list[ast.stmt]) -> bool:
+    """True if a suite does nothing: only ``pass``, ``...``, or docstrings."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a bare string/Ellipsis expression has no effect
+        return False
+    return True

@@ -1,0 +1,252 @@
+"""backend-protocol: registered backends must honour the dispatch protocol.
+
+:func:`repro.core.backends.get_backend` dispatches every workload through
+``run(circuit, initial, **options)`` / ``prepare(dims, digits, **options)``
+and hands back results exposing ``expectation`` / ``sample`` /
+``probabilities_of`` / ``probabilities``.  The base class enforces none
+of this until the first call — a backend registered with a missing or
+mis-shaped ``_run`` fails deep inside a campaign, possibly in a worker
+process.  This rule checks the structure at analysis time:
+
+* every class passed to ``register_backend`` must (transitively)
+  subclass ``SimulationBackend`` and provide concrete ``_run`` /
+  ``_prepare`` overrides;
+* ``_run`` must accept ``(self, circuit, initial)`` plus arbitrary
+  option keywords, and ``_prepare`` must accept ``(self, dims, digits)``
+  likewise — the base class calls them exactly that way;
+* every concrete ``BackendResult`` subclass must provide the full
+  observable surface (``expectation``, ``sample``, ``probabilities_of``,
+  ``probabilities``).
+
+Resolution is structural and cross-file within the scanned set; classes
+the scan cannot see are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..engine import Analysis, FileContext, Rule, register_rule
+from ._util import terminal_name
+
+__all__ = ["BackendProtocolRule"]
+
+_RESULT_METHODS = ("expectation", "sample", "probabilities_of", "probabilities")
+
+#: ``(method, minimum positional params after self, param names hint)``
+_BACKEND_METHODS = (
+    ("_run", 2, "(self, circuit, initial, **options)"),
+    ("_prepare", 2, "(self, dims, digits, **options)"),
+)
+
+
+@dataclass
+class _MethodInfo:
+    lineno: int
+    n_positional: int  # positional params excluding self
+    n_required: int  # positional params excluding self without defaults
+    has_varargs: bool
+    has_varkw: bool
+    required_kwonly: tuple[str, ...]
+    is_abstract: bool
+
+
+@dataclass
+class _ClassInfo:
+    relpath: str
+    lineno: int
+    bases: tuple[str, ...]
+    methods: dict[str, _MethodInfo] = field(default_factory=dict)
+
+    @property
+    def is_abstract(self) -> bool:
+        return any(m.is_abstract for m in self.methods.values())
+
+
+def _method_info(node: ast.FunctionDef | ast.AsyncFunctionDef) -> _MethodInfo:
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    n_positional = max(0, len(positional) - 1)  # drop self
+    n_defaults = len(args.defaults)
+    n_required = max(0, len(positional) - n_defaults - 1)
+    required_kwonly = tuple(
+        arg.arg
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+        if default is None
+    )
+    is_abstract = any(
+        terminal_name(dec) in ("abstractmethod", "abstractproperty")
+        for dec in node.decorator_list
+    )
+    return _MethodInfo(
+        lineno=node.lineno,
+        n_positional=n_positional,
+        n_required=n_required,
+        has_varargs=args.vararg is not None,
+        has_varkw=args.kwarg is not None,
+        required_kwonly=required_kwonly,
+        is_abstract=is_abstract,
+    )
+
+
+@register_rule
+class BackendProtocolRule(Rule):
+    id = "backend-protocol"
+    rationale = (
+        "a backend registered without the run/prepare/result surface "
+        "fails deep inside a campaign instead of at registration"
+    )
+
+    def __init__(self) -> None:
+        #: class name -> info, across every scanned file (last def wins).
+        self._classes: dict[str, _ClassInfo] = {}
+        #: (relpath, lineno, backend name, class name) registrations.
+        self._registrations: list[tuple[str, int, str, str]] = []
+        self._relpath = ""
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._relpath = ctx.relpath
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        bases = tuple(
+            name for name in (terminal_name(base) for base in node.bases) if name
+        )
+        info = _ClassInfo(relpath=ctx.relpath, lineno=node.lineno, bases=bases)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[stmt.name] = _method_info(stmt)
+        self._classes[node.name] = info
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if terminal_name(node.func) != "register_backend":
+            return
+        if not node.args or not isinstance(node.args[0], ast.Constant):
+            return
+        backend_name = node.args[0].value
+        if not isinstance(backend_name, str) or backend_name == "auto":
+            return  # "auto" is reserved; registering it raises at runtime
+        cls_node = node.args[1] if len(node.args) > 1 else None
+        for keyword in node.keywords:
+            if keyword.arg == "backend_cls":
+                cls_node = keyword.value
+        cls_name = terminal_name(cls_node) if cls_node is not None else None
+        if cls_name is None:
+            return
+        self._registrations.append(
+            (ctx.relpath, node.lineno, backend_name, cls_name)
+        )
+
+    # -- resolution -----------------------------------------------------
+    def _reaches(self, cls_name: str, root: str) -> bool:
+        seen: set[str] = set()
+        frontier = [cls_name]
+        while frontier:
+            name = frontier.pop()
+            if name == root:
+                return True
+            if name in seen:
+                continue
+            seen.add(name)
+            info = self._classes.get(name)
+            if info is not None:
+                frontier.extend(info.bases)
+        return False
+
+    def _resolve_method(self, cls_name: str, method: str) -> _MethodInfo | None:
+        """First concrete definition of ``method`` along the base chain."""
+        seen: set[str] = set()
+        frontier = [cls_name]
+        while frontier:
+            name = frontier.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            info = self._classes.get(name)
+            if info is None:
+                continue
+            found = info.methods.get(method)
+            if found is not None and not found.is_abstract:
+                return found
+            frontier.extend(info.bases)
+        return None
+
+    def finish_run(self, analysis: Analysis) -> None:
+        self._check_registrations(analysis)
+        self._check_results(analysis)
+
+    def _check_registrations(self, analysis: Analysis) -> None:
+        for relpath, lineno, backend_name, cls_name in self._registrations:
+            info = self._classes.get(cls_name)
+            if info is None:
+                continue  # defined outside the scanned set: cannot judge
+            if not self._reaches(cls_name, "SimulationBackend"):
+                analysis.report(
+                    relpath,
+                    lineno,
+                    self.id,
+                    f"backend {backend_name!r} registers {cls_name}, which "
+                    f"does not subclass SimulationBackend",
+                )
+                continue
+            for method, min_positional, shape in _BACKEND_METHODS:
+                resolved = self._resolve_method(cls_name, method)
+                if resolved is None:
+                    analysis.report(
+                        relpath,
+                        lineno,
+                        self.id,
+                        f"backend {backend_name!r} registers {cls_name} "
+                        f"without a concrete {method}{shape} implementation",
+                    )
+                    continue
+                problem = self._signature_problem(resolved, min_positional)
+                if problem is not None:
+                    analysis.report(
+                        info.relpath,
+                        resolved.lineno,
+                        self.id,
+                        f"{cls_name}.{method} {problem} — the dispatch "
+                        f"layer calls it as {method}{shape}",
+                    )
+
+    @staticmethod
+    def _signature_problem(info: _MethodInfo, min_positional: int) -> str | None:
+        if info.n_positional < min_positional and not info.has_varargs:
+            return (
+                f"accepts {info.n_positional} positional argument(s) "
+                f"after self, needs {min_positional}"
+            )
+        if info.n_required > min_positional:
+            return (
+                f"requires {info.n_required} positional arguments — extras "
+                f"beyond {min_positional} must carry defaults"
+            )
+        if info.required_kwonly and not info.has_varkw:
+            names = ", ".join(info.required_kwonly)
+            return f"has required keyword-only parameter(s) {names}"
+        if not info.has_varkw:
+            return "must accept arbitrary **options keywords"
+        return None
+
+    def _check_results(self, analysis: Analysis) -> None:
+        for cls_name, info in sorted(self._classes.items()):
+            if cls_name == "BackendResult":
+                continue
+            if not self._reaches(cls_name, "BackendResult"):
+                continue
+            if info.is_abstract:
+                continue  # intermediate abstract result helpers
+            missing = [
+                method
+                for method in _RESULT_METHODS
+                if self._resolve_method(cls_name, method) is None
+            ]
+            if missing:
+                analysis.report(
+                    info.relpath,
+                    info.lineno,
+                    self.id,
+                    f"result class {cls_name} is missing the backend-result "
+                    f"surface: {', '.join(missing)}",
+                )

@@ -1,0 +1,71 @@
+"""error-hygiene: no bare or silently-swallowing exception handlers.
+
+The supervisor/executor/cache paths exist to *surface* failure as
+structured error records; a ``except:`` (which also eats
+``KeyboardInterrupt`` and ``SystemExit``, wedging shutdown) or a
+``except Exception: pass`` (which turns a real fault into silence)
+defeats the whole fault-tolerance design.  Narrow handlers with a stated
+reason — ``except OSError: pass`` around a best-effort unlink — are
+deliberate and pass untouched.
+
+Flagged everywhere the analyzer looks (the rule is most critical in
+``repro.exec`` but a silent swallow is never good):
+
+* bare ``except:`` clauses;
+* ``except Exception`` / ``except BaseException`` handlers whose body is
+  only ``pass`` / ``...`` (with or without ``as exc``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, register_rule
+from ._util import body_is_silent, terminal_name
+
+__all__ = ["ErrorHygieneRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names(type_node: ast.AST | None) -> list[str]:
+    if type_node is None:
+        return []
+    if isinstance(type_node, ast.Tuple):
+        out = []
+        for element in type_node.elts:
+            name = terminal_name(element)
+            if name:
+                out.append(name)
+        return out
+    name = terminal_name(type_node)
+    return [name] if name else []
+
+
+@register_rule
+class ErrorHygieneRule(Rule):
+    id = "error-hygiene"
+    rationale = (
+        "bare/silent broad handlers hide faults the supervision layer "
+        "exists to surface (and eat KeyboardInterrupt on shutdown)"
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare 'except:' also catches KeyboardInterrupt/SystemExit "
+                "— name the exceptions (or 'except Exception' with real "
+                "handling)",
+            )
+            return
+        caught = _names(node.type)
+        if any(name in _BROAD for name in caught) and body_is_silent(node.body):
+            broad = next(name for name in caught if name in _BROAD)
+            ctx.report(
+                self,
+                node,
+                f"'except {broad}: pass' silently swallows every failure "
+                f"— narrow the exception type or handle/record the error",
+            )

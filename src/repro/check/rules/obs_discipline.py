@@ -1,0 +1,179 @@
+"""obs-discipline: metric names and label sets must stay coherent.
+
+The observability layer merges metrics across processes by *name*: a
+counter family named two different ways never aggregates, a name that is
+not Prometheus-safe breaks exposition, and one metric name used with two
+different label sets produces samples that cannot be compared or summed
+(``exec_points{source=...}`` at one call site and bare ``exec_points`` at
+another silently splits the family).
+
+Checked at every ``inc`` / ``observe`` / ``set_gauge`` call site reached
+through :mod:`repro.obs` (module helpers or registry methods):
+
+* literal metric names must match ``^[a-z][a-z0-9_]*$``;
+* across the whole scanned set, each metric name must use one consistent
+  label-keyword set (sites with ``**dynamic`` labels are skipped — they
+  cannot be judged statically).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from ..engine import Analysis, FileContext, Rule, register_rule
+from ._util import dotted_name
+
+__all__ = ["ObsDisciplineRule"]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Sample-recording helpers: first positional argument is the metric
+#: name; the observed value is positional or the ``value`` keyword.
+_SAMPLE_HELPERS = frozenset({"inc", "observe", "set_gauge"})
+
+#: Registry family constructors (name hygiene only — registration calls
+#: carry no labels).
+_FAMILY_HELPERS = frozenset({"counter", "gauge", "histogram"})
+
+
+@dataclass(frozen=True)
+class _Site:
+    relpath: str
+    lineno: int
+    labels: tuple[str, ...]
+
+
+@register_rule
+class ObsDisciplineRule(Rule):
+    id = "obs-discipline"
+    rationale = (
+        "metric families merge across processes by name — bad names or "
+        "per-site label drift silently split a family"
+    )
+
+    def __init__(self) -> None:
+        #: metric name -> observed call sites, across the whole run.
+        self._sites: dict[str, list[_Site]] = {}
+
+    def begin_file(self, ctx: FileContext) -> None:
+        #: local names bound to the repro.obs / repro.obs.metrics modules.
+        self._module_aliases: set[str] = set()
+        #: local names bound directly to inc/observe/set_gauge helpers.
+        self._helper_aliases: dict[str, str] = {}
+        #: local names bound to a metrics registry (REGISTRY / imports).
+        self._registry_aliases: set[str] = {"REGISTRY"}
+
+    # -- import tracking ----------------------------------------------
+    @staticmethod
+    def _is_obs_module(module: str | None) -> bool:
+        if module is None:
+            return False
+        return module == "obs" or module.endswith(".obs") or module == "repro.obs"
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        for alias in node.names:
+            if alias.name in ("repro.obs", "repro.obs.metrics"):
+                if alias.asname:
+                    self._module_aliases.add(alias.asname)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        module = node.module
+        from_obs = self._is_obs_module(module)
+        from_metrics = module is not None and (
+            module == "metrics" or module.endswith(".metrics")
+        )
+        if not (from_obs or from_metrics or node.level or module == "repro"):
+            return
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if alias.name in ("metrics", "obs") and (
+                from_obs or node.level or module == "repro"
+            ):
+                self._module_aliases.add(bound)
+            elif alias.name in _SAMPLE_HELPERS and (from_obs or from_metrics):
+                self._helper_aliases[bound] = alias.name
+            elif alias.name == "REGISTRY" and (from_obs or from_metrics):
+                self._registry_aliases.add(bound)
+
+    # -- call classification -------------------------------------------
+    def _classify(self, func: ast.AST) -> str | None:
+        """``"inc"``/``"observe"``/``"set_gauge"``/``"family"`` or None."""
+        if isinstance(func, ast.Name):
+            return self._helper_aliases.get(func.id)
+        parts = dotted_name(func)
+        if parts is None or len(parts) < 2:
+            return None
+        head, tail = parts[0], parts[-1]
+        if tail in _SAMPLE_HELPERS and head in self._module_aliases:
+            return tail
+        if tail in _FAMILY_HELPERS and (
+            head in self._registry_aliases
+            or (head in self._module_aliases and parts[-2] == "REGISTRY")
+        ):
+            return "family"
+        return None
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        kind = self._classify(node.func)
+        if kind is None:
+            return
+        if not node.args:
+            name_node = next(
+                (kw.value for kw in node.keywords if kw.arg == "name"), None
+            )
+        else:
+            name_node = node.args[0]
+        if not isinstance(name_node, ast.Constant) or not isinstance(
+            name_node.value, str
+        ):
+            return  # dynamic names cannot be judged statically
+        name = name_node.value
+        if not _NAME_RE.match(name):
+            ctx.report(
+                self,
+                node,
+                f"metric name {name!r} must match ^[a-z][a-z0-9_]*$ "
+                f"(Prometheus-safe, one style across the codebase)",
+            )
+            return
+        if kind == "family":
+            return  # registrations carry no label sets
+        if any(kw.arg is None for kw in node.keywords):
+            return  # **dynamic labels: skip consistency tracking
+        labels = tuple(
+            sorted(
+                kw.arg
+                for kw in node.keywords
+                if kw.arg is not None and kw.arg not in ("value", "name")
+            )
+        )
+        self._sites.setdefault(name, []).append(
+            _Site(ctx.relpath, node.lineno, labels)
+        )
+
+    # -- cross-file consistency ----------------------------------------
+    def finish_run(self, analysis: Analysis) -> None:
+        for name in sorted(self._sites):
+            sites = sorted(
+                self._sites[name], key=lambda s: (s.relpath, s.lineno)
+            )
+            label_sets = sorted({site.labels for site in sites})
+            if len(label_sets) <= 1:
+                continue
+            rendered = " vs ".join(
+                "{" + ", ".join(labels) + "}" if labels else "{}"
+                for labels in label_sets
+            )
+            first = sites[0]
+            anchor = next(
+                site for site in sites if site.labels != first.labels
+            )
+            analysis.report(
+                anchor.relpath,
+                anchor.lineno,
+                self.id,
+                f"metric {name!r} is recorded with conflicting label sets "
+                f"({rendered}) — one name must keep one label set",
+            )

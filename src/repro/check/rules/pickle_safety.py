@@ -1,0 +1,138 @@
+"""pickle-safety: campaign tasks must survive the process boundary.
+
+Worker processes import a task by its ``"module:function"`` reference
+(:func:`repro.exec.sweep.resolve_task`), so a task callable handed to
+``Campaign`` / ``task_ref`` / ``submit`` / ``run_campaign`` must be a
+module-level function: a lambda has no importable name, and a function
+defined inside another function exists only in the defining frame.  Both
+fail at dispatch time today — this rule moves the failure to the editor.
+
+The rule also flags tasks that declare ``global`` and rebind module
+state: a worker's module globals live in the worker, so the mutation
+silently never reaches the parent (and, under retries, not even the next
+attempt on a different worker).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..engine import FileContext, Rule, register_rule
+from ._util import terminal_name
+
+__all__ = ["PickleSafetyRule"]
+
+#: Call targets whose task argument must be a module-level callable.
+#: ``Campaign(task=...)`` and ``task_ref(fn)`` carry the callable itself;
+#: ``submit`` / ``run_campaign`` take a Campaign but are checked too so a
+#: lambda passed directly (the historical runner signature) is caught.
+_TASK_CALLS = frozenset({"Campaign", "task_ref", "submit", "run_campaign"})
+
+
+@dataclass
+class _FunctionInfo:
+    node: ast.AST
+    depth: int
+    declares_global: bool = False
+    global_names: list[str] = field(default_factory=list)
+
+
+@register_rule
+class PickleSafetyRule(Rule):
+    id = "pickle-safety"
+    rationale = (
+        "campaign tasks cross a process boundary by import reference — "
+        "lambdas, closures, and global-mutating tasks break workers"
+    )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        #: function name -> info, module- and nested-level defs alike.
+        self._functions: dict[str, _FunctionInfo] = {}
+        #: lexical function-nesting stack (class bodies do not count:
+        #: ``Class.method`` resolves through getattr in resolve_task).
+        self._stack: list[_FunctionInfo] = []
+        #: (call node, task expression) pairs, judged in finish_file.
+        self._sites: list[tuple[ast.Call, ast.AST]] = []
+
+    # -- scope tracking ------------------------------------------------
+    def _enter_function(self, node: ast.AST) -> None:
+        info = _FunctionInfo(node=node, depth=len(self._stack))
+        name = getattr(node, "name", None)
+        if name is not None:
+            # Later defs shadow earlier ones, matching runtime rebinding.
+            self._functions[name] = info
+        self._stack.append(info)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._enter_function(node)
+
+    def leave_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._stack.pop()
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        self._enter_function(node)
+
+    def leave_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> None:
+        self._stack.pop()
+
+    def visit_Global(self, node: ast.Global, ctx: FileContext) -> None:
+        if self._stack:
+            self._stack[0].declares_global = True
+            self._stack[0].global_names.extend(node.names)
+
+    # -- task call sites -----------------------------------------------
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        callee = terminal_name(node.func)
+        if callee not in _TASK_CALLS:
+            return
+        task: ast.AST | None = None
+        for keyword in node.keywords:
+            if keyword.arg == "task":
+                task = keyword.value
+                break
+        if task is None and node.args:
+            task = node.args[0]
+        if task is None:
+            return
+        if callee in ("submit", "run_campaign") and not isinstance(task, ast.Lambda):
+            return  # their argument is a Campaign object, not the task
+        self._sites.append((node, task))
+
+    def finish_file(self, ctx: FileContext) -> None:
+        for call, task in self._sites:
+            if isinstance(task, ast.Lambda):
+                ctx.report(
+                    self,
+                    task,
+                    "campaign task is a lambda — workers import tasks by "
+                    "'module:function' reference, so tasks must be "
+                    "module-level functions",
+                )
+                continue
+            if not isinstance(task, ast.Name):
+                continue  # attribute/call expressions: not judgeable here
+            info = self._functions.get(task.id)
+            if info is None:
+                continue  # imported or defined elsewhere: assumed module-level
+            if info.depth > 0:
+                ctx.report(
+                    self,
+                    call,
+                    f"campaign task {task.id!r} is a nested function — it "
+                    f"only exists in the defining frame and cannot be "
+                    f"imported by worker processes",
+                )
+            elif info.declares_global:
+                names = ", ".join(sorted(set(info.global_names)))
+                ctx.report(
+                    self,
+                    call,
+                    f"campaign task {task.id!r} mutates module global(s) "
+                    f"{names} — worker-side mutation never propagates to "
+                    f"the parent process",
+                )

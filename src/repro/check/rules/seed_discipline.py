@@ -1,0 +1,247 @@
+"""seed-discipline: no unseeded or global-state randomness.
+
+The whole reproducibility story — bit-identical serial/parallel/resumed
+campaigns, crash recovery that cannot change values — rests on every
+random draw flowing from an explicit seed or a generator threaded through
+:mod:`repro.core.rng`.  One unseeded ``np.random.default_rng()`` in a
+task, one legacy ``np.random.uniform(...)`` global-state call, one
+``random.random()``, one wall-clock-derived seed, and a campaign's
+results silently stop being a function of its inputs.
+
+Flagged:
+
+* ``np.random.default_rng()`` with no seed (or an explicit ``None``);
+* legacy global-state samplers: ``np.random.rand`` / ``uniform`` /
+  ``choice`` / ``seed`` / ... (the module-level NumPy RandomState API);
+* ``np.random.RandomState`` (legacy generator, even seeded);
+* the stdlib :mod:`random` module's sampler functions (process-global
+  state, not spawnable, not process-safe);
+* wall-clock seeds: ``time.time()`` / ``time.time_ns()`` fed to
+  ``default_rng`` / ``SeedSequence`` / ``RandomState`` or to a ``seed=``
+  / ``rng=`` keyword of any call.
+
+The one sanctioned unseeded generator is ``core/rng.py``'s process-wide
+fallback, which carries an inline suppression with its justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, register_rule
+from ._util import dotted_name, is_none_constant
+
+__all__ = ["SeedDisciplineRule"]
+
+#: Module-level functions of the legacy ``numpy.random`` RandomState API
+#: that mutate hidden global state.
+_LEGACY_SAMPLERS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "seed",
+        "get_state",
+        "set_state",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "multinomial",
+        "exponential",
+        "beta",
+        "gamma",
+        "dirichlet",
+        "laplace",
+        "lognormal",
+        "geometric",
+    }
+)
+
+#: stdlib ``random`` module functions that draw from the process-global
+#: (non-spawnable, fork-unsafe) Mersenne Twister.
+_STDLIB_SAMPLERS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "seed",
+        "getrandbits",
+        "randbytes",
+        "triangular",
+    }
+)
+
+#: Wall-clock sources that must never feed a seed.
+_CLOCK_FUNCTIONS = frozenset({"time", "time_ns"})
+
+
+@register_rule
+class SeedDisciplineRule(Rule):
+    id = "seed-discipline"
+    rationale = (
+        "unseeded/global-state randomness breaks bit-identical campaign "
+        "replay — thread repro.core.rng generators or explicit seeds"
+    )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        #: names bound to the numpy package ("numpy", "np", ...)
+        self._numpy: set[str] = set()
+        #: names bound to the numpy.random module
+        self._nprandom: set[str] = set()
+        #: direct imports from numpy.random: local name -> canonical name
+        self._np_direct: dict[str, str] = {}
+        #: names bound to the stdlib random module
+        self._random_mod: set[str] = set()
+        #: direct imports from stdlib random: local name -> function name
+        self._random_direct: dict[str, str] = {}
+        #: names bound to the time module
+        self._time_mod: set[str] = set()
+        #: direct imports of time.time / time.time_ns
+        self._time_direct: set[str] = set()
+
+    # -- import tracking ----------------------------------------------
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.partition(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.name == "numpy.random" and alias.asname:
+                    self._nprandom.add(alias.asname)
+                else:
+                    self._numpy.add(bound)
+            elif alias.name == "random":
+                self._random_mod.add(alias.asname or "random")
+            elif alias.name == "time":
+                self._time_mod.add(alias.asname or "time")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.level:
+            return  # relative import — never numpy/random/time
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._nprandom.add(alias.asname or "random")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                self._np_direct[alias.asname or alias.name] = alias.name
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name in _STDLIB_SAMPLERS:
+                    self._random_direct[alias.asname or alias.name] = alias.name
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCTIONS:
+                    self._time_direct.add(alias.asname or alias.name)
+
+    # -- canonicalisation ---------------------------------------------
+    def _canonical(self, func: ast.AST) -> str | None:
+        """Resolve a call target to a canonical dotted name, if known."""
+        if isinstance(func, ast.Name):
+            if func.id in self._np_direct:
+                return f"numpy.random.{self._np_direct[func.id]}"
+            if func.id in self._random_direct:
+                return f"random.{self._random_direct[func.id]}"
+            if func.id in self._time_direct:
+                return "time.time"
+            return None
+        parts = dotted_name(func)
+        if parts is None or len(parts) < 2:
+            return None
+        head, rest = parts[0], parts[1:]
+        if head in self._numpy and rest[0] == "random" and len(rest) == 2:
+            return f"numpy.random.{rest[1]}"
+        if head in self._nprandom and len(rest) == 1:
+            return f"numpy.random.{rest[0]}"
+        if head in self._random_mod and len(rest) == 1:
+            return f"random.{rest[0]}"
+        if head in self._time_mod and len(rest) == 1 and rest[0] in _CLOCK_FUNCTIONS:
+            return "time.time"
+        return None
+
+    def _contains_clock_call(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and self._canonical(sub.func) == "time.time":
+                return True
+        return False
+
+    # -- the checks ----------------------------------------------------
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        name = self._canonical(node.func)
+        if name == "numpy.random.default_rng":
+            if not node.args and not node.keywords:
+                ctx.report(
+                    self,
+                    node,
+                    "unseeded np.random.default_rng() — pass an explicit "
+                    "seed or thread a generator from repro.core.rng",
+                )
+            elif len(node.args) == 1 and is_none_constant(node.args[0]):
+                ctx.report(
+                    self,
+                    node,
+                    "np.random.default_rng(None) draws OS entropy — pass "
+                    "an explicit seed or thread a generator",
+                )
+        elif name == "numpy.random.RandomState":
+            ctx.report(
+                self,
+                node,
+                "legacy np.random.RandomState — use np.random.default_rng"
+                "(seed) so streams can be spawned per point",
+            )
+        elif name is not None and name.startswith("numpy.random."):
+            sampler = name.rpartition(".")[2]
+            if sampler in _LEGACY_SAMPLERS:
+                ctx.report(
+                    self,
+                    node,
+                    f"np.random.{sampler}() samples NumPy's hidden global "
+                    f"state — use a seeded Generator from repro.core.rng",
+                )
+        elif name is not None and name.startswith("random."):
+            sampler = name.rpartition(".")[2]
+            ctx.report(
+                self,
+                node,
+                f"stdlib random.{sampler}() uses process-global state — "
+                f"use a seeded numpy Generator instead",
+            )
+
+        # Wall-clock-derived seeds, wherever a seed can be supplied.
+        seed_args: list[ast.AST] = []
+        if name in (
+            "numpy.random.default_rng",
+            "numpy.random.RandomState",
+            "numpy.random.SeedSequence",
+            "numpy.random.seed",
+        ):
+            seed_args.extend(node.args)
+        for keyword in node.keywords:
+            if keyword.arg in ("seed", "rng"):
+                seed_args.append(keyword.value)
+        for arg in seed_args:
+            if self._contains_clock_call(arg):
+                ctx.report(
+                    self,
+                    arg,
+                    "wall-clock-derived seed (time.time()) — seeds must be "
+                    "explicit so runs can be replayed",
+                )

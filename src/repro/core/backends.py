@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -41,7 +42,7 @@ from .dims import digits_to_index, index_to_digits, validate_dims
 from .exceptions import SimulationError
 from .lpdo import LPDOState
 from .mps import MPSState
-from .rng import ensure_rng, sanitize_probabilities
+from .rng import RngLike, ensure_rng, sanitize_probabilities
 from .statevector import Statevector, apply_matrix
 from .trajectories import TrajectorySimulator
 
@@ -97,10 +98,12 @@ class SimulationBackend(abc.ABC):
 
     name: str = ""
 
-    def __init__(self, **defaults) -> None:
+    def __init__(self, **defaults: Any) -> None:
         self._defaults = dict(defaults)
 
-    def run(self, circuit: QuditCircuit, initial=None, **options) -> BackendResult:
+    def run(
+        self, circuit: QuditCircuit, initial: Any = None, **options: Any
+    ) -> BackendResult:
         """Evolve ``initial`` (or the all-|0> state) through a circuit.
 
         Args:
@@ -119,7 +122,10 @@ class SimulationBackend(abc.ABC):
         return self._run(circuit, initial, **merged)
 
     def prepare(
-        self, dims: Sequence[int], digits: Sequence[int] | None = None, **options
+        self,
+        dims: Sequence[int],
+        digits: Sequence[int] | None = None,
+        **options: Any,
     ) -> BackendResult:
         """An unevolved basis-state result, usable as ``initial`` for :meth:`run`."""
         merged = dict(self._defaults)
@@ -130,10 +136,14 @@ class SimulationBackend(abc.ABC):
         return self._prepare(dims, tuple(int(k) for k in digits), **merged)
 
     @abc.abstractmethod
-    def _run(self, circuit, initial, **options) -> BackendResult: ...
+    def _run(
+        self, circuit: QuditCircuit, initial: Any, **options: Any
+    ) -> BackendResult: ...
 
     @abc.abstractmethod
-    def _prepare(self, dims, digits, **options) -> BackendResult: ...
+    def _prepare(
+        self, dims: tuple[int, ...], digits: tuple[int, ...], **options: Any
+    ) -> BackendResult: ...
 
 
 # ----------------------------------------------------------------------
@@ -146,13 +156,17 @@ class StatevectorResult(BackendResult):
         self.state = state
         self.dims = state.dims
 
-    def expectation(self, operator, targets=None) -> float:
+    def expectation(
+        self, operator: np.ndarray, targets: int | Sequence[int] | None = None
+    ) -> float:
         return float(np.real(self.state.expectation(operator, targets)))
 
-    def sample(self, shots, rng=None):
+    def sample(
+        self, shots: int, rng: RngLike = None
+    ) -> dict[tuple[int, ...], int]:
         return self.state.sample(shots, rng=rng)
 
-    def probabilities_of(self, digits) -> float:
+    def probabilities_of(self, digits: Sequence[int]) -> float:
         return float(self.probabilities()[digits_to_index(digits, self.dims)])
 
     def probabilities(self) -> np.ndarray:
@@ -165,13 +179,17 @@ class StatevectorBackend(SimulationBackend):
 
     name = "statevector"
 
-    def _run(self, circuit, initial, **options) -> StatevectorResult:
+    def _run(
+        self, circuit: QuditCircuit, initial: Any, **options: Any
+    ) -> StatevectorResult:
         if isinstance(initial, StatevectorResult):
             initial = initial.state
         state = Statevector.zero(circuit.dims) if initial is None else initial
         return StatevectorResult(state.evolve(circuit))
 
-    def _prepare(self, dims, digits, **options) -> StatevectorResult:
+    def _prepare(
+        self, dims: tuple[int, ...], digits: tuple[int, ...], **options: Any
+    ) -> StatevectorResult:
         return StatevectorResult(Statevector.basis(dims, digits))
 
 
@@ -186,13 +204,17 @@ class DensityResult(BackendResult):
         self.dims = state.dims
         self._clipped_trace: float | None = None
 
-    def expectation(self, operator, targets=None) -> float:
+    def expectation(
+        self, operator: np.ndarray, targets: int | Sequence[int] | None = None
+    ) -> float:
         return float(np.real(self.state.expectation(operator, targets)))
 
-    def sample(self, shots, rng=None):
+    def sample(
+        self, shots: int, rng: RngLike = None
+    ) -> dict[tuple[int, ...], int]:
         return self.state.sample(shots, rng=ensure_rng(rng))
 
-    def probabilities_of(self, digits) -> float:
+    def probabilities_of(self, digits: Sequence[int]) -> float:
         # Normalised identically to probabilities(): clip the entry and
         # divide by the *clipped* diagonal sum, so rounding drift (or a
         # slightly unphysical rho) cannot make the two surfaces disagree.
@@ -212,7 +234,9 @@ class DensityMatrixBackend(SimulationBackend):
 
     name = "density"
 
-    def _run(self, circuit, initial, **options) -> DensityResult:
+    def _run(
+        self, circuit: QuditCircuit, initial: Any, **options: Any
+    ) -> DensityResult:
         if isinstance(initial, DensityResult):
             initial = initial.state
         elif isinstance(initial, Statevector):
@@ -220,7 +244,9 @@ class DensityMatrixBackend(SimulationBackend):
         state = DensityMatrix.zero(circuit.dims) if initial is None else initial
         return DensityResult(state.evolve(circuit))
 
-    def _prepare(self, dims, digits, **options) -> DensityResult:
+    def _prepare(
+        self, dims: tuple[int, ...], digits: tuple[int, ...], **options: Any
+    ) -> DensityResult:
         return DensityResult(DensityMatrix.basis(dims, digits))
 
 
@@ -230,7 +256,9 @@ class DensityMatrixBackend(SimulationBackend):
 class TrajectoryResult(BackendResult):
     """Holds the final batch of stochastic pure-state trajectories."""
 
-    def __init__(self, batch: np.ndarray, dims, rng) -> None:
+    def __init__(
+        self, batch: np.ndarray, dims: Sequence[int], rng: np.random.Generator
+    ) -> None:
         self.batch = batch  # (dim, n_trajectories)
         self.dims = tuple(dims)
         self._rng = rng
@@ -240,7 +268,9 @@ class TrajectoryResult(BackendResult):
     def n_trajectories(self) -> int:
         return self.batch.shape[1]
 
-    def expectation(self, operator, targets=None) -> float:
+    def expectation(
+        self, operator: np.ndarray, targets: int | Sequence[int] | None = None
+    ) -> float:
         operator = np.asarray(operator, dtype=complex)
         if targets is None:
             targets = tuple(range(len(self.dims)))
@@ -252,16 +282,18 @@ class TrajectoryResult(BackendResult):
         values = np.real(np.einsum("ib,ib->b", self.batch.conj(), flat))
         return float(values.mean())
 
-    def sample(self, shots, rng=None):
-        rng = ensure_rng(rng if rng is not None else self._rng)
+    def sample(
+        self, shots: int, rng: RngLike = None
+    ) -> dict[tuple[int, ...], int]:
+        gen = ensure_rng(rng if rng is not None else self._rng)
         probs = sanitize_probabilities(self.probabilities())
-        outcomes = rng.multinomial(shots, probs)
+        outcomes = gen.multinomial(shots, probs)
         counts: dict[tuple[int, ...], int] = {}
         for index in np.nonzero(outcomes)[0]:
             counts[index_to_digits(int(index), self.dims)] = int(outcomes[index])
         return counts
 
-    def probabilities_of(self, digits) -> float:
+    def probabilities_of(self, digits: Sequence[int]) -> float:
         # Normalised identically to probabilities(): trajectory norms drift
         # under non-trace-preserving rounding, so the raw averaged weight
         # and the renormalised dense vector would otherwise disagree.  The
@@ -291,12 +323,12 @@ class TrajectoryBackend(SimulationBackend):
 
     def _run(
         self,
-        circuit,
-        initial,
+        circuit: QuditCircuit,
+        initial: Any,
         n_trajectories: int = 128,
-        rng=None,
+        rng: RngLike = None,
         max_batch: int | None = None,
-        **options,
+        **options: Any,
     ) -> TrajectoryResult:
         if isinstance(initial, TrajectoryResult):
             # Stepwise continuation stays on the result's generator: honouring
@@ -321,7 +353,12 @@ class TrajectoryBackend(SimulationBackend):
         return TrajectoryResult(final, circuit.dims, gen)
 
     def _prepare(
-        self, dims, digits, n_trajectories: int = 128, rng=None, **options
+        self,
+        dims: tuple[int, ...],
+        digits: tuple[int, ...],
+        n_trajectories: int = 128,
+        rng: RngLike = None,
+        **options: Any,
     ) -> TrajectoryResult:
         gen = ensure_rng(rng)
         state = Statevector.basis(dims, digits)
@@ -337,7 +374,7 @@ class TrajectoryBackend(SimulationBackend):
 class MPSResult(BackendResult):
     """Holds one or more final MPS trajectories."""
 
-    def __init__(self, states: list[MPSState], rng) -> None:
+    def __init__(self, states: list[MPSState], rng: np.random.Generator) -> None:
         if not states:
             raise SimulationError("MPS result needs at least one state")
         self.states = states
@@ -349,27 +386,31 @@ class MPSResult(BackendResult):
         """Largest cumulative truncation error over the trajectories."""
         return max(state.truncation_error for state in self.states)
 
-    def expectation(self, operator, targets=None) -> float:
+    def expectation(
+        self, operator: np.ndarray, targets: int | Sequence[int] | None = None
+    ) -> float:
         values = [
             float(np.real(state.expectation(operator, targets)))
             for state in self.states
         ]
         return float(np.mean(values))
 
-    def sample(self, shots, rng=None):
-        rng = ensure_rng(rng if rng is not None else self._rng)
-        allocation = rng.multinomial(
+    def sample(
+        self, shots: int, rng: RngLike = None
+    ) -> dict[tuple[int, ...], int]:
+        gen = ensure_rng(rng if rng is not None else self._rng)
+        allocation = gen.multinomial(
             shots, np.full(len(self.states), 1.0 / len(self.states))
         )
         counts: dict[tuple[int, ...], int] = {}
         for state, share in zip(self.states, allocation):
             if share == 0:
                 continue
-            for digits, count in state.sample(int(share), rng=rng).items():
+            for digits, count in state.sample(int(share), rng=gen).items():
                 counts[digits] = counts.get(digits, 0) + count
         return counts
 
-    def probabilities_of(self, digits) -> float:
+    def probabilities_of(self, digits: Sequence[int]) -> float:
         return float(
             np.mean([state.probability_of(digits) for state in self.states])
         )
@@ -393,13 +434,13 @@ class MPSBackend(SimulationBackend):
 
     def _run(
         self,
-        circuit,
-        initial,
+        circuit: QuditCircuit,
+        initial: Any,
         max_bond: int | None = None,
         svd_tol: float = 1e-12,
         n_trajectories: int = 1,
-        rng=None,
-        **options,
+        rng: RngLike = None,
+        **options: Any,
     ) -> MPSResult:
         if n_trajectories < 1:
             raise SimulationError("need at least one trajectory")
@@ -434,13 +475,13 @@ class MPSBackend(SimulationBackend):
 
     def _prepare(
         self,
-        dims,
-        digits,
+        dims: tuple[int, ...],
+        digits: tuple[int, ...],
         max_bond: int | None = None,
         svd_tol: float = 1e-12,
         n_trajectories: int = 1,
-        rng=None,
-        **options,
+        rng: RngLike = None,
+        **options: Any,
     ) -> MPSResult:
         gen = ensure_rng(rng)
         base = MPSState.basis(dims, digits, max_bond=max_bond, svd_tol=svd_tol)
@@ -467,13 +508,17 @@ class LPDOResult(BackendResult):
         """Cumulative trace weight discarded by Kraus-leg truncations."""
         return self.state.purification_error
 
-    def expectation(self, operator, targets=None) -> float:
+    def expectation(
+        self, operator: np.ndarray, targets: int | Sequence[int] | None = None
+    ) -> float:
         return float(np.real(self.state.expectation(operator, targets)))
 
-    def sample(self, shots, rng=None):
+    def sample(
+        self, shots: int, rng: RngLike = None
+    ) -> dict[tuple[int, ...], int]:
         return self.state.sample(shots, rng=rng)
 
-    def probabilities_of(self, digits) -> float:
+    def probabilities_of(self, digits: Sequence[int]) -> float:
         return float(self.state.probabilities_of(digits))
 
     def probabilities(self) -> np.ndarray:
@@ -497,16 +542,16 @@ class LPDOBackend(SimulationBackend):
 
     #: Distinguishes "option not supplied" from an explicit ``None`` so a
     #: cap carried in by the initial state is only overridden on request.
-    _UNSET = object()
+    _UNSET: Any = object()
 
     def _run(
         self,
-        circuit,
-        initial,
-        max_bond=_UNSET,
-        max_kraus=_UNSET,
-        svd_tol=_UNSET,
-        **options,
+        circuit: QuditCircuit,
+        initial: Any,
+        max_bond: Any = _UNSET,
+        max_kraus: Any = _UNSET,
+        svd_tol: Any = _UNSET,
+        **options: Any,
     ) -> LPDOResult:
         unset = LPDOBackend._UNSET
         bond = None if max_bond is unset else max_bond
@@ -540,12 +585,12 @@ class LPDOBackend(SimulationBackend):
 
     def _prepare(
         self,
-        dims,
-        digits,
-        max_bond=_UNSET,
-        max_kraus=_UNSET,
-        svd_tol=_UNSET,
-        **options,
+        dims: tuple[int, ...],
+        digits: tuple[int, ...],
+        max_bond: Any = _UNSET,
+        max_kraus: Any = _UNSET,
+        svd_tol: Any = _UNSET,
+        **options: Any,
     ) -> LPDOResult:
         unset = LPDOBackend._UNSET
         return LPDOResult(
@@ -584,7 +629,7 @@ def register_backend(
     _BACKENDS[name] = backend_cls
 
 
-def get_backend(name: str, **defaults) -> SimulationBackend:
+def get_backend(name: str, **defaults: Any) -> SimulationBackend:
     """Instantiate a registered backend with option defaults.
 
     ``"auto"`` resolves to the cost-model dispatcher

@@ -20,6 +20,7 @@ import numpy as np
 from .exceptions import SimulationError
 
 __all__ = [
+    "RngLike",
     "ensure_rng",
     "global_rng",
     "set_global_seed",
@@ -27,6 +28,11 @@ __all__ = [
     "spawn_seeds",
     "derive_seed",
 ]
+
+#: Anything :func:`ensure_rng` resolves: a generator (used as-is), an
+#: integer seed (wraps a fresh seeded generator), or ``None`` (the shared
+#: process-wide generator).  The toolkit-wide type of ``rng`` arguments.
+RngLike = np.random.Generator | int | None
 
 _GLOBAL_RNG: np.random.Generator | None = None
 
@@ -46,7 +52,10 @@ def global_rng() -> np.random.Generator:
     """The process-wide fallback generator (created on first use)."""
     global _GLOBAL_RNG
     if _GLOBAL_RNG is None:
-        _GLOBAL_RNG = np.random.default_rng()
+        # The one sanctioned entropy-seeded generator: the process-wide
+        # fallback for exploratory use; reproducible paths seed it via
+        # set_global_seed() or bypass it entirely with ensure_rng(seed).
+        _GLOBAL_RNG = np.random.default_rng()  # repro: ignore[seed-discipline]
     return _GLOBAL_RNG
 
 
@@ -105,7 +114,7 @@ def spawn_seeds(seed: int | None, n: int) -> list[int]:
     ]
 
 
-def derive_seed(rng: np.random.Generator | int | None) -> int:
+def derive_seed(rng: RngLike) -> int:
     """One integer seed from an ``rng`` argument, suitable for spawning.
 
     An integer passes through unchanged (so ``spawn_seeds(derive_seed(s),
@@ -118,9 +127,7 @@ def derive_seed(rng: np.random.Generator | int | None) -> int:
     return int(gen.integers(0, 2**63))
 
 
-def ensure_rng(
-    rng: np.random.Generator | int | None,
-) -> np.random.Generator:
+def ensure_rng(rng: RngLike) -> np.random.Generator:
     """Resolve an ``rng`` argument to a concrete generator.
 
     Args:

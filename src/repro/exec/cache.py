@@ -38,6 +38,7 @@ import tempfile
 import time
 from collections.abc import Mapping, Sequence
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -50,7 +51,7 @@ __all__ = ["stable_hash", "point_key", "ResultCache", "MISS"]
 MISS = object()
 
 
-def _feed(hasher, obj) -> None:
+def _feed(hasher: "hashlib._Hash", obj: object) -> None:
     """Feed one object's canonical encoding into a hash object.
 
     Every value is prefixed with a type tag so values of different types
@@ -113,14 +114,16 @@ def _feed(hasher, obj) -> None:
         )
 
 
-def stable_hash(obj) -> str:
+def stable_hash(obj: object) -> str:
     """Process-independent SHA-256 hex digest of a parameter-like value."""
     hasher = hashlib.sha256()
     _feed(hasher, obj)
     return hasher.hexdigest()
 
 
-def point_key(task: str, version: str, params: Mapping, seed: int | None) -> str:
+def point_key(
+    task: str, version: str, params: Mapping[str, Any], seed: int | None
+) -> str:
     """Cache key of one campaign point.
 
     Covers the task's identity and version, every parameter (order-
@@ -198,7 +201,7 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str):
+    def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`MISS`.
 
         A corrupted (truncated, non-JSON, wrong-shape) entry is healed:
@@ -234,7 +237,7 @@ class ResultCache:
         self._count("hits", "cache_hits")
         return payload["value"]
 
-    def put(self, key: str, value, *, ok: bool = True) -> None:
+    def put(self, key: str, value: Any, *, ok: bool = True) -> None:
         """Atomically persist one value (must be JSON-serialisable).
 
         Only *successful* point values belong in the cache: a cached
@@ -285,7 +288,9 @@ class ResultCache:
         except OSError:
             pass  # the entry may have just been evicted; still a hit
 
-    def _discard(self, path: Path, *, expect_key: str | None = None):
+    def _discard(
+        self, path: Path, *, expect_key: str | None = None
+    ) -> tuple[bool, Any]:
         """Remove one entry file with the atomic rename-aside discipline.
 
         The entry is first atomically renamed to a unique dot-prefixed

@@ -55,11 +55,12 @@ import threading
 import time
 import traceback
 from collections import deque
+from collections.abc import Callable, Iterable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing import connection
 from pathlib import Path
-from typing import NamedTuple
+from typing import IO, TYPE_CHECKING, Any, NamedTuple
 
 import numpy as np
 
@@ -69,6 +70,9 @@ from ..obs import tracing as _tracing
 from .cache import MISS, ResultCache
 from .policy import FailurePolicy
 from .sweep import Campaign, CampaignPoint, resolve_task
+
+if TYPE_CHECKING:
+    from .faults import FaultPlan
 
 __all__ = [
     "CampaignExecutor",
@@ -82,10 +86,14 @@ __all__ = [
 ]
 
 #: Distinguishes "argument not given" from an explicit ``None``.
-_UNSET = object()
+_UNSET: Any = object()
+
+#: One completion event: the point, ("ok", value) or ("error", record),
+#: and the point's timeline fields.
+_Event = tuple[CampaignPoint, tuple[str, Any], dict[str, Any]]
 
 
-def to_jsonable(value):
+def to_jsonable(value: Any) -> Any:
     """Normalise a task return value to plain JSON types.
 
     Numpy scalars become python numbers, numpy arrays and tuples become
@@ -106,7 +114,7 @@ def to_jsonable(value):
     if isinstance(value, (list, tuple)):
         return [to_jsonable(item) for item in value]
     if isinstance(value, dict):
-        out = {}
+        out: dict[str, Any] = {}
         for key, item in value.items():
             if not isinstance(key, str):
                 key = str(key)
@@ -118,7 +126,7 @@ def to_jsonable(value):
     )
 
 
-def _safe_jsonable(value):
+def _safe_jsonable(value: Any) -> Any:
     """Best-effort JSON view for error records (never raises)."""
     try:
         return to_jsonable(value)
@@ -128,7 +136,7 @@ def _safe_jsonable(value):
         return repr(value)
 
 
-def _call_task(task_ref: str, point: CampaignPoint):
+def _call_task(task_ref: str, point: CampaignPoint) -> Any:
     """Execute one point's task with its seed injected."""
     task = resolve_task(task_ref)
     params = dict(point.params)
@@ -137,14 +145,21 @@ def _call_task(task_ref: str, point: CampaignPoint):
     return to_jsonable(task(**params))
 
 
-def _execute_point(task_ref, point, attempt, faults, *, in_worker):
+def _execute_point(
+    task_ref: str,
+    point: CampaignPoint,
+    attempt: int,
+    faults: FaultPlan | None,
+    *,
+    in_worker: bool,
+) -> Any:
     """One attempt at one point, with any scheduled fault injected first."""
     if faults is not None:
         faults.apply(point, attempt, in_worker=in_worker)
     return _call_task(task_ref, point)
 
 
-def _describe_error(exc: BaseException) -> dict:
+def _describe_error(exc: BaseException) -> dict[str, Any]:
     """JSON-safe summary of an exception (for error records)."""
     return {
         "error_type": type(exc).__name__,
@@ -155,7 +170,7 @@ def _describe_error(exc: BaseException) -> dict:
     }
 
 
-def _sync_worker_obs(obs_conf) -> None:
+def _sync_worker_obs(obs_conf: tuple[bool, bool] | None) -> None:
     """Mirror the supervisor's obs enablement inside a worker process.
 
     ``obs_conf`` is ``None`` (everything off — the common case, one
@@ -170,7 +185,7 @@ def _sync_worker_obs(obs_conf) -> None:
         _tracing.enable() if tracing_on else _tracing.disable()
 
 
-def _worker_obs_payload(started: float) -> dict:
+def _worker_obs_payload(started: float) -> dict[str, Any]:
     """The per-point telemetry piggybacked onto the result reply.
 
     ``pid``/``exec_s`` are always present (they cost two fields on a
@@ -178,7 +193,7 @@ def _worker_obs_payload(started: float) -> dict:
     with observability off); metric deltas and spans ride along only
     when collection is on, drained so the next point starts from zero.
     """
-    payload = {"pid": os.getpid(), "exec_s": time.monotonic() - started}
+    payload: dict[str, Any] = {"pid": os.getpid(), "exec_s": time.monotonic() - started}
     if _metrics.enabled:
         payload["metrics"] = _metrics.REGISTRY.drain()
     if _tracing.enabled:
@@ -186,7 +201,7 @@ def _worker_obs_payload(started: float) -> dict:
     return payload
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn: connection.Connection) -> None:
     """Supervised worker loop (module-level: picklable under spawn).
 
     Receives ``(uid, task_ref, point, attempt, faults, obs_conf)``
@@ -281,15 +296,15 @@ class CampaignResult:
     """
 
     name: str
-    values: list
+    values: list[Any]
     points: list[CampaignPoint]
     cache_hits: int
     checkpoint_hits: int
     computed: int
     workers: int
     duration_s: float
-    errors: list = field(default_factory=list)
-    timeline: list = field(default_factory=list)
+    errors: list[dict[str, Any]] = field(default_factory=list)
+    timeline: list[dict[str, Any]] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.values)
@@ -306,7 +321,7 @@ class CampaignResult:
             return 0.0
         return (self.cache_hits + self.checkpoint_hits) / len(self.values)
 
-    def as_table(self) -> list[dict]:
+    def as_table(self) -> list[dict[str, Any]]:
         """Per-point records ``{**params, "seed", "value", "ok"}``."""
         failed = {record["index"] for record in self.errors}
         return [
@@ -334,17 +349,17 @@ class PointResult(NamedTuple):
     """
 
     point: CampaignPoint
-    value: object
+    value: Any
     source: str
     ok: bool = True
-    error: dict | None = None
+    error: dict[str, Any] | None = None
 
 
 # ----------------------------------------------------------------------
 # checkpoints
 # ----------------------------------------------------------------------
 @contextmanager
-def _shield_interrupts():
+def _shield_interrupts() -> Iterator[None]:
     """Defer ``SIGINT`` for the duration of the block (main thread only).
 
     Used around checkpoint appends so a ``KeyboardInterrupt`` can never
@@ -360,9 +375,9 @@ def _shield_interrupts():
     if not in_main or previous is None:
         yield
         return
-    received: list = []
+    received: list[tuple[int, Any]] = []
 
-    def _defer(signum, frame):
+    def _defer(signum: int, frame: Any) -> None:
         received.append((signum, frame))
 
     try:
@@ -414,10 +429,15 @@ def _load_checkpoint(path: Path) -> dict[str, object]:
 
 
 def _append_checkpoint(
-    handle, point: CampaignPoint, value=None, *, status: str = "ok", error=None
+    handle: IO[str],
+    point: CampaignPoint,
+    value: Any = None,
+    *,
+    status: str = "ok",
+    error: Any = None,
 ) -> None:
     """Append one status-tagged record, shielded against interrupts."""
-    record: dict = {"key": point.key, "index": point.index, "status": status}
+    record: dict[str, Any] = {"key": point.key, "index": point.index, "status": status}
     if status == "ok":
         record["value"] = value
     else:
@@ -431,7 +451,7 @@ def _append_checkpoint(
 # ----------------------------------------------------------------------
 # supervised worker pool
 # ----------------------------------------------------------------------
-def _spawn_worker_process(ctx):
+def _spawn_worker_process(ctx: Any) -> tuple[Any, Any]:
     """Fork one supervised worker; returns ``(process, parent_conn)``."""
     parent, child = ctx.Pipe(duplex=True)
     process = ctx.Process(target=_worker_main, args=(child,), daemon=True)
@@ -445,10 +465,10 @@ class _Worker:
 
     __slots__ = ("process", "conn", "item", "deadline")
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx: Any) -> None:
         self.process, self.conn = _spawn_worker_process(ctx)
         #: ``(run, dispatch, uid)`` while busy, else ``None``.
-        self.item = None
+        self.item: tuple[_SupervisedRun, _Dispatch, int] | None = None
         #: ``time.monotonic()`` deadline for the in-flight point.
         self.deadline: float | None = None
 
@@ -479,7 +499,7 @@ class _Dispatch:
         self.exec_s = 0.0  # in-worker execution time, summed over attempts
         self.pids: list[int] = []  # worker processes that ran the point
 
-    def meta(self) -> dict:
+    def meta(self) -> dict[str, Any]:
         """The point's timeline fields (supervisor-side view)."""
         sent = self.first_sent if self.first_sent is not None else self.created
         return {
@@ -495,16 +515,24 @@ class _Dispatch:
 class _SupervisedRun:
     """The supervisor-side state of one submitted campaign."""
 
-    def __init__(self, pool, task_ref, pending, policy, faults) -> None:
+    def __init__(
+        self,
+        pool: _SupervisedPool,
+        task_ref: str,
+        pending: Iterable[CampaignPoint],
+        policy: FailurePolicy,
+        faults: FaultPlan | None,
+    ) -> None:
         self.pool = pool
         self.task_ref = task_ref
         self.policy = policy
         self.faults = faults
         self.ready: deque[_Dispatch] = deque(_Dispatch(p) for p in pending)
-        self.waiting: list = []  # heap of (ready_at, seq, dispatch)
+        #: heap of (ready_at, seq, dispatch) backoff waits.
+        self.waiting: list[tuple[float, int, _Dispatch]] = []
         self.inflight = 0
         #: (point, ("ok", value) | ("error", rec), meta) triples.
-        self.events: deque = deque()
+        self.events: deque[_Event] = deque()
         self.failure: BaseException | None = None
         self.abandoned = False
         #: point.index -> executions started (for retry-budget assertions).
@@ -536,7 +564,7 @@ class _SupervisedPool:
     than the one being pumped accumulate on their own queues.
     """
 
-    def __init__(self, ctx, width: int, counters: dict) -> None:
+    def __init__(self, ctx: Any, width: int, counters: dict[str, int]) -> None:
         self._ctx = ctx
         self._counters = counters
         self._workers = [_Worker(ctx) for _ in range(width)]
@@ -545,13 +573,19 @@ class _SupervisedPool:
         self._seq = itertools.count()
 
     # -- public surface ------------------------------------------------
-    def submit(self, task_ref, pending, policy, faults) -> _SupervisedRun:
+    def submit(
+        self,
+        task_ref: str,
+        pending: Iterable[CampaignPoint],
+        policy: FailurePolicy,
+        faults: FaultPlan | None,
+    ) -> _SupervisedRun:
         run = _SupervisedRun(self, task_ref, pending, policy, faults)
         self._runs.append(run)
         self._dispatch()
         return run
 
-    def next_event(self, run: _SupervisedRun):
+    def next_event(self, run: _SupervisedRun) -> _Event | None:
         """The run's next completion event, pumping the pool as needed.
 
         Returns ``(point, outcome, meta)`` with ``outcome`` either
@@ -577,7 +611,7 @@ class _SupervisedPool:
         """Whether no worker holds an in-flight point."""
         return all(worker.item is None for worker in self._workers)
 
-    def worker_processes(self) -> list:
+    def worker_processes(self) -> list[Any]:
         """The live worker process objects (for tests/diagnostics)."""
         return [worker.process for worker in self._workers]
 
@@ -629,7 +663,7 @@ class _SupervisedPool:
                 _, _, dispatch = heapq.heappop(run.waiting)
                 run.ready.append(dispatch)
 
-    def _next_ready(self):
+    def _next_ready(self) -> tuple[_SupervisedRun, _Dispatch] | None:
         for run in self._runs:
             if run.abandoned or run.failure is not None:
                 continue
@@ -648,7 +682,9 @@ class _SupervisedPool:
             run, dispatch = picked
             self._send(worker, run, dispatch)
 
-    def _send(self, worker: _Worker, run: _SupervisedRun, dispatch: _Dispatch):
+    def _send(
+        self, worker: _Worker, run: _SupervisedRun, dispatch: _Dispatch
+    ) -> None:
         while True:
             dispatch.tries += 1
             run.attempts[dispatch.point.index] = dispatch.tries
@@ -720,8 +756,8 @@ class _SupervisedPool:
         if backoff is not None:
             horizons.append(now + backoff)
         timeout = max(0.0, min(horizons) - now) if horizons else None
-        by_object: dict = {}
-        wait_on = []
+        by_object: dict[Any, _Worker] = {}
+        wait_on: list[Any] = []
         for worker in busy:
             by_object[worker.conn] = worker
             by_object[worker.process.sentinel] = worker
@@ -760,14 +796,15 @@ class _SupervisedPool:
         self._dispatch()
 
     # -- outcome handling ----------------------------------------------
-    def _release(self, worker: _Worker):
+    def _release(self, worker: _Worker) -> tuple[_SupervisedRun, _Dispatch, int]:
+        assert worker.item is not None  # only called for busy workers
         run, dispatch, uid = worker.item
         worker.item = None
         worker.deadline = None
         run.inflight -= 1
         return run, dispatch, uid
 
-    def _absorb_obs(self, dispatch: _Dispatch, obs: dict) -> None:
+    def _absorb_obs(self, dispatch: _Dispatch, obs: dict[str, Any]) -> None:
         """Fold a worker's piggybacked telemetry into supervisor state."""
         dispatch.exec_s += float(obs.get("exec_s", 0.0))
         pid = obs.get("pid")
@@ -780,7 +817,7 @@ class _SupervisedPool:
         if spans:
             _tracing.add_events(spans)
 
-    def _on_message(self, worker: _Worker, message) -> None:
+    def _on_message(self, worker: _Worker, message: tuple[Any, ...]) -> None:
         kind, uid, payload, exc, obs = message
         run, dispatch, expected = self._release(worker)
         if uid != expected or run.abandoned:
@@ -840,7 +877,14 @@ class _SupervisedPool:
         }
         self._on_failed_attempt(run, dispatch, "timeout", info, None)
 
-    def _on_failed_attempt(self, run, dispatch, kind, info, exc) -> None:
+    def _on_failed_attempt(
+        self,
+        run: _SupervisedRun,
+        dispatch: _Dispatch,
+        kind: str,
+        info: dict[str, Any],
+        exc: BaseException | None,
+    ) -> None:
         """A completed attempt raised or timed out: retry or terminalise."""
         dispatch.failures += 1
         policy = run.policy
@@ -857,7 +901,14 @@ class _SupervisedPool:
             return
         self._terminal_failure(run, dispatch, kind, info, exc)
 
-    def _terminal_failure(self, run, dispatch, kind, info, exc) -> None:
+    def _terminal_failure(
+        self,
+        run: _SupervisedRun,
+        dispatch: _Dispatch,
+        kind: str,
+        info: dict[str, Any],
+        exc: BaseException | None,
+    ) -> None:
         if run.policy.mode == "fail_fast":
             run.failure = (
                 exc
@@ -896,7 +947,9 @@ class _SupervisedPool:
             _metrics.inc("exec_respawns")
 
 
-def _error_record(dispatch: _Dispatch, kind: str, info: dict) -> dict:
+def _error_record(
+    dispatch: _Dispatch, kind: str, info: dict[str, Any]
+) -> dict[str, Any]:
     """The structured, JSON-safe record of one point's terminal failure."""
     point = dispatch.point
     return {
@@ -914,14 +967,27 @@ def _error_record(dispatch: _Dispatch, kind: str, info: dict) -> dict:
     }
 
 
-def _serial_error_record(point, kind, info, failures, backoff_s=0.0):
+def _serial_error_record(
+    point: CampaignPoint,
+    kind: str,
+    info: dict[str, Any],
+    failures: int,
+    backoff_s: float = 0.0,
+) -> dict[str, Any]:
     dispatch = _Dispatch(point)
     dispatch.failures = failures
     dispatch.backoff_s = backoff_s
     return _error_record(dispatch, kind, info)
 
 
-def _serial_events(task_ref, pending, policy, faults, counters, attempts):
+def _serial_events(
+    task_ref: str,
+    pending: Iterable[CampaignPoint],
+    policy: FailurePolicy,
+    faults: FaultPlan | None,
+    counters: dict[str, int],
+    attempts: dict[int, int],
+) -> Iterator[_Event]:
     """In-process execution honouring the failure policy (no timeouts).
 
     Yields ``(point, outcome, meta)`` like the supervised pool.  Kill
@@ -1034,9 +1100,9 @@ class CampaignHandle:
         pending: list[CampaignPoint],
         cache: ResultCache | None,
         checkpoint_path: Path | None,
-        run,
+        run: _SupervisedRun | None,
         policy: FailurePolicy,
-        faults,
+        faults: FaultPlan | None,
         start: float,
     ) -> None:
         self._executor = executor
@@ -1051,10 +1117,10 @@ class CampaignHandle:
         # cost IS that scan).
         self._start = start
         self._seen: list[PointResult] = []
-        self._values: dict[int, object] = {}
-        self._errors: dict[int, dict] = {}
-        self._timeline: dict[int, dict] = {}
-        self._callbacks: list = []
+        self._values: dict[int, Any] = {}
+        self._errors: dict[int, dict[str, Any]] = {}
+        self._timeline: dict[int, dict[str, Any]] = {}
+        self._callbacks: list[Callable[[CampaignPoint, Any], None]] = []
         self._run = run
         self._pool_backed = run is not None
         self._serial_attempts: dict[int, int] = {}
@@ -1084,7 +1150,7 @@ class CampaignHandle:
         return self._policy
 
     @property
-    def errors(self) -> list[dict]:
+    def errors(self) -> list[dict[str, Any]]:
         """Error records for terminally-failed points (point order)."""
         return [self._errors[index] for index in sorted(self._errors)]
 
@@ -1099,14 +1165,19 @@ class CampaignHandle:
         return len(self._points)
 
     # -- event production ------------------------------------------------
-    def _event_stream(self, hits, pending, run):
+    def _event_stream(
+        self,
+        hits: list[PointResult],
+        pending: list[CampaignPoint],
+        run: _SupervisedRun | None,
+    ) -> Iterator[PointResult]:
         """Yield :class:`PointResult` events in completion order.
 
         Hits are yielded first (they were resolved at submit time, before
         anything touched the pool); computed points follow as the
         supervised pool — or the in-process serial loop — delivers them.
         """
-        checkpoint_handle = None
+        checkpoint_handle: IO[str] | None = None
         try:
             for hit in hits:
                 self._timeline[hit.point.index] = {
@@ -1121,6 +1192,7 @@ class CampaignHandle:
             if self._checkpoint_path is not None:
                 self._checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
                 checkpoint_handle = self._checkpoint_path.open("a")
+            source: Iterable[_Event]
             if run is None:
                 source = _serial_events(
                     self._campaign.task_reference,
@@ -1169,7 +1241,9 @@ class CampaignHandle:
             if checkpoint_handle is not None:
                 checkpoint_handle.close()
 
-    def _record(self, point, value, checkpoint_handle) -> float | None:
+    def _record(
+        self, point: CampaignPoint, value: Any, checkpoint_handle: IO[str] | None
+    ) -> float | None:
         self.computed += 1
         self._executor._points_computed += 1
         put_s = None
@@ -1181,7 +1255,12 @@ class CampaignHandle:
             _append_checkpoint(checkpoint_handle, point, value)
         return put_s
 
-    def _record_error(self, point, record, checkpoint_handle) -> None:
+    def _record_error(
+        self,
+        point: CampaignPoint,
+        record: dict[str, Any],
+        checkpoint_handle: IO[str] | None,
+    ) -> None:
         """A terminal failure: never cached, checkpointed as an error."""
         self.computed += 1
         self._executor._points_computed += 1
@@ -1225,7 +1304,9 @@ class CampaignHandle:
         return event
 
     # -- observation -----------------------------------------------------
-    def on_result(self, callback) -> "CampaignHandle":
+    def on_result(
+        self, callback: Callable[[CampaignPoint, Any], None] | None
+    ) -> "CampaignHandle":
         """Register ``callback(point, value)`` for every resolved point.
 
         This is the one implementation behind every driver's
@@ -1245,7 +1326,7 @@ class CampaignHandle:
         return self
 
     @property
-    def timeline(self) -> list[dict]:
+    def timeline(self) -> list[dict[str, Any]]:
         """Timeline records for the points resolved so far (point order)."""
         return [
             self._timeline[point.index]
@@ -1253,7 +1334,7 @@ class CampaignHandle:
             if point.index in self._timeline
         ]
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Progress counters, per-point timeline, and a metrics snapshot.
 
         Never blocks — reports the state *so far*.  ``metrics`` is the
@@ -1274,7 +1355,7 @@ class CampaignHandle:
         }
 
     # -- consumption styles ----------------------------------------------
-    def as_completed(self):
+    def as_completed(self) -> Iterator[PointResult]:
         """Iterate :class:`PointResult` events in completion order.
 
         Cache/checkpoint hits come first (in point order), computed
@@ -1295,7 +1376,7 @@ class CampaignHandle:
             except StopIteration:
                 return
 
-    def stream_results(self):
+    def stream_results(self) -> Iterator[Any]:
         """Yield plain values in **point order**, each as soon as known.
 
         The first value is yielded as soon as point 0 resolves — long
@@ -1410,7 +1491,7 @@ class CampaignExecutor:
         self._pools_created = 0
         self._campaigns = 0
         self._points_computed = 0
-        self._counters = {"respawns": 0, "retries": 0, "timeouts": 0}
+        self._counters: dict[str, int] = {"respawns": 0, "retries": 0, "timeouts": 0}
 
     # -- pool lifecycle --------------------------------------------------
     def _ensure_pool(self) -> _SupervisedPool:
@@ -1439,7 +1520,7 @@ class CampaignExecutor:
         return self
 
     @property
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Executor-lifetime counters (pool reuse, work done, recovery)."""
         return {
             "workers": self.workers,
@@ -1473,7 +1554,7 @@ class CampaignExecutor:
     def __enter__(self) -> "CampaignExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- submission ------------------------------------------------------
@@ -1485,7 +1566,7 @@ class CampaignExecutor:
         checkpoint: str | Path | None = None,
         chunk_size: int | None = None,
         policy: FailurePolicy | str | None = None,
-        faults=None,
+        faults: FaultPlan | None = None,
     ) -> CampaignHandle:
         """Start a campaign; consume it through the returned handle.
 
@@ -1523,7 +1604,7 @@ class CampaignExecutor:
             cache = self.cache
         elif isinstance(cache, (str, Path)):
             cache = ResultCache(cache)
-        policy = FailurePolicy.coerce(policy if policy is not None else self.policy)
+        effective = FailurePolicy.coerce(policy if policy is not None else self.policy)
         points = campaign.points()
         checkpoint_path = Path(checkpoint) if checkpoint is not None else None
         replayed = _load_checkpoint(checkpoint_path) if checkpoint_path else {}
@@ -1544,13 +1625,13 @@ class CampaignExecutor:
                 continue
             pending.append(point)
 
-        run = None
+        run: _SupervisedRun | None = None
         if self.workers > 1 and len(pending) > 1:
             # Dispatch now: up to one point per worker starts immediately,
             # so workers make progress while the caller is off doing
             # something other than consuming the handle.
             pool = self._ensure_pool()
-            run = pool.submit(campaign.task_reference, pending, policy, faults)
+            run = pool.submit(campaign.task_reference, pending, effective, faults)
         handle = CampaignHandle(
             executor=self,
             campaign=campaign,
@@ -1560,7 +1641,7 @@ class CampaignExecutor:
             cache=cache,
             checkpoint_path=checkpoint_path,
             run=run,
-            policy=policy,
+            policy=effective,
             faults=faults,
             start=start,
         )
@@ -1575,7 +1656,7 @@ class CampaignExecutor:
         checkpoint: str | Path | None = None,
         chunk_size: int | None = None,
         policy: FailurePolicy | str | None = None,
-        faults=None,
+        faults: FaultPlan | None = None,
     ) -> CampaignResult:
         """Submit and drain one campaign (the barrier style)."""
         handle = self.submit(
@@ -1596,7 +1677,7 @@ def executor_scope(
     workers: int | None = None,
     cache: ResultCache | str | Path | None = None,
     policy: FailurePolicy | str | None = None,
-):
+) -> Iterator[tuple[CampaignExecutor, dict[str, Any]]]:
     """The executor-or-own pattern shared by the workload drivers.
 
     Yields ``(executor, submit_kwargs)``.  With a caller-provided
@@ -1611,7 +1692,7 @@ def executor_scope(
     defaults).
     """
     if executor is not None:
-        kwargs = {}
+        kwargs: dict[str, Any] = {}
         if cache is not None:
             kwargs["cache"] = cache
         if policy is not None:
@@ -1633,7 +1714,7 @@ def run_campaign(
     checkpoint: str | Path | None = None,
     chunk_size: int | None = None,
     policy: FailurePolicy | str | None = None,
-    faults=None,
+    faults: FaultPlan | None = None,
 ) -> CampaignResult:
     """Execute every point of a campaign, skipping already-known results.
 

@@ -35,11 +35,17 @@ import json
 import os
 import signal
 import time
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.exceptions import SimulationError
+
+if TYPE_CHECKING:
+    from .cache import ResultCache
+    from .sweep import CampaignPoint
 
 __all__ = [
     "FaultPlan",
@@ -104,7 +110,7 @@ class FaultPlan:
             )
 
     # -- the deterministic schedule ------------------------------------
-    def schedule(self, point) -> tuple:
+    def schedule(self, point: CampaignPoint) -> tuple[str | None, ...]:
         """Fault kinds for the point's first ``max_faulty_attempts`` tries.
 
         Entry ``i`` is the fault for attempt ``i + 1``: one of
@@ -114,7 +120,7 @@ class FaultPlan:
         """
         entropy = int(point.key[:16], 16)
         rng = np.random.default_rng([self.seed & _SEED_MASK, entropy])
-        kinds = []
+        kinds: list[str | None] = []
         for _ in range(self.max_faulty_attempts):
             u = float(rng.random())
             if u < self.p_kill:
@@ -127,13 +133,13 @@ class FaultPlan:
                 kinds.append(None)
         return tuple(kinds)
 
-    def fault_for(self, point, attempt: int) -> str | None:
+    def fault_for(self, point: CampaignPoint, attempt: int) -> str | None:
         """The fault injected on the ``attempt``-th execution (1-based)."""
         if attempt < 1 or attempt > self.max_faulty_attempts:
             return None
         return self.schedule(point)[attempt - 1]
 
-    def apply(self, point, attempt: int, *, in_worker: bool) -> None:
+    def apply(self, point: CampaignPoint, attempt: int, *, in_worker: bool) -> None:
         """Inject this ``(point, attempt)``'s scheduled fault, if any.
 
         Called by the execution layer immediately before the task runs.
@@ -161,7 +167,9 @@ class FaultPlan:
 # ----------------------------------------------------------------------
 # cache corruption
 # ----------------------------------------------------------------------
-def corrupt_cache_entry(cache, key: str, mode: str = "truncate") -> bool:
+def corrupt_cache_entry(
+    cache: ResultCache, key: str, mode: str = "truncate"
+) -> bool:
     """Damage one on-disk cache entry (for heal-path tests).
 
     Args:
@@ -192,7 +200,13 @@ def corrupt_cache_entry(cache, key: str, mode: str = "truncate") -> bool:
     return True
 
 
-def corrupt_cache(cache, points, *, seed: int = 0, fraction: float = 0.5) -> int:
+def corrupt_cache(
+    cache: ResultCache,
+    points: Iterable[CampaignPoint],
+    *,
+    seed: int = 0,
+    fraction: float = 0.5,
+) -> int:
     """Deterministically corrupt a fraction of the points' cache entries.
 
     Each selected entry gets a corruption mode drawn from the same

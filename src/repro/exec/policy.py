@@ -34,10 +34,14 @@ bit-identical) is tested in ``tests/exec/test_faults.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.exceptions import SimulationError
+
+if TYPE_CHECKING:
+    from .sweep import CampaignPoint
 
 __all__ = ["FailurePolicy", "FAIL_FAST", "CONTINUE", "RETRY"]
 
@@ -113,7 +117,7 @@ class FailurePolicy:
             f"{type(value).__name__!r}"
         )
 
-    def backoff_delay(self, point, attempt: int) -> float:
+    def backoff_delay(self, point: CampaignPoint, attempt: int) -> float:
         """Deterministic backoff before retrying ``point``'s ``attempt``-th try.
 
         Exponential in the attempt number, capped at ``backoff_max``,

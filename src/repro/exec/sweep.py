@@ -17,8 +17,9 @@ checkpoint, or sliced across overlapping campaigns.
 from __future__ import annotations
 
 import importlib
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -49,15 +50,15 @@ class Sweep:
         4
     """
 
-    points: tuple[dict, ...]
+    points: tuple[dict[str, Any], ...]
 
     def __len__(self) -> int:
         return len(self.points)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.points)
 
-    def __getitem__(self, index: int) -> dict:
+    def __getitem__(self, index: int) -> dict[str, Any]:
         return self.points[index]
 
     def __add__(self, other: "Sweep") -> "Sweep":
@@ -65,10 +66,10 @@ class Sweep:
         return Sweep(self.points + other.points)
 
 
-def _check_axes(axes: Mapping[str, Sequence]) -> dict[str, list]:
+def _check_axes(axes: Mapping[str, Sequence[Any]]) -> dict[str, list[Any]]:
     if not axes:
         raise SimulationError("a sweep needs at least one axis")
-    out = {}
+    out: dict[str, list[Any]] = {}
     for name, values in axes.items():
         values = list(values)
         if not values:
@@ -77,34 +78,36 @@ def _check_axes(axes: Mapping[str, Sequence]) -> dict[str, list]:
     return out
 
 
-def grid_sweep(**axes: Sequence) -> Sweep:
+def grid_sweep(**axes: Sequence[Any]) -> Sweep:
     """Cartesian product of the named axes (row-major, first axis slowest).
 
     Args:
         **axes: ``name=[value, ...]`` pairs.
     """
-    axes = _check_axes(axes)
-    points: list[dict] = [{}]
-    for name, values in axes.items():
+    checked = _check_axes(axes)
+    points: list[dict[str, Any]] = [{}]
+    for name, values in checked.items():
         points = [{**point, name: value} for point in points for value in values]
     return Sweep(tuple(points))
 
 
-def zip_sweep(**axes: Sequence) -> Sweep:
+def zip_sweep(**axes: Sequence[Any]) -> Sweep:
     """Lock-step pairing of equal-length axes (like :func:`zip`).
 
     Args:
         **axes: ``name=[value, ...]`` pairs, all the same length.
     """
-    axes = _check_axes(axes)
-    lengths = {name: len(values) for name, values in axes.items()}
+    checked = _check_axes(axes)
+    lengths = {name: len(values) for name, values in checked.items()}
     if len(set(lengths.values())) != 1:
         raise SimulationError(f"zip_sweep axes differ in length: {lengths}")
-    names = list(axes)
-    return Sweep(tuple(dict(zip(names, combo)) for combo in zip(*axes.values())))
+    names = list(checked)
+    return Sweep(
+        tuple(dict(zip(names, combo)) for combo in zip(*checked.values()))
+    )
 
 
-def random_sweep(n_points: int, seed: int = 0, **specs) -> Sweep:
+def random_sweep(n_points: int, seed: int = 0, **specs: Any) -> Sweep:
     """Seeded random sampling over parameter axes.
 
     Each axis spec is one of:
@@ -127,7 +130,7 @@ def random_sweep(n_points: int, seed: int = 0, **specs) -> Sweep:
     if not specs:
         raise SimulationError("a sweep needs at least one axis")
     rng = np.random.default_rng(seed)
-    columns: dict[str, list] = {}
+    columns: dict[str, list[Any]] = {}
     for name, spec in specs.items():
         if isinstance(spec, list):
             if not spec:
@@ -160,7 +163,7 @@ def random_sweep(n_points: int, seed: int = 0, **specs) -> Sweep:
     )
 
 
-def task_ref(task) -> str:
+def task_ref(task: str | Callable[..., Any]) -> str:
     """Canonical ``"module:function"`` reference of a campaign task.
 
     Args:
@@ -180,7 +183,7 @@ def task_ref(task) -> str:
     return ref
 
 
-def resolve_task(ref: str):
+def resolve_task(ref: str) -> Callable[..., Any]:
     """Import the callable named by a ``"module:function"`` reference."""
     module_name, _, attr = ref.partition(":")
     if not module_name or not attr:
@@ -191,7 +194,7 @@ def resolve_task(ref: str):
         module = importlib.import_module(module_name)
     except ImportError as exc:
         raise SimulationError(f"cannot import task module {module_name!r}: {exc}")
-    obj = module
+    obj: Any = module
     for part in attr.split("."):
         obj = getattr(obj, part, None)
         if obj is None:
@@ -214,7 +217,7 @@ class CampaignPoint:
     """
 
     index: int
-    params: dict
+    params: dict[str, Any]
     seed: int | None
     key: str
 
@@ -242,10 +245,10 @@ class Campaign:
             task's *implementation* changes without its signature changing.
     """
 
-    task: object
+    task: str | Callable[..., Any]
     sweep: Sweep
     name: str = "campaign"
-    base_params: Mapping = field(default_factory=dict)
+    base_params: Mapping[str, Any] = field(default_factory=dict)
     seed: int | None = 0
     version: str = "1"
 
@@ -270,7 +273,7 @@ class Campaign:
         bisection reuse points a broad sweep already computed.
         """
         ref = self.task_reference
-        out = []
+        out: list[CampaignPoint] = []
         for index, values in enumerate(self.sweep):
             params = {**dict(self.base_params), **values}
             # A 'seed' pinned in the params wins over spawning (the runner
@@ -294,7 +297,7 @@ class Campaign:
         return out
 
 
-def _point_seed(root: int, params: Mapping) -> int:
+def _point_seed(root: int, params: Mapping[str, Any]) -> int:
     """Content-keyed seed spawn: depends only on (root, params)."""
     entropy = int(stable_hash(dict(params))[:16], 16)
     child = np.random.SeedSequence([int(root) & (2**63 - 1), entropy])

@@ -27,6 +27,7 @@ Prometheus-style text exposition is available via
 from __future__ import annotations
 
 import threading
+from typing import Any, TypeVar
 
 __all__ = [
     "Counter",
@@ -44,6 +45,8 @@ __all__ = [
     "snapshot",
     "exposition",
 ]
+
+_M = TypeVar("_M", bound="_Metric")
 
 #: Module-level fast-path flag.  Instrumented call sites may read this
 #: directly (``if metrics.enabled: ...``); the helpers below check it
@@ -65,7 +68,7 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 )
 
 
-def _label_key(labels: dict) -> str:
+def _label_key(labels: dict[str, object]) -> str:
     """Canonical string key for a label set (sorted, JSON-safe).
 
     The snapshot/merge cycle keys samples by this string, so merging
@@ -85,10 +88,10 @@ class _Metric:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self._values: dict[str, object] = {}
+        self._values: dict[str, Any] = {}
         self._lock = threading.Lock()
 
-    def _snapshot_values(self) -> dict:
+    def _snapshot_values(self) -> dict[str, Any]:
         return dict(self._values)
 
     def clear(self) -> None:
@@ -101,14 +104,14 @@ class Counter(_Metric):
 
     kind = "counter"
 
-    def inc(self, value: float = 1.0, **labels) -> None:
+    def inc(self, value: float = 1.0, **labels: object) -> None:
         if value < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         key = _label_key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + float(value)
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return float(self._values.get(_label_key(labels), 0.0))
 
 
@@ -117,11 +120,11 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: object) -> None:
         with self._lock:
             self._values[_label_key(labels)] = float(value)
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return float(self._values.get(_label_key(labels), 0.0))
 
 
@@ -148,7 +151,7 @@ class Histogram(_Metric):
             raise ValueError(f"histogram {name!r} buckets must be ascending")
         self.buckets = bounds
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, **labels: object) -> None:
         value = float(value)
         key = _label_key(labels)
         with self._lock:
@@ -169,7 +172,7 @@ class Histogram(_Metric):
             sample["sum"] += value
             sample["count"] += 1
 
-    def sample(self, **labels) -> dict | None:
+    def sample(self, **labels: object) -> dict[str, Any] | None:
         found = self._values.get(_label_key(labels))
         if found is None:
             return None
@@ -179,7 +182,7 @@ class Histogram(_Metric):
             "count": found["count"],
         }
 
-    def _snapshot_values(self) -> dict:
+    def _snapshot_values(self) -> dict[str, Any]:
         return {
             key: {
                 "buckets": list(sample["buckets"]),
@@ -205,7 +208,7 @@ class MetricsRegistry:
         self._metrics: dict[str, _Metric] = {}
         self._lock = threading.Lock()
 
-    def _register(self, cls, name: str, help: str = "", **kwargs) -> _Metric:
+    def _register(self, cls: type[_M], name: str, help: str = "", **kwargs: Any) -> _M:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
@@ -240,7 +243,7 @@ class MetricsRegistry:
         return name in self._metrics
 
     # -- snapshot / merge / drain ------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Plain-dict view of every metric: JSON-safe and mergeable.
 
         Shape: ``{name: {"type", "help", "values", ["buckets"]}}`` with
@@ -248,9 +251,9 @@ class MetricsRegistry:
         :func:`_label_key`); histogram values are
         ``{"buckets": [...], "sum", "count"}``.
         """
-        out = {}
+        out: dict[str, Any] = {}
         for name, metric in self._metrics.items():
-            entry = {
+            entry: dict[str, Any] = {
                 "type": metric.kind,
                 "help": metric.help,
                 "values": metric._snapshot_values(),
@@ -260,7 +263,7 @@ class MetricsRegistry:
             out[name] = entry
         return out
 
-    def merge(self, snap: dict) -> None:
+    def merge(self, snap: dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` back in (the cross-process merge).
 
         Counters and histograms add; gauges take the incoming value
@@ -309,7 +312,7 @@ class MetricsRegistry:
                         previous = metric._values.get(key, 0.0)
                         metric._values[key] = previous + float(value)
 
-    def drain(self) -> dict:
+    def drain(self) -> dict[str, Any]:
         """Snapshot every metric, then reset all samples (deltas survive).
 
         Campaign workers call this after each point: the returned
@@ -369,7 +372,11 @@ def _fmt(value: float) -> str:
 def _label_pairs(key: str) -> list[tuple[str, str]]:
     if not key:
         return []
-    return [tuple(item.split("=", 1)) for item in key.split(",")]
+    pairs = []
+    for item in key.split(","):
+        name, _, value = item.partition("=")
+        pairs.append((name, value))
+    return pairs
 
 
 def _label_suffix(key: str) -> str:
@@ -401,28 +408,28 @@ def disable() -> None:
     enabled = False
 
 
-def inc(name: str, value: float = 1.0, **labels) -> None:
+def inc(name: str, value: float = 1.0, **labels: object) -> None:
     """Increment a counter on the global registry (no-op when disabled)."""
     if not enabled:
         return
     REGISTRY.counter(name).inc(value, **labels)
 
 
-def set_gauge(name: str, value: float, **labels) -> None:
+def set_gauge(name: str, value: float, **labels: object) -> None:
     """Set a gauge on the global registry (no-op when disabled)."""
     if not enabled:
         return
     REGISTRY.gauge(name).set(value, **labels)
 
 
-def observe(name: str, value: float, **labels) -> None:
+def observe(name: str, value: float, **labels: object) -> None:
     """Observe into a histogram on the global registry (no-op when disabled)."""
     if not enabled:
         return
     REGISTRY.histogram(name).observe(value, **labels)
 
 
-def snapshot() -> dict:
+def snapshot() -> dict[str, Any]:
     """Snapshot of the global registry (works whether or not enabled)."""
     return REGISTRY.snapshot()
 

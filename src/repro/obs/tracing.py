@@ -31,6 +31,7 @@ import os
 import threading
 import time
 from contextlib import contextmanager
+from typing import Any, Iterator
 
 __all__ = [
     "enabled",
@@ -52,7 +53,10 @@ __all__ = [
 #: when this is False.
 enabled: bool = False
 
-_buffer: list[dict] = []
+#: One span/event record: name, ts, dur, pid, tid, id, parent, args.
+Event = dict[str, Any]
+
+_buffer: list[Event] = []
 _buffer_lock = threading.Lock()
 _ids = itertools.count(1)
 _stack = threading.local()
@@ -79,7 +83,7 @@ def _parents() -> list[int]:
 
 
 @contextmanager
-def span(name: str, **args):
+def span(name: str, **args: object) -> Iterator[Event]:
     """Time a region; record an event dict on exit (when enabled).
 
     Extra keyword arguments become the event's ``args`` — labels such as
@@ -94,7 +98,7 @@ def span(name: str, **args):
         return
     parents = _parents()
     span_id = next(_ids)
-    event = {
+    event: Event = {
         "name": name,
         "ts": time.monotonic(),
         "dur": 0.0,
@@ -114,7 +118,9 @@ def span(name: str, **args):
             _buffer.append(event)
 
 
-def add_event(name: str, ts: float, dur: float, *, args: dict | None = None) -> None:
+def add_event(
+    name: str, ts: float, dur: float, *, args: dict[str, Any] | None = None
+) -> None:
     """Record a pre-timed event (for code that measured its own window).
 
     Unlike :func:`span` this ignores the parent stack — the caller
@@ -122,7 +128,7 @@ def add_event(name: str, ts: float, dur: float, *, args: dict | None = None) -> 
     """
     if not enabled:
         return
-    event = {
+    event: Event = {
         "name": name,
         "ts": float(ts),
         "dur": float(dur),
@@ -136,7 +142,7 @@ def add_event(name: str, ts: float, dur: float, *, args: dict | None = None) -> 
         _buffer.append(event)
 
 
-def add_events(incoming: list[dict]) -> None:
+def add_events(incoming: list[Event]) -> None:
     """Append events collected elsewhere (the cross-process merge).
 
     Events keep their original pid/tid/ids, so a supervisor buffer ends
@@ -149,13 +155,13 @@ def add_events(incoming: list[dict]) -> None:
         _buffer.extend(incoming)
 
 
-def events() -> list[dict]:
+def events() -> list[Event]:
     """Copy of the current event buffer (chronological by append order)."""
     with _buffer_lock:
         return list(_buffer)
 
 
-def drain() -> list[dict]:
+def drain() -> list[Event]:
     """Return buffered events and clear the buffer (worker per-point ship)."""
     with _buffer_lock:
         out = list(_buffer)
@@ -172,7 +178,7 @@ def reset() -> None:
 # -- persistence ------------------------------------------------------
 
 
-def write_jsonl(path, evs: list[dict] | None = None) -> int:
+def write_jsonl(path: str | os.PathLike[str], evs: list[Event] | None = None) -> int:
     """Write events (default: current buffer) as JSON-lines; return count."""
     if evs is None:
         evs = events()
@@ -182,9 +188,9 @@ def write_jsonl(path, evs: list[dict] | None = None) -> int:
     return len(evs)
 
 
-def read_jsonl(path) -> list[dict]:
+def read_jsonl(path: str | os.PathLike[str]) -> list[Event]:
     """Load events written by :func:`write_jsonl`."""
-    out = []
+    out: list[Event] = []
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -196,7 +202,7 @@ def read_jsonl(path) -> list[dict]:
 # -- Chrome trace_event export ---------------------------------------
 
 
-def to_chrome(evs: list[dict] | None = None) -> dict:
+def to_chrome(evs: list[Event] | None = None) -> dict[str, Any]:
     """Convert events to the Chrome ``trace_event`` JSON object format.
 
     Each span becomes a ``ph="X"`` (complete) event with microsecond
@@ -206,7 +212,7 @@ def to_chrome(evs: list[dict] | None = None) -> dict:
     """
     if evs is None:
         evs = events()
-    trace: list[dict] = []
+    trace: list[Event] = []
     if evs:
         base = min(ev["ts"] for ev in evs)
         for pid in sorted({ev["pid"] for ev in evs}):
@@ -235,7 +241,9 @@ def to_chrome(evs: list[dict] | None = None) -> dict:
     return {"traceEvents": trace, "displayTimeUnit": "ms"}
 
 
-def write_chrome(path, evs: list[dict] | None = None) -> int:
+def write_chrome(
+    path: str | os.PathLike[str], evs: list[Event] | None = None
+) -> int:
     """Write the Chrome-trace JSON for chrome://tracing / Perfetto."""
     doc = to_chrome(evs)
     with open(path, "w", encoding="utf-8") as fh:

@@ -1,0 +1,26 @@
+"""Shared fixtures for the repro.check analyzer tests."""
+
+import textwrap
+
+import pytest
+
+from repro.check import run_check
+
+
+@pytest.fixture
+def check(tmp_path):
+    """Run the analyzer over one dedented snippet; return the Analysis.
+
+    The snippet is written to ``sample.py`` under ``tmp_path`` and the
+    analysis is rooted there, so finding paths are stable and line 1 is
+    the snippet's first non-blank line.
+    """
+
+    def _check(source, *, select=None, name="sample.py"):
+        path = tmp_path / name
+        path.write_text(
+            textwrap.dedent(source).strip() + "\n", encoding="utf-8"
+        )
+        return run_check([path], select=select, root=tmp_path)
+
+    return _check

@@ -1,0 +1,105 @@
+"""Baseline files: round-trips, multiplicity, and loud failure modes."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    Finding,
+    load_baseline,
+    run_check,
+    subtract_baseline,
+    write_baseline,
+)
+
+VIOLATION = "import numpy as np\n\nrng = np.random.default_rng()\n"
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_fingerprints(self, tmp_path):
+        findings = [
+            Finding("a.py", 3, "seed-discipline", "boom"),
+            Finding("b.py", 9, "error-hygiene", "silent"),
+        ]
+        path = tmp_path / "baseline.json"
+        assert write_baseline(path, findings) == 2
+        counts = load_baseline(path)
+        assert counts[findings[0].fingerprint()] == 1
+        assert counts[findings[1].fingerprint()] == 1
+        assert sum(counts.values()) == 2
+
+    def test_baselined_finding_survives_line_moves(self, tmp_path):
+        """Matching is by (path, rule, message), never by line."""
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [Finding("a.py", 3, "seed-discipline", "boom")])
+        moved = Finding("a.py", 42, "seed-discipline", "boom")
+        new, matched = subtract_baseline([moved], load_baseline(path))
+        assert new == [] and matched == 1
+
+    def test_multiplicity_is_respected(self, tmp_path):
+        finding = Finding("a.py", 3, "seed-discipline", "boom")
+        twice = [finding, Finding("a.py", 8, "seed-discipline", "boom")]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding])
+        new, matched = subtract_baseline(twice, load_baseline(path))
+        assert matched == 1
+        assert [f.line for f in new] == [8]
+
+
+class TestMalformedBaselines:
+    def test_unreadable_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json at all")
+        with pytest.raises(ValueError, match="cannot read baseline"):
+            load_baseline(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version-1"):
+            load_baseline(path)
+
+    def test_missing_findings_list_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1}))
+        with pytest.raises(ValueError, match="no findings list"):
+            load_baseline(path)
+
+    def test_incomplete_entry_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": [{"path": "a.py"}]})
+        )
+        with pytest.raises(ValueError, match="entry"):
+            load_baseline(path)
+
+
+class TestBaselineThroughARun:
+    def test_grandfathered_run_reports_nothing_new(self, tmp_path):
+        source = tmp_path / "legacy.py"
+        source.write_text(VIOLATION)
+        baseline_path = tmp_path / "baseline.json"
+
+        first = run_check([source], root=tmp_path)
+        write_baseline(baseline_path, first.findings)
+
+        second = run_check([source], root=tmp_path)
+        new, matched = subtract_baseline(
+            second.findings, load_baseline(baseline_path)
+        )
+        assert new == [] and matched == 1
+
+    def test_fresh_violation_is_still_new(self, tmp_path):
+        source = tmp_path / "legacy.py"
+        source.write_text(VIOLATION)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_check([source], root=tmp_path).findings)
+
+        source.write_text(VIOLATION + "\nother = np.random.RandomState(1)\n")
+        rerun = run_check([source], root=tmp_path)
+        new, matched = subtract_baseline(
+            rerun.findings, load_baseline(baseline_path)
+        )
+        assert matched == 1
+        assert [f.rule for f in new] == ["seed-discipline"]
+        assert "RandomState" in new[0].message

@@ -1,0 +1,156 @@
+"""CLI behaviour: exit codes, output modes, baselines, and the self-check."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.check import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+VIOLATION = "import numpy as np\n\nrng = np.random.default_rng()\n"
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "ok.py", "x = 1\n")
+        assert main(["ok.py"]) == 0
+        assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_rendered_lines(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "bad.py", VIOLATION)
+        assert main(["bad.py"]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:3: [seed-discipline]" in out
+        assert "1 finding(s) in 1 file(s)" in out
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "ok.py", "x = 1\n")
+        assert main(["--select", "not-a-rule", "ok.py"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["definitely-not-here"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "ok.py", "x = 1\n")
+        _write(tmp_path, "baseline.json", "not json")
+        assert main(["--baseline", "baseline.json", "ok.py"]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestSelect:
+    def test_select_restricts_the_active_rules(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        _write(
+            tmp_path,
+            "bad.py",
+            VIOLATION + "\ntry:\n    x = 1\nexcept:\n    pass\n",
+        )
+        assert main(["--select", "error-hygiene", "bad.py"]) == 1
+        out = capsys.readouterr().out
+        assert "[error-hygiene]" in out
+        assert "seed-discipline" not in out
+
+
+class TestJsonOutput:
+    def test_json_payload_carries_findings_and_counts(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "bad.py", VIOLATION)
+        assert main(["--json", "bad.py"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {
+            "new": 1,
+            "baselined": 0,
+            "suppressed": 0,
+            "files": 1,
+        }
+        (finding,) = payload["findings"]
+        assert finding["path"] == "bad.py"
+        assert finding["line"] == 3
+        assert finding["rule"] == "seed-discipline"
+
+
+class TestListRules:
+    def test_every_builtin_rule_listed_with_rationale(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "backend-protocol",
+            "error-hygiene",
+            "obs-discipline",
+            "pickle-safety",
+            "seed-discipline",
+        ):
+            assert f"{rule_id}: " in out
+
+
+class TestBaselineFlow:
+    def test_write_then_gate_round_trip(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "bad.py", VIOLATION)
+
+        assert main(["--write-baseline", "--baseline", "b.json", "bad.py"]) == 0
+        assert "wrote 1 finding(s)" in capsys.readouterr().out
+
+        assert main(["--baseline", "b.json", "bad.py"]) == 0
+        assert "(1 baselined, 0 suppressed)" in capsys.readouterr().out
+
+    def test_no_baseline_reports_everything(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "bad.py", VIOLATION)
+        main(["--write-baseline", "--baseline", "b.json", "bad.py"])
+        capsys.readouterr()
+        assert main(["--no-baseline", "--baseline", "b.json", "bad.py"]) == 1
+
+    def test_default_baseline_picked_up_from_cwd(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "bad.py", VIOLATION)
+        main(["--write-baseline", "bad.py"])
+        capsys.readouterr()
+        assert Path(".repro-check-baseline.json").exists()
+        assert main(["bad.py"]) == 0
+
+
+class TestSelfCheck:
+    def test_library_tree_is_clean_under_the_committed_baseline(self):
+        """`python -m repro.check src` must exit 0 at the repo root.
+
+        The committed baseline is empty, so this asserts the real tree
+        carries no violations at all (inline suppressions excepted).
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.check", "src"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout

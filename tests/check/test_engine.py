@@ -1,0 +1,147 @@
+"""Engine behaviour: suppression, discovery, the rule registry, parsing."""
+
+import pytest
+
+from repro.check import Finding, Rule, discover_files, get_rules, register_rule
+from repro.check.engine import _RULES
+
+
+class TestSuppression:
+    def test_inline_suppression_by_rule_id(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro: ignore[seed-discipline]
+            """
+        )
+        assert analysis.findings == []
+        assert analysis.suppressed_count == 1
+
+    def test_bare_ignore_silences_every_rule(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro: ignore
+            """
+        )
+        assert analysis.findings == []
+        assert analysis.suppressed_count == 1
+
+    def test_other_rule_id_does_not_suppress(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro: ignore[error-hygiene]
+            """
+        )
+        assert [f.rule for f in analysis.findings] == ["seed-discipline"]
+        assert analysis.suppressed_count == 0
+
+    def test_marker_inside_string_literal_cannot_suppress(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(); note = "# repro: ignore[seed-discipline]"
+            """
+        )
+        assert [f.rule for f in analysis.findings] == ["seed-discipline"]
+
+
+class TestDiscovery:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such file"):
+            discover_files([tmp_path / "nope"])
+
+    def test_pycache_and_hidden_directories_skipped(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "b.py").write_text("x = 2\n")
+        (tmp_path / "pkg" / ".hidden").mkdir()
+        (tmp_path / "pkg" / ".hidden" / "c.py").write_text("x = 3\n")
+        found = discover_files([tmp_path / "pkg"])
+        assert [p.name for p in found] == ["a.py"]
+
+    def test_overlapping_paths_deduplicate(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        found = discover_files([target, tmp_path])
+        assert len(found) == 1
+
+
+class TestRegistry:
+    def test_all_builtin_rules_registered(self):
+        ids = [rule.id for rule in get_rules()]
+        assert ids == [
+            "backend-protocol",
+            "error-hygiene",
+            "obs-discipline",
+            "pickle-safety",
+            "seed-discipline",
+        ]
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            get_rules(["not-a-rule"])
+
+    def test_rule_without_id_rejected(self):
+        class Anonymous(Rule):
+            pass
+
+        with pytest.raises(ValueError, match="has no id"):
+            register_rule(Anonymous)
+
+    def test_duplicate_rule_id_rejected(self):
+        class Imposter(Rule):
+            id = "seed-discipline"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule(Imposter)
+
+    def test_plugin_rule_participates_in_a_run(self, check):
+        @register_rule
+        class NoForbiddenCalls(Rule):
+            id = "test-no-forbidden"
+            rationale = "fixture rule for the plugin registry test"
+
+            def visit_Call(self, node, ctx):
+                name = getattr(node.func, "id", None)
+                if name == "forbidden":
+                    ctx.report(self, node, "call to forbidden()")
+
+        try:
+            analysis = check(
+                """
+                allowed()
+                forbidden()
+                """,
+                select=["test-no-forbidden"],
+            )
+            assert [(f.rule, f.line) for f in analysis.findings] == [
+                ("test-no-forbidden", 2)
+            ]
+        finally:
+            _RULES.pop("test-no-forbidden", None)
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_a_finding(self, check):
+        analysis = check("def broken(:\n")
+        assert [f.rule for f in analysis.findings] == ["parse-error"]
+        assert "cannot analyse" in analysis.findings[0].message
+
+
+class TestFinding:
+    def test_render_is_path_line_rule_message(self):
+        finding = Finding("pkg/mod.py", 7, "seed-discipline", "boom")
+        assert finding.render() == "pkg/mod.py:7: [seed-discipline] boom"
+
+    def test_fingerprint_ignores_the_line_number(self):
+        a = Finding("pkg/mod.py", 7, "seed-discipline", "boom")
+        b = Finding("pkg/mod.py", 99, "seed-discipline", "boom")
+        assert a.fingerprint() == b.fingerprint()
+        assert a != b

@@ -1,0 +1,492 @@
+"""Bad/good fixture pairs for every built-in rule, with exact lines."""
+
+
+def lines(analysis, rule):
+    """Line numbers of the findings reported under one rule id."""
+    return [f.line for f in analysis.findings if f.rule == rule]
+
+
+def messages(analysis, rule):
+    return [f.message for f in analysis.findings if f.rule == rule]
+
+
+class TestSeedDiscipline:
+    def test_unseeded_default_rng_flagged(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """
+        )
+        assert lines(analysis, "seed-discipline") == [3]
+
+    def test_none_seed_flagged(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(None)
+            """
+        )
+        assert lines(analysis, "seed-discipline") == [3]
+
+    def test_seeded_generator_clean(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+
+            def simulate(seed):
+                rng = np.random.default_rng(seed)
+                return rng.uniform(0.0, 1.0)
+            """
+        )
+        assert analysis.findings == []
+
+    def test_legacy_global_sampler_flagged(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+            x = np.random.uniform(0.0, 1.0)
+            """
+        )
+        assert lines(analysis, "seed-discipline") == [3]
+        assert "hidden global" in messages(analysis, "seed-discipline")[0]
+
+    def test_randomstate_flagged_even_seeded(self, check):
+        analysis = check(
+            """
+            import numpy as np
+
+            rng = np.random.RandomState(42)
+            """
+        )
+        assert lines(analysis, "seed-discipline") == [3]
+
+    def test_stdlib_random_module_flagged(self, check):
+        analysis = check(
+            """
+            import random
+
+            x = random.random()
+            """
+        )
+        assert lines(analysis, "seed-discipline") == [3]
+
+    def test_stdlib_direct_import_flagged(self, check):
+        analysis = check(
+            """
+            from random import shuffle
+
+            shuffle(values)
+            """
+        )
+        assert lines(analysis, "seed-discipline") == [3]
+
+    def test_generator_method_draws_clean(self, check):
+        """Draws on a threaded Generator are the sanctioned pattern."""
+        analysis = check(
+            """
+            def sample(rng):
+                return rng.uniform(0.0, 1.0)
+            """
+        )
+        assert analysis.findings == []
+
+    def test_wall_clock_seed_argument_flagged(self, check):
+        analysis = check(
+            """
+            import time
+
+            import numpy as np
+
+            rng = np.random.default_rng(int(time.time()))
+            """
+        )
+        assert lines(analysis, "seed-discipline") == [5]
+        assert "wall-clock" in messages(analysis, "seed-discipline")[0]
+
+    def test_wall_clock_seed_keyword_flagged_on_any_call(self, check):
+        analysis = check(
+            """
+            import time
+
+            result = simulate(seed=time.time_ns())
+            """
+        )
+        assert lines(analysis, "seed-discipline") == [3]
+
+    def test_explicit_seed_keyword_clean(self, check):
+        analysis = check("result = simulate(seed=1234)")
+        assert analysis.findings == []
+
+
+class TestPickleSafety:
+    def test_lambda_campaign_task_flagged(self, check):
+        analysis = check(
+            """
+            from repro.exec import Campaign
+
+            c = Campaign(task=lambda x: 2 * x, sweep=sweep)
+            """
+        )
+        assert lines(analysis, "pickle-safety") == [3]
+        assert "lambda" in messages(analysis, "pickle-safety")[0]
+
+    def test_lambda_task_ref_flagged(self, check):
+        analysis = check(
+            """
+            from repro.exec.sweep import task_ref
+
+            ref = task_ref(lambda x: x)
+            """
+        )
+        assert lines(analysis, "pickle-safety") == [3]
+
+    def test_nested_task_flagged_at_call_site(self, check):
+        analysis = check(
+            """
+            from repro.exec import Campaign
+
+
+            def build(sweep):
+                def task(x):
+                    return x
+
+                return Campaign(task=task, sweep=sweep)
+            """
+        )
+        assert lines(analysis, "pickle-safety") == [8]
+        assert "nested function" in messages(analysis, "pickle-safety")[0]
+
+    def test_global_mutating_task_flagged(self, check):
+        analysis = check(
+            """
+            from repro.exec import Campaign
+
+            COUNT = 0
+
+
+            def task(x):
+                global COUNT
+                COUNT += 1
+                return x
+
+
+            c = Campaign(task=task, sweep=sweep)
+            """
+        )
+        assert lines(analysis, "pickle-safety") == [12]
+        assert "COUNT" in messages(analysis, "pickle-safety")[0]
+
+    def test_module_level_task_clean(self, check):
+        analysis = check(
+            """
+            from repro.exec import Campaign
+
+
+            def task(x, seed=0):
+                return 2 * x
+
+
+            c = Campaign(task=task, sweep=sweep)
+            """
+        )
+        assert analysis.findings == []
+
+    def test_campaign_object_arguments_clean(self, check):
+        """submit/run_campaign take a Campaign — only lambdas are judged."""
+        analysis = check(
+            """
+            result = executor.submit(campaign)
+            other = run_campaign(campaign, workers=2)
+            """
+        )
+        assert analysis.findings == []
+
+    def test_lambda_submitted_directly_flagged(self, check):
+        analysis = check("handle = executor.submit(lambda x: x)")
+        assert lines(analysis, "pickle-safety") == [1]
+
+
+class TestBackendProtocol:
+    def test_non_backend_registration_flagged(self, check):
+        analysis = check(
+            """
+            class NotABackend:
+                pass
+
+
+            register_backend("bogus", NotABackend)
+            """
+        )
+        assert lines(analysis, "backend-protocol") == [5]
+        assert "does not subclass" in messages(analysis, "backend-protocol")[0]
+
+    def test_missing_run_and_prepare_flagged(self, check):
+        analysis = check(
+            """
+            class Empty(SimulationBackend):
+                pass
+
+
+            register_backend("empty", Empty)
+            """
+        )
+        assert lines(analysis, "backend-protocol") == [5, 5]
+        combined = " ".join(messages(analysis, "backend-protocol"))
+        assert "_run" in combined and "_prepare" in combined
+
+    def test_short_run_signature_flagged_at_def(self, check):
+        analysis = check(
+            """
+            class Short(SimulationBackend):
+                def _run(self, circuit, **options):
+                    return None
+
+                def _prepare(self, dims, digits, **options):
+                    return None
+
+
+            register_backend("short", Short)
+            """
+        )
+        assert lines(analysis, "backend-protocol") == [2]
+        assert "positional" in messages(analysis, "backend-protocol")[0]
+
+    def test_missing_options_kwargs_flagged(self, check):
+        analysis = check(
+            """
+            class Rigid(SimulationBackend):
+                def _run(self, circuit, initial):
+                    return None
+
+                def _prepare(self, dims, digits, **options):
+                    return None
+
+
+            register_backend("rigid", Rigid)
+            """
+        )
+        assert lines(analysis, "backend-protocol") == [2]
+        assert "**options" in messages(analysis, "backend-protocol")[0]
+
+    def test_conforming_backend_clean(self, check):
+        analysis = check(
+            """
+            class Good(SimulationBackend):
+                def _run(self, circuit, initial, **options):
+                    return None
+
+                def _prepare(self, dims, digits, **options):
+                    return None
+
+
+            register_backend("good", Good)
+            """
+        )
+        assert analysis.findings == []
+
+    def test_inherited_implementations_satisfy_protocol(self, check):
+        analysis = check(
+            """
+            class Base(SimulationBackend):
+                def _run(self, circuit, initial, **options):
+                    return None
+
+                def _prepare(self, dims, digits, **options):
+                    return None
+
+
+            class Derived(Base):
+                pass
+
+
+            register_backend("derived", Derived)
+            """
+        )
+        assert analysis.findings == []
+
+    def test_auto_registration_is_reserved_not_judged(self, check):
+        analysis = check(
+            """
+            class NotABackend:
+                pass
+
+
+            register_backend("auto", NotABackend)
+            """
+        )
+        assert analysis.findings == []
+
+    def test_partial_result_surface_flagged(self, check):
+        analysis = check(
+            """
+            class PartialResult(BackendResult):
+                def expectation(self, operator, targets=None):
+                    return 0.0
+            """
+        )
+        assert lines(analysis, "backend-protocol") == [1]
+        message = messages(analysis, "backend-protocol")[0]
+        assert "sample, probabilities_of, probabilities" in message
+
+    def test_full_result_surface_clean(self, check):
+        analysis = check(
+            """
+            class FullResult(BackendResult):
+                def expectation(self, operator, targets=None):
+                    return 0.0
+
+                def sample(self, shots, rng=None):
+                    return {}
+
+                def probabilities_of(self, digits):
+                    return 0.0
+
+                def probabilities(self):
+                    return {}
+            """
+        )
+        assert analysis.findings == []
+
+
+class TestObsDiscipline:
+    def test_bad_metric_name_flagged(self, check):
+        analysis = check(
+            """
+            from repro.obs import metrics
+
+            metrics.inc("Bad-Name")
+            """
+        )
+        assert lines(analysis, "obs-discipline") == [3]
+        assert "Prometheus" in messages(analysis, "obs-discipline")[0]
+
+    def test_label_drift_flagged_at_second_site(self, check):
+        analysis = check(
+            """
+            from repro.obs import metrics
+
+            metrics.inc("hits", backend="mps")
+            metrics.inc("hits")
+            """
+        )
+        assert lines(analysis, "obs-discipline") == [4]
+        assert "conflicting label sets" in messages(analysis, "obs-discipline")[0]
+
+    def test_consistent_labels_clean(self, check):
+        analysis = check(
+            """
+            from repro.obs import metrics
+
+            metrics.inc("hits", backend="mps")
+            metrics.inc("hits", backend="lpdo")
+            metrics.observe("latency", 0.5, op="svd")
+            """
+        )
+        assert analysis.findings == []
+
+    def test_dynamic_labels_not_judged(self, check):
+        analysis = check(
+            """
+            from repro.obs import metrics
+
+            metrics.inc("hits", **labels)
+            metrics.inc("hits", backend="mps")
+            """
+        )
+        assert analysis.findings == []
+
+    def test_registry_family_name_checked(self, check):
+        analysis = check(
+            """
+            from repro.obs.metrics import REGISTRY
+
+            REGISTRY.counter("Bad")
+            """
+        )
+        assert lines(analysis, "obs-discipline") == [3]
+
+    def test_unrelated_objects_not_judged(self, check):
+        """inc/observe on arbitrary objects is not the obs API."""
+        analysis = check(
+            """
+            tally.inc("Whatever-Name")
+            scope.observe("Another Bad Name", 1.0)
+            """
+        )
+        assert analysis.findings == []
+
+
+class TestErrorHygiene:
+    def test_bare_except_flagged(self, check):
+        analysis = check(
+            """
+            try:
+                risky()
+            except:
+                recover()
+            """
+        )
+        assert lines(analysis, "error-hygiene") == [3]
+        assert "KeyboardInterrupt" in messages(analysis, "error-hygiene")[0]
+
+    def test_silent_broad_handler_flagged(self, check):
+        analysis = check(
+            """
+            try:
+                risky()
+            except Exception:
+                pass
+            """
+        )
+        assert lines(analysis, "error-hygiene") == [3]
+        assert "silently swallows" in messages(analysis, "error-hygiene")[0]
+
+    def test_silent_base_exception_with_alias_flagged(self, check):
+        analysis = check(
+            """
+            try:
+                risky()
+            except BaseException as exc:
+                ...
+            """
+        )
+        assert lines(analysis, "error-hygiene") == [3]
+
+    def test_broad_inside_tuple_flagged(self, check):
+        analysis = check(
+            """
+            try:
+                risky()
+            except (ValueError, Exception):
+                pass
+            """
+        )
+        assert lines(analysis, "error-hygiene") == [3]
+
+    def test_narrow_silent_handler_clean(self, check):
+        analysis = check(
+            """
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            """
+        )
+        assert analysis.findings == []
+
+    def test_broad_handler_with_real_handling_clean(self, check):
+        analysis = check(
+            """
+            try:
+                risky()
+            except Exception as exc:
+                record(exc)
+                raise
+            """
+        )
+        assert analysis.findings == []

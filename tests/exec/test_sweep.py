@@ -85,7 +85,7 @@ class TestTaskReferences:
         with pytest.raises(SimulationError):
             resolve_task("definitely_not_a_module_xyz:f")
         with pytest.raises(SimulationError):
-            task_ref(lambda x: x)  # lambdas are not importable
+            task_ref(lambda x: x)  # repro: ignore[pickle-safety] — asserts the raise
 
 
 class TestCampaignPoints:

@@ -195,7 +195,7 @@ class TestExposition:
 
 class TestModuleHelpers:
     def test_disabled_helpers_record_nothing(self):
-        metrics.inc("hits")
+        metrics.inc("hits", backend="mps")
         metrics.set_gauge("chi", 4.0)
         metrics.observe("lat", 0.5)
         assert metrics.snapshot() == {}

@@ -47,7 +47,11 @@ Eight sections, emitted to the committed ``BENCH_exec.json``:
    be <= 1.05 — the instrumentation must be near-free when off (one
    module-attribute check per call site) and must leave no residue
    behind after an enabled run.  The enabled ratio is on record too,
-   together with proof the enabled run actually collected telemetry.
+   together with proof the enabled run actually collected telemetry,
+   and a ``serve_scrape`` sub-record: while telemetry is live, an
+   :class:`repro.obs.serve.ObsServer` is scraped over HTTP and the
+   min scrape latency, response status, and exposed family count are
+   recorded (the scrape must return 200 with a non-empty, typed body).
 
 Run as a script to (re)generate the committed record::
 
@@ -372,8 +376,16 @@ def bench_obs_overhead(
     must leave no lingering slowdown behind.  The enabled ratio is
     informational (it pays real dict/span work), and the recorded
     sample counts prove the enabled run actually collected telemetry.
+
+    While the registry is hot, an :class:`repro.obs.serve.ObsServer`
+    is started on an ephemeral port and ``/metrics`` is scraped once
+    per repeat — the ``serve_scrape`` sub-record pins the live HTTP
+    path (status 200, non-empty typed exposition) and its latency.
     """
+    import urllib.request
+
     from repro import obs
+    from repro.obs.serve import ObsServer
 
     circuit = _clean_circuit(n_qudits)
     backend = get_backend("statevector")
@@ -396,6 +408,31 @@ def bench_obs_overhead(
     )
     n_spans = len(obs.tracing.events())
 
+    server = ObsServer(port=0).start()
+    try:
+        scrape_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=10
+            ) as response:
+                scrape_status = response.status
+                body = response.read().decode("utf-8")
+            scrape_times.append(time.perf_counter() - start)
+    finally:
+        server.stop()
+    families = sum(
+        1 for line in body.splitlines() if line.startswith("# TYPE ")
+    )
+    assert scrape_status == 200 and families > 0  # live scrape worked
+    serve_scrape = {
+        "scrapes": repeats,
+        "status": scrape_status,
+        "min_scrape_s": round(min(scrape_times), 6),
+        "families": families,
+        "body_bytes": len(body.encode("utf-8")),
+    }
+
     obs.disable()
     obs.reset()
     disabled_after_s = min(once() for _ in range(repeats))
@@ -412,6 +449,7 @@ def bench_obs_overhead(
         "enabled_ratio": round(enabled_s / disabled_before_s, 4),
         "gate_applies_observed": int(gate_applies),
         "spans_recorded": n_spans,
+        "serve_scrape": serve_scrape,
     }
 
 

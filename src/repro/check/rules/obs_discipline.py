@@ -8,7 +8,11 @@ different label sets produces samples that cannot be compared or summed
 another silently splits the family).
 
 Checked at every ``inc`` / ``observe`` / ``set_gauge`` call site reached
-through :mod:`repro.obs` (module helpers or registry methods):
+through :mod:`repro.obs` — module helpers, registry methods, *bound*
+metric objects (``hits = REGISTRY.counter("cache_hits")`` followed by
+``hits.inc(...)``), registry aliases (``reg = _metrics.REGISTRY``), and
+chained registration-then-record calls
+(``REGISTRY.counter("n").inc(...)``):
 
 * literal metric names must match ``^[a-z][a-z0-9_]*$``;
 * across the whole scanned set, each metric name must use one consistent
@@ -37,6 +41,10 @@ _SAMPLE_HELPERS = frozenset({"inc", "observe", "set_gauge"})
 #: carry no labels).
 _FAMILY_HELPERS = frozenset({"counter", "gauge", "histogram"})
 
+#: Sample-recording methods on bound metric objects (Counter.inc,
+#: Gauge.set, Histogram.observe) — the value is the first positional.
+_BOUND_METHODS = frozenset({"inc", "observe", "set"})
+
 
 @dataclass(frozen=True)
 class _Site:
@@ -62,8 +70,12 @@ class ObsDisciplineRule(Rule):
         self._module_aliases: set[str] = set()
         #: local names bound directly to inc/observe/set_gauge helpers.
         self._helper_aliases: dict[str, str] = {}
-        #: local names bound to a metrics registry (REGISTRY / imports).
+        #: local names bound to a metrics registry (REGISTRY / imports /
+        #: ``reg = _metrics.REGISTRY`` assignments).
         self._registry_aliases: set[str] = {"REGISTRY"}
+        #: local names bound to a metric object -> its family name
+        #: (``hits = REGISTRY.counter("cache_hits")``).
+        self._bound_metrics: dict[str, str] = {}
 
     # -- import tracking ----------------------------------------------
     @staticmethod
@@ -97,6 +109,56 @@ class ObsDisciplineRule(Rule):
             elif alias.name == "REGISTRY" and (from_obs or from_metrics):
                 self._registry_aliases.add(bound)
 
+    # -- assignment tracking -------------------------------------------
+    def _family_literal(self, value: ast.AST) -> str | None:
+        """The literal metric name when ``value`` is a registration call."""
+        if not isinstance(value, ast.Call):
+            return None
+        if self._classify(value.func) != "family":
+            return None
+        if value.args:
+            name_node: ast.AST | None = value.args[0]
+        else:
+            name_node = next(
+                (kw.value for kw in value.keywords if kw.arg == "name"), None
+            )
+        if isinstance(name_node, ast.Constant) and isinstance(name_node.value, str):
+            return name_node.value
+        return None
+
+    def _is_registry_expr(self, value: ast.AST) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in self._registry_aliases
+        parts = dotted_name(value)
+        return (
+            parts is not None
+            and len(parts) == 2
+            and parts[1] == "REGISTRY"
+            and parts[0] in self._module_aliases
+        )
+
+    def visit_Assign(self, node: ast.Assign, ctx: FileContext) -> None:
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if not targets:
+            return
+        family = self._family_literal(node.value)
+        if family is not None:
+            for target in targets:
+                self._bound_metrics[target] = family
+                if target != "REGISTRY":
+                    self._registry_aliases.discard(target)
+            return
+        if self._is_registry_expr(node.value):
+            for target in targets:
+                self._registry_aliases.add(target)
+                self._bound_metrics.pop(target, None)
+            return
+        # Any other assignment shadows a previously tracked binding.
+        for target in targets:
+            self._bound_metrics.pop(target, None)
+            if target != "REGISTRY":
+                self._registry_aliases.discard(target)
+
     # -- call classification -------------------------------------------
     def _classify(self, func: ast.AST) -> str | None:
         """``"inc"``/``"observe"``/``"set_gauge"``/``"family"`` or None."""
@@ -115,8 +177,38 @@ class ObsDisciplineRule(Rule):
             return "family"
         return None
 
+    def _track_labels(self, name: str, node: ast.Call, ctx: FileContext) -> None:
+        """Record one sample site's label-keyword set for ``name``."""
+        if any(kw.arg is None for kw in node.keywords):
+            return  # **dynamic labels: skip consistency tracking
+        labels = tuple(
+            sorted(
+                kw.arg
+                for kw in node.keywords
+                if kw.arg is not None and kw.arg not in ("value", "name")
+            )
+        )
+        self._sites.setdefault(name, []).append(
+            _Site(ctx.relpath, node.lineno, labels)
+        )
+
     def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
-        kind = self._classify(node.func)
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _BOUND_METHODS:
+            # hits.inc(...) on a bound metric, or the chained
+            # REGISTRY.counter("n").inc(...) — the family name lives at
+            # the binding/registration, not in this call's arguments.
+            family: str | None = None
+            if isinstance(func.value, ast.Name):
+                family = self._bound_metrics.get(func.value.id)
+            elif isinstance(func.value, ast.Call):
+                family = self._family_literal(func.value)
+            if family is not None:
+                # Name hygiene was checked where the family was
+                # registered; this site only contributes its label set.
+                self._track_labels(family, node, ctx)
+                return
+        kind = self._classify(func)
         if kind is None:
             return
         if not node.args:
@@ -140,18 +232,7 @@ class ObsDisciplineRule(Rule):
             return
         if kind == "family":
             return  # registrations carry no label sets
-        if any(kw.arg is None for kw in node.keywords):
-            return  # **dynamic labels: skip consistency tracking
-        labels = tuple(
-            sorted(
-                kw.arg
-                for kw in node.keywords
-                if kw.arg is not None and kw.arg not in ("value", "name")
-            )
-        )
-        self._sites.setdefault(name, []).append(
-            _Site(ctx.relpath, node.lineno, labels)
-        )
+        self._track_labels(name, node, ctx)
 
     # -- cross-file consistency ----------------------------------------
     def finish_run(self, analysis: Analysis) -> None:

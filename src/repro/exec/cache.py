@@ -44,6 +44,7 @@ import numpy as np
 
 from ..core.exceptions import SimulationError
 from ..obs import metrics as _metrics
+from ..obs.ledger import LEDGER_FILENAME, RunLedger
 
 __all__ = ["stable_hash", "point_key", "ResultCache", "MISS"]
 
@@ -200,6 +201,20 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    @property
+    def ledger_path(self) -> Path:
+        """Where this cache's co-located run ledger lives.
+
+        A root-level file: entry shards are ``<root>/xx/<key>.json``, so
+        the ``*/*.json`` scans (caps, eviction, ``__len__``) never see
+        it and ledger growth cannot evict cache entries.
+        """
+        return self.root / LEDGER_FILENAME
+
+    def ledger(self) -> RunLedger:
+        """The run ledger co-located with this cache."""
+        return RunLedger(self.ledger_path)
 
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`MISS`.

@@ -50,7 +50,9 @@ import itertools
 import json
 import multiprocessing
 import os
+import platform
 import signal
+import sys
 import threading
 import time
 import traceback
@@ -66,8 +68,11 @@ import numpy as np
 
 from ..core.exceptions import SimulationError
 from ..obs import metrics as _metrics
+from ..obs import profiling as _profiling
 from ..obs import tracing as _tracing
-from .cache import MISS, ResultCache
+from ..obs.ledger import RunLedger
+from ..obs.serve import ObsServer
+from .cache import MISS, ResultCache, stable_hash
 from .policy import FailurePolicy
 from .sweep import Campaign, CampaignPoint, resolve_task
 
@@ -156,6 +161,12 @@ def _execute_point(
     """One attempt at one point, with any scheduled fault injected first."""
     if faults is not None:
         faults.apply(point, attempt, in_worker=in_worker)
+    if _profiling.enabled:
+        # One wrap point covers workers and the serial path alike; the
+        # raw profile lands in the process-local buffer, shipped (or
+        # consumed) exactly like metric deltas.
+        with _profiling.profiled():
+            return _call_task(task_ref, point)
     return _call_task(task_ref, point)
 
 
@@ -170,19 +181,24 @@ def _describe_error(exc: BaseException) -> dict[str, Any]:
     }
 
 
-def _sync_worker_obs(obs_conf: tuple[bool, bool] | None) -> None:
+def _sync_worker_obs(obs_conf: tuple[bool, bool, bool] | None) -> None:
     """Mirror the supervisor's obs enablement inside a worker process.
 
     ``obs_conf`` is ``None`` (everything off — the common case, one
-    comparison per point) or ``(metrics_on, tracing_on)``; flipping the
-    module flags here is what makes the instrumented backends record in
-    the worker without any per-call coordination.
+    comparison per point) or ``(metrics_on, tracing_on, profiling_on)``;
+    flipping the module flags here is what makes the instrumented
+    backends record in the worker without any per-call coordination.
     """
-    metrics_on, tracing_on = obs_conf if obs_conf is not None else (False, False)
+    if obs_conf is not None:
+        metrics_on, tracing_on, profiling_on = obs_conf
+    else:
+        metrics_on = tracing_on = profiling_on = False
     if _metrics.enabled != metrics_on:
         _metrics.enable() if metrics_on else _metrics.disable()
     if _tracing.enabled != tracing_on:
         _tracing.enable() if tracing_on else _tracing.disable()
+    if _profiling.enabled != profiling_on:
+        _profiling.enable() if profiling_on else _profiling.disable()
 
 
 def _worker_obs_payload(started: float) -> dict[str, Any]:
@@ -198,6 +214,8 @@ def _worker_obs_payload(started: float) -> dict[str, Any]:
         payload["metrics"] = _metrics.REGISTRY.drain()
     if _tracing.enabled:
         payload["spans"] = _tracing.drain()
+    if _profiling.enabled:
+        payload["profile"] = _profiling.drain()
     return payload
 
 
@@ -220,8 +238,10 @@ def _worker_main(conn: connection.Connection) -> None:
     # supervisor would double-count them on merge.  Start clean.
     _metrics.disable()
     _tracing.disable()
+    _profiling.disable()
     _metrics.REGISTRY.reset()
     _tracing.reset()
+    _profiling.reset()
     while True:
         try:
             message = conn.recv()
@@ -690,8 +710,8 @@ class _SupervisedPool:
             run.attempts[dispatch.point.index] = dispatch.tries
             uid = next(self._uids)
             obs_conf = (
-                (_metrics.enabled, _tracing.enabled)
-                if (_metrics.enabled or _tracing.enabled)
+                (_metrics.enabled, _tracing.enabled, _profiling.enabled)
+                if (_metrics.enabled or _tracing.enabled or _profiling.enabled)
                 else None
             )
             try:
@@ -816,6 +836,9 @@ class _SupervisedPool:
         spans = obs.get("spans")
         if spans:
             _tracing.add_events(spans)
+        profiles = obs.get("profile")
+        if profiles:
+            _profiling.add_raw(profiles)
 
     def _on_message(self, worker: _Worker, message: tuple[Any, ...]) -> None:
         kind, uid, payload, exc, obs = message
@@ -1104,6 +1127,8 @@ class CampaignHandle:
         policy: FailurePolicy,
         faults: FaultPlan | None,
         start: float,
+        fingerprint: str | None = None,
+        ledger: RunLedger | None = None,
     ) -> None:
         self._executor = executor
         self._campaign = campaign
@@ -1125,6 +1150,10 @@ class CampaignHandle:
         self._pool_backed = run is not None
         self._serial_attempts: dict[int, int] = {}
         self._failed: BaseException | None = None
+        self._fingerprint = fingerprint
+        self._ledger = ledger
+        self._ledger_written = False
+        self._started_at = time.time()
         self.cache_hits = sum(1 for hit in hits if hit.source == "cache")
         self.checkpoint_hits = len(hits) - self.cache_hits
         self.computed = 0
@@ -1148,6 +1177,11 @@ class CampaignHandle:
     def policy(self) -> FailurePolicy:
         """The failure policy governing this submission."""
         return self._policy
+
+    @property
+    def fingerprint(self) -> str | None:
+        """Content hash identifying this campaign in the run ledger."""
+        return self._fingerprint
 
     @property
     def errors(self) -> list[dict[str, Any]]:
@@ -1188,6 +1222,7 @@ class CampaignHandle:
                     _metrics.inc("exec_points", source=hit.source)
                 yield hit
             if not pending:
+                self._write_ledger()
                 return
             if self._checkpoint_path is not None:
                 self._checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
@@ -1237,6 +1272,10 @@ class CampaignHandle:
                             "exec_point_s", meta["exec_s"], outcome="error"
                         )
                     yield PointResult(point, None, "computed", False, record)
+            # Reached only when every point resolved: abandoned or failed
+            # streams leave no ledger record (a partial run is not a
+            # sample the autopilot should ever calibrate against).
+            self._write_ledger()
         finally:
             if checkpoint_handle is not None:
                 checkpoint_handle.close()
@@ -1334,12 +1373,35 @@ class CampaignHandle:
             if point.index in self._timeline
         ]
 
+    def _exec_quantiles(self) -> dict[str, float] | None:
+        """p50/p95/p99 of ``exec_point_s`` over every outcome so far.
+
+        Estimated from the live histogram's fixed buckets (all label
+        sets combined), so the numbers match what a ``/metrics`` scraper
+        would compute.  ``None`` when metrics are off or nothing has
+        been observed yet.
+        """
+        if not _metrics.enabled:
+            return None
+        metric = _metrics.REGISTRY.get("exec_point_s")
+        if not isinstance(metric, _metrics.Histogram):
+            return None
+        sample = metric.combined_sample()
+        out = {}
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            estimate = _metrics.quantile_from_sample(sample, metric.buckets, q)
+            if estimate is not None:
+                out[name] = estimate
+        return out or None
+
     def stats(self) -> dict[str, Any]:
         """Progress counters, per-point timeline, and a metrics snapshot.
 
         Never blocks — reports the state *so far*.  ``metrics`` is the
         process-global registry snapshot (worker deltas already merged
-        in) when metrics collection is on, else ``None``.
+        in) when metrics collection is on, else ``None``;
+        ``exec_point_quantiles`` estimates p50/p95/p99 of per-point
+        execution time from the same snapshot.
         """
         return {
             "name": self.name,
@@ -1352,7 +1414,67 @@ class CampaignHandle:
             "attempts": self.attempts,
             "timeline": self.timeline,
             "metrics": _metrics.snapshot() if _metrics.enabled else None,
+            "exec_point_quantiles": self._exec_quantiles(),
         }
+
+    # -- run ledger ------------------------------------------------------
+    def run_record(self) -> dict[str, Any]:
+        """The structured run record this campaign writes to the ledger.
+
+        Self-contained and JSON-safe: identity (fingerprint, task,
+        version, params shape), configuration (policy, workers, host),
+        outcome counters, wall times, the full per-point timeline,
+        terminal error records, the final metrics snapshot, and — when
+        profiling was on — the merged hot-path table.
+        """
+        policy = self._policy
+        return {
+            "fingerprint": self._fingerprint,
+            "name": self.name,
+            "task": self._campaign.task_reference,
+            "version": self._campaign.version,
+            "points": len(self._points),
+            "params_shape": sorted({k for p in self._points for k in p.params}),
+            "policy": {
+                "mode": policy.mode,
+                "max_attempts": policy.max_attempts,
+                "timeout": policy.timeout,
+                "max_crashes": policy.max_crashes,
+            },
+            "workers": self.workers,
+            "env": {
+                "cpu_count": os.cpu_count(),
+                "platform": sys.platform,
+                "python": platform.python_version(),
+            },
+            "started_at": self._started_at,
+            "duration_s": time.perf_counter() - self._start,
+            "cache_hits": self.cache_hits,
+            "checkpoint_hits": self.checkpoint_hits,
+            "computed": self.computed,
+            "errors": self.errors,
+            "timeline": self.timeline,
+            "metrics": _metrics.snapshot() if _metrics.enabled else None,
+            "exec_point_quantiles": self._exec_quantiles(),
+            "profile": (
+                _profiling.hot_table() if _profiling.raw_profiles() else None
+            ),
+        }
+
+    def _write_ledger(self) -> None:
+        """Append the run record once, when the event stream completes.
+
+        A ledger failure (read-only filesystem, full disk) is telemetry
+        trouble, never campaign trouble — the results are already
+        delivered and cached by the time this runs.
+        """
+        if self._ledger is None or self._ledger_written:
+            return
+        self._ledger_written = True
+        try:
+            self._ledger.append(self.run_record())
+        except OSError:
+            pass
 
     # -- consumption styles ----------------------------------------------
     def as_completed(self) -> Iterator[PointResult]:
@@ -1461,6 +1583,25 @@ class CampaignExecutor:
             ignored.
         policy: default :class:`FailurePolicy` (or mode string) for
             submissions that don't pass their own.
+        http_port: serve live telemetry (``/metrics``, ``/status``,
+            ``/spans``) on this localhost port for the executor's
+            lifetime; ``0`` binds an ephemeral port (read it back from
+            :attr:`http_port`).  ``None`` (default) consults the
+            ``REPRO_OBS_HTTP`` environment variable.  Starting the
+            server turns metrics and tracing collection on — an
+            endpoint over a dark registry would be pointless.
+        ledger: where completed runs append their
+            :meth:`CampaignHandle.run_record`.  ``None`` (default)
+            co-locates a :class:`~repro.obs.ledger.RunLedger` with each
+            submission's result cache (``<cache root>/ledger.jsonl``;
+            no cache, no ledger); ``False`` disables; a
+            :class:`~repro.obs.ledger.RunLedger` or path pins an
+            explicit location.
+        profile: turn per-point :mod:`cProfile` capture on
+            (:mod:`repro.obs.profiling` — note the flag is
+            process-global, like ``obs.enable()``).  Worker profiles
+            ship back over the result pipe and merge into the hot-path
+            table of run records and flight reports.
 
     Attributes:
         stats: counters — ``pools_created``, ``campaigns``,
@@ -1476,6 +1617,9 @@ class CampaignExecutor:
         cache: ResultCache | str | Path | None = None,
         chunk_size: int | None = None,
         policy: FailurePolicy | str | None = None,
+        http_port: int | None = None,
+        ledger: RunLedger | str | Path | bool | None = None,
+        profile: bool = False,
     ) -> None:
         n_workers = int(workers or 1)
         if n_workers < 0:
@@ -1492,6 +1636,23 @@ class CampaignExecutor:
         self._campaigns = 0
         self._points_computed = 0
         self._counters: dict[str, int] = {"respawns": 0, "retries": 0, "timeouts": 0}
+        self._ledger_conf = ledger
+        if profile:
+            _profiling.enable()
+        if http_port is None:
+            raw = os.environ.get("REPRO_OBS_HTTP", "").strip()
+            if raw:
+                try:
+                    http_port = int(raw)
+                except ValueError:
+                    raise SimulationError(
+                        f"REPRO_OBS_HTTP must be a port number, got {raw!r}"
+                    ) from None
+        self._server: ObsServer | None = None
+        if http_port is not None:
+            _metrics.enable()
+            _tracing.enable()
+            self._server = ObsServer(port=http_port).start()
 
     # -- pool lifecycle --------------------------------------------------
     def _ensure_pool(self) -> _SupervisedPool:
@@ -1531,6 +1692,30 @@ class CampaignExecutor:
             **self._counters,
         }
 
+    @property
+    def http_port(self) -> int | None:
+        """The telemetry server's bound port (``None`` when not serving)."""
+        return self._server.port if self._server is not None else None
+
+    @property
+    def http_url(self) -> str | None:
+        """Base URL of the telemetry server (``None`` when not serving)."""
+        return self._server.url if self._server is not None else None
+
+    def _resolve_ledger(
+        self, cache: ResultCache | None, conf: Any = _UNSET
+    ) -> RunLedger | None:
+        """The ledger a submission writes to, under the effective config."""
+        if conf is _UNSET:
+            conf = self._ledger_conf
+        if conf is False:
+            return None
+        if conf is None or conf is True:
+            return cache.ledger() if cache is not None else None
+        if isinstance(conf, RunLedger):
+            return conf
+        return RunLedger(conf)
+
     def close(self, timeout: float = 5.0) -> bool:
         """Tear down the pool.  Safe to call twice; submits then fail.
 
@@ -1546,6 +1731,9 @@ class CampaignExecutor:
             no pool was ever created).
         """
         self._closed = True
+        server, self._server = self._server, None
+        if server is not None:
+            server.stop(timeout)
         pool, self._pool = self._pool, None
         if pool is not None:
             return pool.shutdown(timeout)
@@ -1567,6 +1755,7 @@ class CampaignExecutor:
         chunk_size: int | None = None,
         policy: FailurePolicy | str | None = None,
         faults: FaultPlan | None = None,
+        ledger: RunLedger | str | Path | bool | None = _UNSET,
     ) -> CampaignHandle:
         """Start a campaign; consume it through the returned handle.
 
@@ -1592,6 +1781,11 @@ class CampaignExecutor:
             faults: a :class:`repro.exec.faults.FaultPlan` injecting
                 deterministic faults into this submission's executions
                 (testing only).
+            ledger: override the executor's run-ledger config for this
+                submission (same semantics as the constructor argument:
+                ``None`` co-locates with the effective cache, ``False``
+                disables, a :class:`~repro.obs.ledger.RunLedger` or
+                path pins a location).
         """
         if self._closed:
             raise SimulationError("executor is closed")
@@ -1632,6 +1826,13 @@ class CampaignExecutor:
             # something other than consuming the handle.
             pool = self._ensure_pool()
             run = pool.submit(campaign.task_reference, pending, effective, faults)
+        fingerprint = stable_hash(
+            {
+                "task": campaign.task_reference,
+                "version": campaign.version,
+                "keys": [point.key for point in points],
+            }
+        )
         handle = CampaignHandle(
             executor=self,
             campaign=campaign,
@@ -1644,7 +1845,11 @@ class CampaignExecutor:
             policy=effective,
             faults=faults,
             start=start,
+            fingerprint=fingerprint,
+            ledger=self._resolve_ledger(cache, ledger),
         )
+        if self._server is not None:
+            self._server.register(handle)
         self._campaigns += 1
         return handle
 
@@ -1657,6 +1862,7 @@ class CampaignExecutor:
         chunk_size: int | None = None,
         policy: FailurePolicy | str | None = None,
         faults: FaultPlan | None = None,
+        ledger: RunLedger | str | Path | bool | None = _UNSET,
     ) -> CampaignResult:
         """Submit and drain one campaign (the barrier style)."""
         handle = self.submit(
@@ -1666,6 +1872,7 @@ class CampaignExecutor:
             chunk_size=chunk_size,
             policy=policy,
             faults=faults,
+            ledger=ledger,
         )
         return handle.result()
 
@@ -1677,6 +1884,7 @@ def executor_scope(
     workers: int | None = None,
     cache: ResultCache | str | Path | None = None,
     policy: FailurePolicy | str | None = None,
+    ledger: RunLedger | str | Path | bool | None = None,
 ) -> Iterator[tuple[CampaignExecutor, dict[str, Any]]]:
     """The executor-or-own pattern shared by the workload drivers.
 
@@ -1697,9 +1905,11 @@ def executor_scope(
             kwargs["cache"] = cache
         if policy is not None:
             kwargs["policy"] = policy
+        if ledger is not None:
+            kwargs["ledger"] = ledger
         yield executor, kwargs
         return
-    owned = CampaignExecutor(workers, cache=cache, policy=policy)
+    owned = CampaignExecutor(workers, cache=cache, policy=policy, ledger=ledger)
     try:
         yield owned, {}
     finally:

@@ -1,29 +1,41 @@
-"""Observability for campaign runs: metrics, tracing spans, timelines.
+"""Observability for campaign runs: metrics, spans, endpoints, history.
 
-Two stdlib-only modules, deliberately import-light so every layer of the
+Stdlib-only modules, deliberately import-light so every layer of the
 codebase (executor, cache, all five backends) can instrument itself
 without circular imports:
 
 - :mod:`repro.obs.metrics` — labelled counters/gauges/histograms with
-  plain-dict snapshots, cross-process merge, and Prometheus-style text
-  exposition.
+  plain-dict snapshots, cross-process merge, quantile estimation, and
+  Prometheus text exposition.
 - :mod:`repro.obs.tracing` — ``span()`` context manager producing
   JSON-lines trace events with monotonic timestamps and parent ids,
   exportable to Chrome ``trace_event`` format for Perfetto.
+- :mod:`repro.obs.profiling` — opt-in per-point :mod:`cProfile` capture
+  merged across worker processes via :mod:`pstats`.
+- :mod:`repro.obs.serve` — a read-only HTTP thread exposing
+  ``/metrics``, ``/status``, and ``/spans`` for a live campaign.
+- :mod:`repro.obs.ledger` — the persistent JSON-lines run ledger that
+  survives the process (one record per executor run, co-located with
+  the result cache).
+- :mod:`repro.obs.report` — ``python -m repro.obs.report`` flight
+  reports rendered from ledger records.
 
-Both are off by default and near-free when off (one module-attribute
-check per instrumented call).  ``obs.enable()`` flips both on;
-``REPRO_OBS=1`` in the environment enables them at import time so
-scripts can be traced without code changes.  Telemetry never perturbs
-simulation results — enabling observability changes no random stream and
-no numerical path, only what gets recorded about them.
+Collection is off by default and near-free when off (one
+module-attribute check per instrumented call).  ``obs.enable()`` flips
+metrics and tracing on; ``REPRO_OBS=1`` in the environment enables them
+at import time so scripts can be traced without code changes.
+Profiling is heavier and stays separate: ``obs.profiling.enable()`` or
+``REPRO_OBS_PROFILE=1``.  Telemetry never perturbs simulation results —
+enabling observability changes no random stream and no numerical path,
+only what gets recorded about them.
 """
 
 from __future__ import annotations
 
 import os
 
-from . import metrics, tracing
+from . import ledger, metrics, profiling, serve, tracing
+from .ledger import RunLedger
 from .metrics import (
     DEFAULT_BUCKETS,
     REGISTRY,
@@ -34,9 +46,11 @@ from .metrics import (
     exposition,
     inc,
     observe,
+    quantile_from_sample,
     set_gauge,
     snapshot,
 )
+from .serve import ObsServer
 from .tracing import (
     read_jsonl,
     span,
@@ -48,6 +62,9 @@ from .tracing import (
 __all__ = [
     "metrics",
     "tracing",
+    "profiling",
+    "serve",
+    "ledger",
     "enable",
     "disable",
     "is_enabled",
@@ -63,36 +80,47 @@ __all__ = [
     "observe",
     "snapshot",
     "exposition",
+    "quantile_from_sample",
     "span",
     "write_jsonl",
     "read_jsonl",
     "to_chrome",
     "write_chrome",
+    "ObsServer",
+    "RunLedger",
 ]
 
 
 def enable() -> None:
-    """Enable metrics and tracing together (idempotent)."""
+    """Enable metrics and tracing together (idempotent).
+
+    Profiling is *not* implied — it has real overhead; opt in with
+    :func:`repro.obs.profiling.enable`.
+    """
     metrics.enable()
     tracing.enable()
 
 
 def disable() -> None:
-    """Disable metrics and tracing; collected data is kept."""
+    """Disable metrics, tracing, and profiling; collected data is kept."""
     metrics.disable()
     tracing.disable()
+    profiling.disable()
 
 
 def is_enabled() -> bool:
-    """True if either metrics or tracing collection is on."""
-    return metrics.enabled or tracing.enabled
+    """True if any collection (metrics, tracing, profiling) is on."""
+    return metrics.enabled or tracing.enabled or profiling.enabled
 
 
 def reset() -> None:
-    """Drop all collected metrics and spans (does not change enablement)."""
+    """Drop all collected metrics, spans, and profiles (keeps enablement)."""
     REGISTRY.reset()
     tracing.reset()
+    profiling.reset()
 
 
 if os.environ.get("REPRO_OBS", "").strip() not in ("", "0"):
     enable()
+if os.environ.get("REPRO_OBS_PROFILE", "").strip() not in ("", "0"):
+    profiling.enable()

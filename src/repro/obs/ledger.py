@@ -1,0 +1,204 @@
+"""Persistent run ledger: one JSON line per completed campaign run.
+
+Metrics and spans die with the process; the ledger is the part of the
+observability story that survives it.  Every executor run appends a
+structured record — campaign fingerprint, parameter shape, retry
+policy, environment, final metrics snapshot, per-point timeline, error
+records, wall times — to a JSON-lines file that lives beside the
+:class:`~repro.exec.cache.ResultCache` (``<cache root>/ledger.jsonl``;
+the cache's shard glob ``*/*.json`` never sees a root-level file, so
+the ledger does not count against cache caps).
+
+Records accumulate across processes and machines sharing a cache root,
+which makes the ledger the historical sample store the ROADMAP's
+error-budget autopilot recalibrates against: :meth:`RunLedger.query`
+filters by fingerprint/task/date and :meth:`RunLedger.exec_s_samples`
+aggregates per-point wall-time distributions across runs.
+
+The format is deliberately boring: UTF-8 JSON lines, append-only, one
+self-contained record per line.  Torn or corrupt lines (a crash mid
+``write``) are skipped on read, never repaired in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from . import metrics as _metrics
+
+__all__ = ["LEDGER_FILENAME", "RunLedger", "RunRecord"]
+
+#: Filename used when a ledger is co-located with a ``ResultCache``.
+LEDGER_FILENAME = "ledger.jsonl"
+
+#: One ledger entry, parsed back from its JSON line.
+RunRecord = dict[str, Any]
+
+
+def _ensure_ledger_metrics() -> None:
+    """Register the ledger's metric families (idempotent)."""
+    _metrics.REGISTRY.counter(
+        "ledger_records", "Run records appended to the ledger."
+    )
+    _metrics.REGISTRY.histogram(
+        "ledger_write_s", "Wall time spent appending one ledger record."
+    )
+
+
+class RunLedger:
+    """Append-only JSON-lines store of campaign run records.
+
+    Thread-safe for appends within a process (each append is a single
+    ``write()`` of one line on a freshly opened descriptor in append
+    mode), and safe across processes on POSIX for the record sizes we
+    produce — the same discipline the result cache uses for its
+    side-channel files.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+
+    def __repr__(self) -> str:
+        return f"RunLedger({str(self.path)!r})"
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Append one run record, stamping ``recorded_at`` if absent.
+
+        Returns the record as written.  The serialised line must be
+        valid JSON with no embedded newline; ``json.dumps`` with
+        default separators guarantees both.  A crashed writer can leave
+        an unterminated tail; appending starts on a fresh line in that
+        case so the torn fragment stays isolated instead of corrupting
+        this record too.
+        """
+        _ensure_ledger_metrics()
+        if "recorded_at" not in record:
+            record = {**record, "recorded_at": time.time()}
+        line = json.dumps(record, sort_keys=True, default=str)
+        started = time.perf_counter()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        prefix = ""
+        try:
+            with open(self.path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    prefix = "\n"
+        except OSError:
+            pass  # missing or empty file: nothing to isolate
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(prefix + line + "\n")
+            fh.flush()
+        if _metrics.enabled:
+            _metrics.observe("ledger_write_s", time.perf_counter() - started)
+            _metrics.inc("ledger_records")
+        return record
+
+    # -- reading -------------------------------------------------------
+
+    def records(self) -> Iterator[RunRecord]:
+        """Yield records oldest-first, skipping torn/corrupt lines."""
+        if not self.path.exists():
+            return
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    parsed = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a crashed writer
+                if isinstance(parsed, dict):
+                    yield parsed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def query(
+        self,
+        *,
+        fingerprint: str | None = None,
+        task: str | None = None,
+        name: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+        predicate: Callable[[RunRecord], bool] | None = None,
+        limit: int | None = None,
+    ) -> list[RunRecord]:
+        """Filtered records, oldest-first.
+
+        ``fingerprint``/``task``/``name`` match record fields exactly;
+        ``since``/``until`` bound ``recorded_at`` (unix seconds,
+        inclusive); ``predicate`` is an arbitrary final filter; a
+        ``limit`` keeps the **newest** matches.
+        """
+        out = []
+        for record in self.records():
+            if fingerprint is not None and record.get("fingerprint") != fingerprint:
+                continue
+            if task is not None and record.get("task") != task:
+                continue
+            if name is not None and record.get("name") != name:
+                continue
+            stamp = record.get("recorded_at")
+            if since is not None and not (
+                isinstance(stamp, (int, float)) and stamp >= since
+            ):
+                continue
+            if until is not None and not (
+                isinstance(stamp, (int, float)) and stamp <= until
+            ):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        if limit is not None and limit >= 0:
+            out = out[len(out) - limit :] if limit else []
+        return out
+
+    def latest(self, **filters: Any) -> RunRecord | None:
+        """Newest record matching ``filters`` (see :meth:`query`)."""
+        matches = self.query(**filters)
+        return matches[-1] if matches else None
+
+    # -- aggregation ---------------------------------------------------
+
+    def exec_s_samples(self, **filters: Any) -> list[float]:
+        """All per-point execution wall times across matching runs.
+
+        Pulled from each record's timeline ``exec_s`` fields — the raw
+        sample set for cost-model recalibration.
+        """
+        samples: list[float] = []
+        for record in self.query(**filters):
+            for entry in record.get("timeline") or []:
+                value = entry.get("exec_s") if isinstance(entry, dict) else None
+                if isinstance(value, (int, float)):
+                    samples.append(float(value))
+        return samples
+
+    def exec_s_distribution(self, **filters: Any) -> dict[str, float] | None:
+        """Summary stats of :meth:`exec_s_samples` (count/min/max/mean/quantiles)."""
+        samples = sorted(self.exec_s_samples(**filters))
+        if not samples:
+            return None
+
+        def pick(q: float) -> float:
+            index = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
+            return samples[index]
+
+        return {
+            "count": float(len(samples)),
+            "min": samples[0],
+            "max": samples[-1],
+            "mean": sum(samples) / len(samples),
+            "p50": pick(0.50),
+            "p95": pick(0.95),
+            "p99": pick(0.99),
+        }

@@ -39,6 +39,7 @@ __all__ = [
     "enabled",
     "enable",
     "disable",
+    "quantile_from_sample",
     "inc",
     "set_gauge",
     "observe",
@@ -182,6 +183,43 @@ class Histogram(_Metric):
             "count": found["count"],
         }
 
+    def combined_sample(self) -> dict[str, Any] | None:
+        """One sample summed over every label set (``None`` if empty).
+
+        Buckets/sum/count add elementwise — the same arithmetic as the
+        cross-process merge — so quantiles over "all outcomes" of a
+        family do not need the caller to know which label sets exist.
+        """
+        combined: dict[str, Any] | None = None
+        with self._lock:
+            for found in self._values.values():
+                if combined is None:
+                    combined = {
+                        "buckets": list(found["buckets"]),
+                        "sum": found["sum"],
+                        "count": found["count"],
+                    }
+                else:
+                    for i, count in enumerate(found["buckets"]):
+                        combined["buckets"][i] += count
+                    combined["sum"] += found["sum"]
+                    combined["count"] += found["count"]
+        return combined
+
+    def quantile(self, q: float, **labels: object) -> float | None:
+        """Estimate the ``q``-quantile of one label set's sample.
+
+        Linear interpolation inside the fixed buckets (the
+        ``histogram_quantile`` estimator): the bucket holding the target
+        rank is found from the cumulative counts and the value is
+        interpolated between its bounds (the first bucket interpolates
+        up from zero; ranks landing in the +Inf overflow slot report the
+        largest finite bound — the honest answer a fixed-bucket
+        histogram can give).  Returns ``None`` when no observations
+        exist for the label set.
+        """
+        return quantile_from_sample(self.sample(**labels), self.buckets, q)
+
     def _snapshot_values(self) -> dict[str, Any]:
         return {
             key: {
@@ -191,6 +229,36 @@ class Histogram(_Metric):
             }
             for key, sample in self._values.items()
         }
+
+
+def quantile_from_sample(
+    sample: dict[str, Any] | None, buckets: tuple[float, ...], q: float
+) -> float | None:
+    """The ``q``-quantile of one histogram sample dict (or ``None``).
+
+    Works on the plain sample shape :meth:`Histogram.sample` /
+    :meth:`MetricsRegistry.snapshot` emit, so ledger records and merged
+    snapshots can be quantiled without reconstructing live metrics.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if sample is None or sample["count"] <= 0:
+        return None
+    counts = sample["buckets"]
+    rank = q * sample["count"]
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if i >= len(buckets):
+                # +Inf overflow: no finite upper bound to interpolate to.
+                return float(buckets[-1])
+            lo = float(buckets[i - 1]) if i > 0 else 0.0
+            hi = float(buckets[i])
+            fraction = (rank - previous) / count
+            return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+    return float(buckets[-1])  # pragma: no cover - count>0 always lands
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -336,7 +404,9 @@ class MetricsRegistry:
         lines: list[str] = []
         for name, metric in sorted(self._metrics.items()):
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                # HELP text escapes backslash and newline (no quotes).
+                help_text = metric.help.replace("\\", r"\\").replace("\n", r"\n")
+                lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {metric.kind}")
             values = metric._snapshot_values()
             for key in sorted(values):
@@ -379,17 +449,30 @@ def _label_pairs(key: str) -> list[tuple[str, str]]:
     return pairs
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping.
+
+    The exposition grammar requires backslash, double-quote, and newline
+    escaped inside quoted label values; emitted raw they produce
+    unparseable text (a quote ends the value early, a newline ends the
+    whole sample line).
+    """
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
 def _label_suffix(key: str) -> str:
     pairs = _label_pairs(key)
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
 def _merge_label(key: str, extra_key: str, extra_value: str) -> str:
     pairs = _label_pairs(key) + [(extra_key, extra_value)]
-    return ",".join(f'{k}="{v}"' for k, v in pairs)
+    return ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
 
 
 #: The process-global registry behind the module-level helpers.

@@ -1,0 +1,178 @@
+"""Opt-in per-worker sampling profiles, merged across processes.
+
+Metrics answer "how many, how long"; when a campaign point is slow the
+next question is *where inside the task* the time went.  This module
+wraps each point execution in a :mod:`cProfile` run (only when the
+module-level :data:`enabled` flag is on — profiling has real overhead,
+so unlike metrics/tracing it is never implied by ``obs.enable()``) and
+buffers the raw stats dicts.  Campaign workers drain the buffer after
+each point and piggyback it onto the existing result-pipe obs slot —
+exactly how metric deltas and spans travel — and the supervisor folds
+the raw dicts back in here, so :func:`merged` sees one multi-process
+profile.
+
+Raw profiles are the plain ``cProfile.Profile.stats`` mapping
+``{(file, line, func): (cc, nc, tt, ct, callers)}`` — picklable for the
+pipe, and merged via :class:`pstats.Stats` addition.  :func:`hot_table`
+renders the merged profile as JSON-safe rows for flight reports and
+ledger records.
+
+Enable with ``obs.profiling.enable()``, ``REPRO_OBS_PROFILE=1`` in the
+environment, or ``CampaignExecutor(profile=True)``.  The usual obs
+contract holds: profiling reads timings only and never perturbs
+simulation results.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "profiled",
+    "add_raw",
+    "raw_profiles",
+    "drain",
+    "reset",
+    "merged",
+    "hot_table",
+]
+
+#: One raw profile: cProfile's stats dict, picklable as-is.
+RawProfile = dict[tuple[str, int, str], tuple[Any, ...]]
+
+#: Module-level fast-path flag; :func:`profiled` is a no-op when off.
+enabled: bool = False
+
+_buffer: list[RawProfile] = []
+_buffer_lock = threading.Lock()
+
+
+def enable() -> None:
+    """Turn point profiling on (idempotent)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn point profiling off; buffered profiles are kept."""
+    global enabled
+    enabled = False
+
+
+@contextmanager
+def profiled() -> Iterator[None]:
+    """Profile the block with :mod:`cProfile` (no-op when disabled).
+
+    The raw stats land in the module buffer even when the block raises —
+    a failing point's profile is exactly the one worth reading.  cProfile
+    does not nest: a block already under another active profiler runs
+    unprofiled rather than crashing the point.
+    """
+    if not enabled:
+        yield
+        return
+    profile = cProfile.Profile()
+    try:
+        profile.enable()
+    except ValueError:  # another profiler is active (e.g. an outer tool)
+        yield
+        return
+    try:
+        yield
+    finally:
+        profile.disable()
+        profile.create_stats()
+        with _buffer_lock:
+            _buffer.append(dict(profile.stats))  # type: ignore[attr-defined]
+
+
+def add_raw(profiles: list[RawProfile]) -> None:
+    """Fold raw profiles collected elsewhere in (the cross-process merge).
+
+    Like :func:`repro.obs.tracing.add_events` this works regardless of
+    :data:`enabled` — merging is bookkeeping, not collection.
+    """
+    if not profiles:
+        return
+    with _buffer_lock:
+        _buffer.extend(profiles)
+
+
+def raw_profiles() -> list[RawProfile]:
+    """Copy of the buffered raw profiles."""
+    with _buffer_lock:
+        return list(_buffer)
+
+
+def drain() -> list[RawProfile]:
+    """Return buffered profiles and clear the buffer (worker per-point ship)."""
+    with _buffer_lock:
+        out = list(_buffer)
+        _buffer.clear()
+    return out
+
+
+def reset() -> None:
+    """Drop all buffered profiles (tests / fresh sessions)."""
+    with _buffer_lock:
+        _buffer.clear()
+
+
+class _StatsCarrier:
+    """Adapter giving a raw stats dict the interface ``pstats`` loads."""
+
+    def __init__(self, raw: RawProfile) -> None:
+        self.stats = raw
+
+    def create_stats(self) -> None:
+        """Already created — the dict *is* the stats."""
+
+
+def merged(profiles: list[RawProfile] | None = None) -> pstats.Stats | None:
+    """One :class:`pstats.Stats` over all (default: buffered) profiles."""
+    if profiles is None:
+        profiles = raw_profiles()
+    if not profiles:
+        return None
+    stats = pstats.Stats(_StatsCarrier(profiles[0]))
+    for raw in profiles[1:]:
+        stats.add(_StatsCarrier(raw))
+    return stats
+
+
+def hot_table(
+    limit: int = 15, profiles: list[RawProfile] | None = None
+) -> list[dict[str, Any]]:
+    """The merged profile's hottest functions as JSON-safe rows.
+
+    Rows are sorted by cumulative time, one per function:
+    ``{"func", "file", "line", "ncalls", "tottime_s", "cumtime_s"}`` —
+    the flight report's hot-path table and the ledger record's
+    ``profile`` field.
+    """
+    stats = merged(profiles)
+    if stats is None:
+        return []
+    rows = []
+    for (filename, lineno, func), entry in stats.stats.items():  # type: ignore[attr-defined]
+        cc, nc, tt, ct = entry[0], entry[1], entry[2], entry[3]
+        del cc
+        rows.append(
+            {
+                "func": func,
+                "file": filename,
+                "line": int(lineno),
+                "ncalls": int(nc),
+                "tottime_s": round(float(tt), 6),
+                "cumtime_s": round(float(ct), 6),
+            }
+        )
+    rows.sort(key=lambda row: (-row["cumtime_s"], row["file"], row["line"]))
+    return rows[: max(0, limit)]

@@ -1,0 +1,180 @@
+"""Live telemetry endpoints over the in-process observability state.
+
+A stdlib :mod:`http.server` thread that makes a running campaign
+externally visible — the day-one surface for the always-on campaign
+service the ROADMAP points at:
+
+- ``/metrics`` — the live registry as Prometheus exposition text
+  (worker deltas are merged in by the supervisor as results arrive, so
+  a mid-flight scrape sees the campaign's progress).
+- ``/status`` — JSON per-campaign progress from
+  :meth:`CampaignHandle.stats`, with the heavyweight fields (timeline,
+  metrics snapshot, per-point attempts) stripped down to counts.
+- ``/spans`` — the recent span buffer as JSON, newest last
+  (``?limit=N``, default 256).
+
+Everything is read-only and snapshot-under-lock: the registry and span
+buffer copy their state under their own locks, and handle counters are
+single reads of values the supervisor thread publishes — a scrape can
+never block or perturb dispatch.  Campaign handles are tracked through
+weak references, so the server never extends a handle's lifetime.
+
+Opt in with ``CampaignExecutor(http_port=...)`` or
+``REPRO_OBS_HTTP=<port>`` in the environment; port ``0`` binds an
+ephemeral port, published via :attr:`ObsServer.port`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import weakref
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs, urlsplit
+
+from . import metrics as _metrics
+from . import tracing as _tracing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exec -> obs)
+    from repro.exec.executor import CampaignHandle
+
+__all__ = ["DEFAULT_SPAN_LIMIT", "ObsServer"]
+
+#: ``/spans`` tail length when the query string does not say otherwise.
+DEFAULT_SPAN_LIMIT = 256
+
+#: Keys of :meth:`CampaignHandle.stats` too heavy for a status poll.
+_STATUS_DROP = ("timeline", "metrics", "attempts")
+
+
+def _ensure_http_metrics() -> None:
+    """Register the server's metric family (idempotent)."""
+    _metrics.REGISTRY.counter(
+        "http_requests", "Telemetry endpoint requests served, by path."
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three read-only endpoints; everything else is 404."""
+
+    server: "ObsServer"  # narrowed from http.server's BaseServer
+
+    # BaseHTTPRequestHandler logs every request to stderr by default —
+    # unacceptable noise next to a progress bar.
+    def log_message(self, format: str, *args: Any) -> None:
+        del format, args
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        split = urlsplit(self.path)
+        route = split.path.rstrip("/") or "/"
+        if _metrics.enabled:
+            _ensure_http_metrics()
+            _metrics.inc("http_requests", path=route)
+        if route == "/metrics":
+            self._reply(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                _metrics.exposition().encode("utf-8"),
+            )
+        elif route == "/status":
+            self._reply_json(self.server.status())
+        elif route == "/spans":
+            limit = DEFAULT_SPAN_LIMIT
+            raw = parse_qs(split.query).get("limit", [])
+            if raw:
+                try:
+                    limit = max(0, int(raw[0]))
+                except ValueError:
+                    self._reply_json({"error": f"bad limit: {raw[0]!r}"}, code=400)
+                    return
+            events = _tracing.events()
+            self._reply_json(
+                {"total": len(events), "spans": events[len(events) - limit :]}
+            )
+        else:
+            self._reply_json({"error": f"no such endpoint: {route}"}, code=404)
+
+    def _reply_json(self, payload: dict[str, Any], code: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        self._reply(code, "application/json; charset=utf-8", body)
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ObsServer(ThreadingHTTPServer):
+    """The telemetry endpoint server; one daemon thread, explicit stop.
+
+    Usually owned by a :class:`~repro.exec.executor.CampaignExecutor`
+    (``http_port=``), which registers every submitted handle and stops
+    the server on close — but it stands alone too::
+
+        server = ObsServer(port=0).start()
+        ...  # scrape http://127.0.0.1:{server.port}/metrics
+        server.stop()
+    """
+
+    daemon_threads = True
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        super().__init__((host, port), _Handler)
+        self._thread: threading.Thread | None = None
+        self._handles: list["weakref.ReferenceType[CampaignHandle]"] = []
+        self._handles_lock = threading.Lock()
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one when constructed with ``0``)."""
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Serve on a daemon thread; returns ``self`` for chaining."""
+        if self._thread is None:
+            _ensure_http_metrics()
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name=f"repro-obs-serve:{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut the listener down and join the serving thread."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self.shutdown()
+            thread.join(timeout)
+        self.server_close()
+
+    # -- campaign registry ---------------------------------------------
+
+    def register(self, handle: "CampaignHandle") -> None:
+        """Track a campaign handle (weakly) for ``/status``."""
+        with self._handles_lock:
+            self._handles = [ref for ref in self._handles if ref() is not None]
+            self._handles.append(weakref.ref(handle))
+
+    def status(self) -> dict[str, Any]:
+        """The ``/status`` payload: one summary per live campaign."""
+        campaigns = []
+        with self._handles_lock:
+            handles = [ref() for ref in self._handles]
+        for handle in handles:
+            if handle is None:
+                continue
+            stats = handle.stats()
+            summary = {k: v for k, v in stats.items() if k not in _STATUS_DROP}
+            summary["pending"] = stats["points"] - stats["resolved"]
+            campaigns.append(summary)
+        return {"campaigns": campaigns}

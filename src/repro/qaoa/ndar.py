@@ -257,6 +257,7 @@ def ndar_restart_battery(
     target_cost: int | None = None,
     executor=None,
     policy=None,
+    ledger=None,
     on_result=None,
     **task_params,
 ) -> dict:
@@ -287,6 +288,10 @@ def ndar_restart_battery(
             warm pool should be reused.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
             the battery; defaults to the executor's policy.
+        ledger: run-ledger override (a
+            :class:`repro.obs.ledger.RunLedger`, a path, or ``False``
+            to disable); by default the run record lands in the ledger
+            co-located with the effective result cache.
         on_result: optional ``callback(point, value)`` fired as each
             restart resolves (completion order), via
             :meth:`repro.exec.CampaignHandle.on_result`; independent of
@@ -313,7 +318,9 @@ def ndar_restart_battery(
         base_params=task_params,
         seed=seed,
     )
-    scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
+    scope = executor_scope(
+        executor, workers=workers, cache=cache, policy=policy, ledger=ledger
+    )
     with scope as (ex, kwargs):
         handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
         handle.on_result(on_result)

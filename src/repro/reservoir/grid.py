@@ -115,6 +115,7 @@ def reservoir_grid_campaign(
     seed: int = 0,
     executor=None,
     policy=None,
+    ledger=None,
     on_result=None,
     **task_params,
 ) -> dict:
@@ -130,6 +131,10 @@ def reservoir_grid_campaign(
             re-tuning loops that sweep many grids reuse its warm pool.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
             the grid campaign; defaults to the executor's policy.
+        ledger: run-ledger override (a
+            :class:`repro.obs.ledger.RunLedger`, a path, or ``False``
+            to disable); by default the run record lands in the ledger
+            co-located with the effective result cache.
         on_result: optional ``callback(point, value)`` invoked as each
             grid point completes (pool completion order) — a progress
             hook for long grids; the returned ``best`` is selected from
@@ -154,7 +159,9 @@ def reservoir_grid_campaign(
         base_params=task_params,
         seed=seed,
     )
-    scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
+    scope = executor_scope(
+        executor, workers=workers, cache=cache, policy=policy, ledger=ledger
+    )
     with scope as (ex, kwargs):
         handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
         result = handle.on_result(on_result).result()

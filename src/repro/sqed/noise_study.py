@@ -381,6 +381,7 @@ def damage_campaign(
     name: str = "sqed-damage",
     executor=None,
     policy=None,
+    ledger=None,
     on_result=None,
     **task_params,
 ):
@@ -401,6 +402,10 @@ def damage_campaign(
         policy: a :class:`repro.exec.FailurePolicy` (or mode string)
             governing point failures for this campaign; defaults to the
             executor's policy.
+        ledger: run-ledger override (a
+            :class:`repro.obs.ledger.RunLedger`, a path, or ``False``
+            to disable); by default the run record lands in the ledger
+            co-located with the effective result cache.
         on_result: optional ``callback(point, value)`` fired as each
             epsilon resolves (completion order — cache hits first), via
             :meth:`repro.exec.CampaignHandle.on_result`.
@@ -414,7 +419,9 @@ def damage_campaign(
     from ..exec import executor_scope
 
     campaign = _damage_campaign_spec(epsilons, name, seed, task_params)
-    scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
+    scope = executor_scope(
+        executor, workers=workers, cache=cache, policy=policy, ledger=ledger
+    )
     with scope as (ex, kwargs):
         handle = ex.submit(campaign, checkpoint=checkpoint, **kwargs)
         return handle.on_result(on_result).result()
@@ -430,6 +437,7 @@ def noise_threshold_campaign(
     seed: int = 0,
     executor=None,
     policy=None,
+    ledger=None,
     on_result=None,
     **task_params,
 ) -> float:
@@ -463,6 +471,8 @@ def noise_threshold_campaign(
             default one is created (and closed) for this bisection.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
             the probe campaigns; defaults to the executor's policy.
+        ledger: run-ledger override for the probe campaigns (same
+            semantics as :func:`damage_campaign`).
         on_result: optional ``callback(point, value)`` fired for every
             probe the bisection evaluates (single probes, ladder rungs,
             and midpoints alike), via
@@ -479,7 +489,9 @@ def noise_threshold_campaign(
             epsilons, "sqed-threshold-probe", seed, task_params
         )
 
-    scope = executor_scope(executor, workers=workers, cache=cache, policy=policy)
+    scope = executor_scope(
+        executor, workers=workers, cache=cache, policy=policy, ledger=ledger
+    )
     with scope as (ex, kwargs):
 
         def probe_one(epsilon) -> float:

@@ -420,6 +420,73 @@ class TestObsDiscipline:
         )
         assert analysis.findings == []
 
+    def test_bound_metric_label_drift_flagged(self, check):
+        """``hits = REGISTRY.counter(...)`` then ``hits.inc(...)``."""
+        analysis = check(
+            """
+            from repro.obs.metrics import REGISTRY
+
+            hits = REGISTRY.counter("hits")
+            hits.inc(backend="mps")
+            hits.inc()
+            """
+        )
+        assert lines(analysis, "obs-discipline") == [5]
+        assert "'hits'" in messages(analysis, "obs-discipline")[0]
+
+    def test_bound_metric_consistent_with_helper_site(self, check):
+        """Bound-object sites and helper sites feed one family ledger."""
+        analysis = check(
+            """
+            from repro.obs import metrics
+            from repro.obs.metrics import REGISTRY
+
+            lat = REGISTRY.histogram("latency")
+            lat.observe(0.5, op="svd")
+            metrics.observe("latency", 0.9, op="qr")
+            """
+        )
+        assert analysis.findings == []
+
+    def test_registry_alias_assignment_tracked(self, check):
+        """``reg = _metrics.REGISTRY`` keeps family calls in scope."""
+        analysis = check(
+            """
+            from repro.obs import metrics as _metrics
+
+            reg = _metrics.REGISTRY
+            reg.counter("Bad")
+            """
+        )
+        assert lines(analysis, "obs-discipline") == [4]
+
+    def test_chained_registration_record_call(self, check):
+        """``REGISTRY.counter("n").inc(...)`` contributes a label site."""
+        analysis = check(
+            """
+            from repro.obs import metrics
+            from repro.obs.metrics import REGISTRY
+
+            REGISTRY.counter("http_requests").inc(path="/metrics")
+            metrics.inc("http_requests")
+            """
+        )
+        assert lines(analysis, "obs-discipline") == [5]
+
+    def test_shadowed_binding_untracked(self, check):
+        """Rebinding a metric name to something else stops tracking it."""
+        analysis = check(
+            """
+            from repro.obs.metrics import REGISTRY
+
+            hits = REGISTRY.counter("hits")
+            hits.inc(backend="mps")
+            hits = object()
+            hits.inc()
+            """
+        )
+        assert analysis.findings == []
+
 
 class TestErrorHygiene:
     def test_bare_except_flagged(self, check):

@@ -1,0 +1,195 @@
+"""Exposition-format conformance: the text we serve must parse back.
+
+A deliberately minimal Prometheus line-protocol parser lives in this
+test module — just enough grammar (``# HELP`` / ``# TYPE`` comments,
+``name{label="value"} number`` samples, escape sequences in label
+values) to round-trip :func:`repro.obs.metrics.exposition` output and
+assert the invariants a real scraper relies on: every family announces
+HELP and TYPE before its samples, histogram ``le`` buckets are
+cumulative and monotone with a ``+Inf`` terminal, label values with
+backslashes, quotes, and newlines survive the escape/unescape cycle.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value):
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                raise AssertionError(f"bad escape \\{nxt} in label value")
+            i += 2
+        else:
+            assert ch not in ('"', "\n"), f"unescaped {ch!r} in label value"
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_exposition(text):
+    """Parse exposition text into ``{family: {...}}``, asserting grammar.
+
+    Each family carries ``help``, ``type``, and ``samples`` — a list of
+    ``(metric_name, labels_dict, value)``.  Raises AssertionError on any
+    line that is not a well-formed comment or sample, on samples whose
+    family never announced HELP/TYPE, or on HELP/TYPE pairs that arrive
+    out of order.
+    """
+    families = {}
+    pending_help = None  # family announced by HELP, awaiting its TYPE
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name not in families, f"duplicate HELP for {name}"
+            assert pending_help is None, f"HELP {pending_help} never got a TYPE"
+            families[name] = {"help": help_text, "type": None, "samples": []}
+            pending_help = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if pending_help is not None:
+                # HELP/TYPE pairing: a HELP must be immediately followed
+                # by its own TYPE line.
+                assert name == pending_help, f"TYPE {name} after HELP {pending_help}"
+                pending_help = None
+            families.setdefault(name, {"help": None, "type": None, "samples": []})
+            assert families[name]["type"] is None, f"duplicate TYPE for {name}"
+            assert kind in ("counter", "gauge", "histogram"), kind
+            families[name]["type"] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        metric_name, _, label_blob, raw_value = match.groups()
+        family = metric_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if metric_name.endswith(suffix) and metric_name[: -len(suffix)] in families:
+                family = metric_name[: -len(suffix)]
+        assert family in families, f"sample for unannounced family: {line!r}"
+        assert families[family]["type"] is not None
+        labels = {}
+        if label_blob:
+            consumed = _LABEL_RE.sub("", label_blob).strip(", ")
+            assert not consumed, f"unparseable labels in {line!r}"
+            for key, value in _LABEL_RE.findall(label_blob):
+                labels[key] = _unescape(value)
+        families[family]["samples"].append((metric_name, labels, float(raw_value)))
+    return families
+
+
+def _non_le(labels):
+    return {k: v for k, v in labels.items() if k != "le"}
+
+
+def _assert_histogram_invariants(family_name, family):
+    by_labelset = {}
+    for metric_name, labels, value in family["samples"]:
+        if metric_name == f"{family_name}_bucket":
+            key = tuple(sorted(_non_le(labels).items()))
+            by_labelset.setdefault(key, []).append((labels["le"], value))
+    assert by_labelset, f"histogram {family_name} exposed no buckets"
+    for key, buckets in by_labelset.items():
+        bounds = [float(le) for le, _ in buckets]
+        counts = [count for _, count in buckets]
+        assert bounds == sorted(bounds), f"{family_name}{key}: le out of order"
+        assert math.isinf(bounds[-1]), f"{family_name}{key}: missing +Inf bucket"
+        assert counts == sorted(counts), (
+            f"{family_name}{key}: bucket counts must be cumulative/monotone"
+        )
+        count_samples = [
+            value
+            for metric_name, labels, value in family["samples"]
+            if metric_name == f"{family_name}_count"
+            and tuple(sorted(labels.items())) == key
+        ]
+        assert count_samples == [counts[-1]], (
+            f"{family_name}{key}: +Inf bucket must equal _count"
+        )
+
+
+class TestRoundTrip:
+    def test_every_registered_family_round_trips(self):
+        obs.enable()
+        metrics.inc("exec_submits")
+        metrics.inc("exec_points", source="cache")
+        metrics.inc("exec_points", source="computed")
+        metrics.set_gauge("pool_width", 4.0)
+        for value in (0.001, 0.5, 2.0, 999.0):
+            metrics.observe("exec_point_s", value, outcome="ok")
+        metrics.observe("exec_point_s", 0.25, outcome="error")
+        families = parse_exposition(metrics.exposition())
+        assert set(families) >= {
+            "exec_submits",
+            "exec_points",
+            "pool_width",
+            "exec_point_s",
+        }
+        for name, family in families.items():
+            assert family["type"] is not None, f"{name} missing TYPE"
+            assert family["samples"], f"{name} announced but sampled nothing"
+            if family["type"] == "histogram":
+                _assert_histogram_invariants(name, family)
+
+    def test_label_escaping_round_trips(self):
+        obs.enable()
+        nasty = 'back\\slash "quoted"\nnewline'
+        metrics.inc("exec_points", source=nasty)
+        families = parse_exposition(metrics.exposition())
+        (_, labels, value) = families["exec_points"]["samples"][0]
+        assert labels["source"] == nasty
+        assert value == 1.0
+
+    def test_counter_sample_matches_observed_total(self):
+        obs.enable()
+        metrics.inc("exec_submits")
+        metrics.inc("exec_submits", 2.0)
+        families = parse_exposition(metrics.exposition())
+        assert families["exec_submits"]["samples"] == [("exec_submits", {}, 3.0)]
+
+    def test_histogram_cumulative_counts_exact(self):
+        obs.enable()
+        hist = metrics.REGISTRY.histogram(
+            "roundtrip_s", "test histogram", buckets=(1.0, 2.0)
+        )
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        families = parse_exposition(metrics.exposition())
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in families["roundtrip_s"]["samples"]
+            if name == "roundtrip_s_bucket"
+        }
+        assert buckets == {"1": 1.0, "2": 2.0, "+Inf": 3.0}
+
+    def test_help_newlines_escaped(self):
+        obs.enable()
+        metrics.REGISTRY.counter("weird_help", "line one\nline two").inc()
+        text = metrics.exposition()
+        for line in text.splitlines():
+            if line.startswith("# HELP weird_help"):
+                assert "line one\\nline two" in line
+                break
+        else:
+            pytest.fail("HELP line missing")
+        parse_exposition(text)

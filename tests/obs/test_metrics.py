@@ -13,7 +13,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    _escape_label_value,
     _label_key,
+    quantile_from_sample,
 )
 
 
@@ -91,6 +93,68 @@ class TestHistogramBucketing:
             assert value <= DEFAULT_BUCKETS[slot]
         if slot > 0:
             assert value > DEFAULT_BUCKETS[slot - 1]
+
+
+class TestHistogramQuantile:
+    def test_interpolates_inside_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        for _ in range(4):
+            h.observe(0.5)
+        assert h.quantile(0.5) == pytest.approx(0.5)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
+    def test_per_label_set(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5, op="svd")
+        assert h.quantile(0.5, op="svd") == pytest.approx(0.5)
+        assert h.quantile(0.5, op="qr") is None
+
+    def test_overflow_reports_largest_finite_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(99.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_histogram_quantile_is_none(self):
+        assert Histogram("lat").quantile(0.5) is None
+
+    def test_out_of_range_q_raises(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_quantile_from_snapshot_sample(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        for _ in range(4):
+            h.observe(0.5)
+        snap = reg.snapshot()["lat"]
+        value = quantile_from_sample(
+            snap["values"][""], tuple(snap["buckets"]), 0.5
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_combined_sample_sums_label_sets(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5, op="svd")
+        h.observe(0.25, op="qr")
+        combined = h.combined_sample()
+        assert combined["count"] == 2
+        assert combined["sum"] == pytest.approx(0.75)
+        assert Histogram("empty").combined_sample() is None
+
+
+class TestLabelEscaping:
+    def test_escape_handles_backslash_first(self):
+        assert _escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_exposition_keeps_nasty_value_on_one_line(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(backend='m"p\ns\\')
+        text = reg.exposition()
+        assert r'hits{backend="m\"p\ns\\"} 1' in text
+        # the newline inside the value must not split the sample line
+        assert len([ln for ln in text.splitlines() if ln.startswith("hits{")]) == 1
 
 
 class TestRegistry:

@@ -1,0 +1,147 @@
+"""Per-worker sampling profiles: capture, merge, and executor transport.
+
+Profiling is the one obs subsystem that is never implied by
+``obs.enable()`` — it has real overhead — so these tests pin the
+explicit opt-in, the raw-stats buffer contract (capture even on raise,
+drain-ships-and-clears, merge is bookkeeping), the ``pstats`` merge
+arithmetic, and the end-to-end path through multi-process workers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec import Campaign, CampaignExecutor, zip_sweep
+from repro.obs import profiling
+
+
+def seeded_task(x, seed=0):
+    return float(x + np.random.default_rng(seed).random())
+
+
+def _busy():
+    return sum(range(500))
+
+
+class TestBuffer:
+    def test_disabled_profiled_is_noop(self):
+        with profiling.profiled():
+            _busy()
+        assert profiling.raw_profiles() == []
+
+    def test_enabled_profiled_buffers_raw_stats(self):
+        profiling.enable()
+        with profiling.profiled():
+            _busy()
+        raw = profiling.raw_profiles()
+        assert len(raw) == 1
+        # the raw shape is cProfile's picklable stats mapping
+        assert all(
+            isinstance(key, tuple) and len(key) == 3 for key in raw[0]
+        )
+        assert any(func == "_busy" for _, _, func in raw[0])
+
+    def test_profile_captured_even_when_block_raises(self):
+        profiling.enable()
+        with pytest.raises(RuntimeError):
+            with profiling.profiled():
+                raise RuntimeError("failing point")
+        assert len(profiling.raw_profiles()) == 1
+
+    def test_foreign_profiler_degrades_to_unprofiled(self, monkeypatch):
+        """A point under an outer profiling tool runs, just unprofiled."""
+        import cProfile
+
+        def already_active(self):
+            raise ValueError("Another profiling tool is already active")
+
+        profiling.enable()
+        monkeypatch.setattr(cProfile.Profile, "enable", already_active)
+        with profiling.profiled():
+            _busy()  # must not raise
+        assert profiling.raw_profiles() == []
+
+    def test_drain_returns_and_clears(self):
+        profiling.enable()
+        with profiling.profiled():
+            _busy()
+        drained = profiling.drain()
+        assert len(drained) == 1
+        assert profiling.raw_profiles() == []
+        assert profiling.drain() == []
+
+    def test_add_raw_works_while_disabled(self):
+        profiling.enable()
+        with profiling.profiled():
+            _busy()
+        shipped = profiling.drain()
+        profiling.disable()
+        profiling.add_raw(shipped)  # merging is bookkeeping, not collection
+        assert len(profiling.raw_profiles()) == 1
+
+
+class TestMerge:
+    def test_merged_is_none_when_empty(self):
+        assert profiling.merged() is None
+        assert profiling.hot_table() == []
+
+    def test_merged_sums_call_counts_across_profiles(self):
+        profiling.enable()
+        with profiling.profiled():
+            _busy()
+        with profiling.profiled():
+            _busy()
+            _busy()
+        stats = profiling.merged()
+        ncalls = [
+            entry[1]
+            for (_, _, func), entry in stats.stats.items()
+            if func == "_busy"
+        ]
+        assert ncalls == [3]
+
+    def test_hot_table_rows_are_json_safe_and_sorted(self):
+        profiling.enable()
+        with profiling.profiled():
+            _busy()
+        rows = profiling.hot_table()
+        assert rows
+        for row in rows:
+            assert set(row) == {
+                "func",
+                "file",
+                "line",
+                "ncalls",
+                "tottime_s",
+                "cumtime_s",
+            }
+        cumtimes = [row["cumtime_s"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+        assert profiling.hot_table(1) == rows[:1]
+
+
+class TestExecutorIntegration:
+    def test_worker_profiles_ship_to_supervisor(self, tmp_path):
+        campaign = Campaign(
+            task=seeded_task, sweep=zip_sweep(x=[0, 1, 2, 3]), seed=7
+        )
+        with CampaignExecutor(2, profile=True, ledger=False) as executor:
+            executor.run(campaign)
+        rows = profiling.hot_table()
+        assert rows  # profiles crossed the result pipe and merged
+        assert any(row["func"] == "seeded_task" for row in rows)
+
+    def test_values_bit_identical_with_and_without_profiling(self):
+        campaign = Campaign(
+            task=seeded_task, sweep=zip_sweep(x=[0, 1, 2]), seed=7
+        )
+        with CampaignExecutor(2, ledger=False) as executor:
+            baseline = executor.run(campaign).values
+        with CampaignExecutor(2, profile=True, ledger=False) as executor:
+            profiled = executor.run(campaign).values
+        assert profiled == baseline
+
+    def test_disabled_run_collects_nothing(self):
+        campaign = Campaign(task=seeded_task, sweep=zip_sweep(x=[0, 1]), seed=7)
+        with CampaignExecutor(2, ledger=False) as executor:
+            executor.run(campaign)
+        assert profiling.raw_profiles() == []

@@ -1,0 +1,163 @@
+"""Live telemetry endpoints: read-only, correct, and safe mid-flight.
+
+The server's contract: ``/metrics`` is valid Prometheus text from the
+live registry, ``/status`` summarises registered campaign handles
+without the heavyweight fields, ``/spans`` is a bounded tail of the
+span buffer — and none of it perturbs a running campaign (bit-equality
+is asserted with the server scraping a 4-worker run mid-flight).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.exec import Campaign, CampaignExecutor, zip_sweep
+from repro.obs import metrics, tracing
+from repro.obs.serve import ObsServer
+
+
+def seeded_task(x, seed=0):
+    import numpy as np
+
+    return float(x + np.random.default_rng(seed).random())
+
+
+def _campaign(n=4, **kwargs):
+    defaults = dict(task=seeded_task, sweep=zip_sweep(x=list(range(n))), seed=3)
+    defaults.update(kwargs)
+    return Campaign(**defaults)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+@pytest.fixture
+def server():
+    srv = ObsServer(port=0).start()
+    yield srv
+    srv.stop()
+
+
+class TestEndpoints:
+    def test_ephemeral_port_and_url(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_endpoint_serves_exposition(self, server):
+        obs.enable()
+        metrics.inc("exec_submits")
+        status, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert "# TYPE exec_submits counter" in body
+        assert 'exec_submits' in body
+
+    def test_metrics_endpoint_escapes_labels(self, server):
+        obs.enable()
+        metrics.inc("exec_points", source='we"ird\nvalue\\x')
+        _, body = _get(server.url + "/metrics")
+        assert r'source="we\"ird\nvalue\\x"' in body
+        assert "\nvalue" not in body.split("exec_points", 1)[1].split("\n", 1)[0]
+
+    def test_status_empty_without_campaigns(self, server):
+        status, body = _get(server.url + "/status")
+        assert status == 200
+        assert json.loads(body) == {"campaigns": []}
+
+    def test_spans_tail_and_limit(self, server):
+        obs.enable()
+        for i in range(10):
+            with tracing.span("step", index=i):
+                pass
+        _, body = _get(server.url + "/spans?limit=3")
+        payload = json.loads(body)
+        assert payload["total"] == 10
+        assert [s["args"]["index"] for s in payload["spans"]] == [7, 8, 9]
+
+    def test_spans_bad_limit_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/spans?limit=nope")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_requests_counted_by_path(self, server):
+        obs.enable()
+        _get(server.url + "/metrics")
+        _get(server.url + "/metrics")
+        snap = metrics.snapshot()
+        assert snap["http_requests"]["values"]["path=/metrics"] >= 2.0
+
+
+class TestExecutorIntegration:
+    def test_http_port_starts_server_and_close_stops_it(self, tmp_path):
+        executor = CampaignExecutor(1, http_port=0, ledger=False)
+        try:
+            assert executor.http_port is not None
+            assert metrics.enabled  # serving implies collection
+            handle = executor.submit(_campaign(n=3))
+            result = handle.result()
+            # the handle is still alive, so /status must describe it
+            status, body = _get(executor.http_url + "/status")
+            assert status == 200
+            summary = json.loads(body)["campaigns"][0]
+            assert summary["resolved"] == 3
+            assert summary["pending"] == 0
+            assert "timeline" not in summary and "metrics" not in summary
+        finally:
+            url = executor.http_url
+            executor.close()
+        with pytest.raises(urllib.error.URLError):
+            _get(url + "/status")
+        assert len(result.values) == 3
+
+    def test_env_var_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_HTTP", "0")
+        with CampaignExecutor(1, ledger=False) as executor:
+            assert executor.http_port is not None
+
+    def test_env_var_rejects_garbage(self, monkeypatch):
+        from repro.core.exceptions import SimulationError
+
+        monkeypatch.setenv("REPRO_OBS_HTTP", "eighty")
+        with pytest.raises(SimulationError, match="REPRO_OBS_HTTP"):
+            CampaignExecutor(1)
+
+    def test_midflight_scrape_four_workers_bit_equality(self, tmp_path):
+        baseline = None
+        with CampaignExecutor(1, ledger=False) as executor:
+            baseline = executor.run(_campaign(n=8)).values
+        obs.reset()
+        with CampaignExecutor(4, http_port=0, ledger=False) as executor:
+            handle = executor.submit(_campaign(n=8))
+            scraped = []
+            for event in handle.as_completed():
+                status, body = _get(executor.http_url + "/metrics")
+                assert status == 200
+                scraped.append(body)
+            values = [
+                value
+                for _, value in sorted(
+                    ((e.point.index, e.value) for e in handle.as_completed())
+                )
+            ]
+        assert values == baseline
+        # the final scrape saw the live registry mid-run: exposition must
+        # be non-empty, typed, and parseable line protocol
+        assert any("exec_point_s_bucket" in body for body in scraped)
+
+    def test_status_drops_dead_handles(self):
+        import gc
+
+        with CampaignExecutor(1, http_port=0, ledger=False) as executor:
+            executor.run(_campaign(n=2))  # handle discarded immediately
+            gc.collect()
+            _, body = _get(executor.http_url + "/status")
+            assert json.loads(body) == {"campaigns": []}

@@ -219,6 +219,11 @@ def test_exec_bench_smoke(tmp_path):
     assert obs_overhead["gate_applies_observed"] > 0
     assert obs_overhead["spans_recorded"] > 0
     assert obs_overhead["disabled_ratio"] <= 1.5
+    # The live /metrics endpoint answered while the registry was hot.
+    serve_scrape = obs_overhead["serve_scrape"]
+    assert serve_scrape["status"] == 200
+    assert serve_scrape["families"] > 0
+    assert serve_scrape["min_scrape_s"] > 0
     # Cached replay serves (almost) everything without recomputation.
     sqed = report["sqed_campaign"]
     assert sqed["replay_hit_fraction"] >= 0.95
@@ -279,6 +284,60 @@ def test_obs_demo_campaign_trace_artifact(tmp_path):
 
 
 @pytest.mark.bench_smoke
+def test_obs_flight_report_artifact(tmp_path, monkeypatch):
+    """A campaign scraped live over HTTP, then rendered as a flight report.
+
+    Opts into the telemetry endpoint via ``REPRO_OBS_HTTP`` (the same
+    knob CI would use), curls ``/metrics`` mid-run asserting a valid
+    exposition body, and publishes the markdown + HTML flight reports
+    rendered from the run's ledger record as CI artifacts.
+    """
+    import urllib.request
+
+    from bench_exec import _latency_campaign
+
+    from repro import obs
+    from repro.exec import CampaignExecutor, ResultCache
+    from repro.obs import report
+
+    obs.disable()
+    obs.reset()
+    monkeypatch.setenv("REPRO_OBS_HTTP", "0")  # ephemeral port
+    try:
+        cache = ResultCache(tmp_path / "cache")
+        with CampaignExecutor(workers=2, cache=cache) as executor:
+            handle = executor.submit(_latency_campaign(8, 5.0))
+            scrapes = []
+            for _ in handle.as_completed():
+                with urllib.request.urlopen(
+                    executor.http_url + "/metrics", timeout=10
+                ) as response:
+                    assert response.status == 200
+                    scrapes.append(response.read().decode("utf-8"))
+        # the mid-run scrapes saw live, typed exposition text
+        assert any("# TYPE exec_point_s histogram" in body for body in scrapes)
+
+        ledger = cache.ledger()
+        assert len(ledger) == 1
+        report_md = tmp_path / "FLIGHT_exec_demo.md"
+        report_html = tmp_path / "FLIGHT_exec_demo.html"
+        assert report.main([str(ledger.path), "--out", str(report_md)]) == 0
+        assert (
+            report.main(
+                [str(ledger.path), "--format", "html", "--out", str(report_html)]
+            )
+            == 0
+        )
+        assert report_md.read_text().startswith("# Flight report")
+        assert report_html.read_text().startswith("<!DOCTYPE html>")
+        _publish_artifact(report_md)
+        _publish_artifact(report_html)
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+@pytest.mark.bench_smoke
 def test_committed_bench_exec_json_meets_targets():
     """The committed BENCH_exec.json must document the campaign claims:
 
@@ -293,7 +352,8 @@ def test_committed_bench_exec_json_meets_targets():
     qutrits).  The CPU-bound parallel speedup is recorded together with
     the host's core count; the >= 2x guard applies where cores exist to
     use.  Observability instrumentation must be near-free when disabled
-    (disabled ratio <= 1.05).
+    (disabled ratio <= 1.05), with a successful live ``/metrics`` scrape
+    of the hot registry on record (``serve_scrape``).
     """
     report = json.loads((REPO_ROOT / "BENCH_exec.json").read_text())
     latency = report["latency_campaign"]
@@ -314,6 +374,10 @@ def test_committed_bench_exec_json_meets_targets():
     assert obs_overhead["gate_applies_observed"] > 0
     assert obs_overhead["spans_recorded"] > 0
     assert obs_overhead["disabled_ratio"] <= 1.05
+    serve_scrape = obs_overhead["serve_scrape"]
+    assert serve_scrape["status"] == 200
+    assert serve_scrape["families"] > 0
+    assert serve_scrape["min_scrape_s"] > 0
     sqed = report["sqed_campaign"]
     assert sqed["n_points"] >= 64
     assert sqed["workers"] >= 8

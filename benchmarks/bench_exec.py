@@ -1,6 +1,6 @@
 """Campaign-subsystem benchmark — parallel speedup, cache replay, calibration.
 
-Eight sections, emitted to the committed ``BENCH_exec.json``:
+Nine sections, emitted to the committed ``BENCH_exec.json``:
 
 1. **calibration** — measures the per-unit cost constants the
    ``get_backend("auto")`` cost model ranks engines with (seconds per
@@ -40,7 +40,12 @@ Eight sections, emitted to the committed ``BENCH_exec.json``:
    timeouts) vs the supervised executor.  The supervised wall time is
    required to be <= 1.10x the raw pool's — crash detection must cost
    under 10% on latency-bound work.
-8. **obs_overhead** — the observability tax: a CPU-bound gate-apply
+8. **autopilot** — plan quality of the error-budget contract
+   (``method="auto"``, ``target_error``, zero hand-set caps) against a
+   hand-tuned ``(max_bond, max_kraus)`` grid on the sQED damage ladder:
+   the autopilot must meet the target and land within 1.2x the wall
+   time of the best hand-tuned configuration that also meets it.
+9. **obs_overhead** — the observability tax: a CPU-bound gate-apply
    workload (the hottest instrumented call sites, :mod:`repro.obs`)
    timed with telemetry disabled, enabled, and disabled again,
    min-of-k.  The disabled-after/disabled-before ratio is required to
@@ -173,8 +178,8 @@ def calibrate(scale: int = 1) -> dict:
     elapsed = _timed(
         lambda: get_backend("lpdo").run(noisy, max_bond=chi, max_kraus=kappa)
     )
-    out["lpdo_site_chi3_kappa_op_s"] = elapsed / (
-        n_lpdo * chi**3 * kappa * len(noisy)
+    out["lpdo_site_chi3_kappa2_op_s"] = elapsed / (
+        n_lpdo * chi**3 * kappa**2 * len(noisy)
     )
     return out
 
@@ -499,6 +504,93 @@ def bench_sqed_campaign(
     }
 
 
+def bench_autopilot(
+    n_points: int,
+    n_sites: int,
+    n_steps: int,
+    target_error: float,
+    hand_grid: tuple = ((4, 2), (8, 4), (16, 8)),
+) -> dict:
+    """Autopilot plan quality vs hand-tuned configurations on the sQED ladder.
+
+    Runs the same damage sweep three ways: an exact dense reference
+    (``method="density"``, which doubles as the conservative hand-tuned
+    configuration), a grid of hand-tuned LPDO cap configurations (the
+    pre-autopilot workflow: pick an engine, guess
+    ``max_bond``/``max_kraus``, hope the truncation error is
+    acceptable), and the autopilot contract (``method="auto"``,
+    ``target_error=...``, zero hand-set caps).
+
+    The committed guard: the autopilot's wall time is <= 1.2x the best
+    *hand-tuned configuration that actually meets the target* — i.e. the
+    contract API costs at most 20% over an oracle that already knows the
+    right engine and caps, and unlike the oracle it never silently
+    under-delivers.
+    """
+    epsilons = [float(e) for e in np.geomspace(1e-4, 0.5, n_points)]
+    base = dict(n_sites=n_sites, spin=1, t_total=1.0, n_steps=n_steps)
+
+    def campaign(name: str, **params) -> Campaign:
+        return Campaign(
+            task="repro.sqed.noise_study:damage_task",
+            sweep=zip_sweep(epsilon=epsilons),
+            name=name,
+            base_params={**base, **params},
+            seed=0,
+            target_error=params.get("target_error"),
+        )
+
+    reference = run_campaign(campaign("autopilot-ref", method="density"), cache=None)
+    ref = np.asarray(reference.values, dtype=float)
+
+    # The dense run is itself the conservative hand-tuned configuration
+    # (exact by construction), so it anchors the comparison grid.
+    hand = [{
+        "method": "density",
+        "wall_s": round(reference.duration_s, 4),
+        "max_abs_error": 0.0,
+        "meets_target": True,
+    }]
+    for chi, kappa in hand_grid:
+        result = run_campaign(
+            campaign(f"hand-chi{chi}-kappa{kappa}", method="lpdo",
+                     max_bond=int(chi), max_kraus=int(kappa)),
+            cache=None,
+        )
+        err = float(np.max(np.abs(np.asarray(result.values, dtype=float) - ref)))
+        hand.append({
+            "method": "lpdo",
+            "max_bond": int(chi),
+            "max_kraus": int(kappa),
+            "wall_s": round(result.duration_s, 4),
+            "max_abs_error": err,
+            "meets_target": bool(err <= target_error),
+        })
+
+    auto = run_campaign(
+        campaign("autopilot-auto", method="auto", target_error=target_error),
+        cache=None,
+    )
+    auto_err = float(np.max(np.abs(np.asarray(auto.values, dtype=float) - ref)))
+
+    meeting = [h for h in hand if h["meets_target"]] or hand
+    best_hand_s = min(h["wall_s"] for h in meeting)
+    return {
+        "n_points": n_points,
+        "n_sites": n_sites,
+        "n_steps": n_steps,
+        "target_error": target_error,
+        "hand_tuned": hand,
+        "best_hand_s": best_hand_s,
+        "autopilot_s": round(auto.duration_s, 4),
+        "autopilot_max_abs_error": auto_err,
+        "meets_target": bool(auto_err <= target_error),
+        "vs_best_hand_ratio": round(
+            auto.duration_s / best_hand_s if best_hand_s > 0 else 1.0, 4
+        ),
+    }
+
+
 def run_benchmarks(
     sqed_points: int = 64,
     sqed_sites: int = 3,
@@ -516,6 +608,8 @@ def run_benchmarks(
     obs_qudits: int = 6,
     obs_gate_loops: int = 40,
     obs_repeats: int = 5,
+    autopilot_points: int = 16,
+    autopilot_target: float = 1e-6,
     workers: int = 8,
     calibration_scale: int = 2,
     cache_dir: Path | str | None = None,
@@ -535,6 +629,8 @@ def run_benchmarks(
             size (same latency-bound shape, two dispatch architectures).
         obs_qudits, obs_gate_loops, obs_repeats: observability-overhead
             section size (CPU-bound gate-apply workload, min-of-k).
+        autopilot_points, autopilot_target: autopilot-vs-hand-tuned
+            section size (same damage task as the acceptance campaign).
         workers: pool width for the parallel sections.
         calibration_scale: probe-size multiplier for the calibration.
         cache_dir: where the replay cache lives (a temp dir if omitted).
@@ -556,6 +652,9 @@ def run_benchmarks(
         overhead_points, overhead_delay_ms, workers
     )
     obs_overhead = bench_obs_overhead(obs_qudits, obs_gate_loops, obs_repeats)
+    autopilot = bench_autopilot(
+        autopilot_points, sqed_sites, sqed_steps, autopilot_target
+    )
     if cache_dir is None:
         with tempfile.TemporaryDirectory() as tmp:
             sqed = bench_sqed_campaign(
@@ -579,6 +678,7 @@ def run_benchmarks(
         "streaming": streaming,
         "supervised_overhead": overhead,
         "obs_overhead": obs_overhead,
+        "autopilot": autopilot,
         "sqed_campaign": sqed,
     }
     if out_path is not None:

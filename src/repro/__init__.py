@@ -25,15 +25,29 @@ from .core import (
     Statevector,
     TrajectorySimulator,
 )
+from .exec import (
+    BackendPlan,
+    Campaign,
+    CampaignExecutor,
+    FailurePolicy,
+    RunLedger,
+    select_backend,
+)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "core",
+    "BackendPlan",
+    "Campaign",
+    "CampaignExecutor",
     "DensityMatrix",
+    "FailurePolicy",
     "QuditChannel",
     "QuditCircuit",
+    "RunLedger",
     "Statevector",
     "TrajectorySimulator",
+    "select_backend",
     "__version__",
 ]

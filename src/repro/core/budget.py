@@ -1,0 +1,120 @@
+"""Thread-local error-budget accounts for truncating backends.
+
+The MPS and LPDO states already *track* their truncation and
+purification error (``state.truncation_error`` etc.), but those totals
+live on state objects that die inside whatever driver loop consumed
+them.  The executor's error-budget autopilot needs the totals *per
+campaign point*, across every state the point's task created, without
+threading a handle through every driver signature.
+
+This module is that side channel: a stack of :class:`ErrorAccount`
+objects.  ``truncated_svd`` call sites in :mod:`repro.core.mps` and
+:mod:`repro.core.lpdo` report every discarded weight through
+:func:`record_truncation` / :func:`record_purification`; both are
+no-ops (one truthiness test) unless someone pushed an account via
+:func:`scoped`.  The executor pushes one around each point execution
+and ships the summary back over the result pipe, where it drives
+mid-run cap escalation and ledger-based recalibration.
+
+Accounts stack so that nested scopes (a campaign point that itself
+runs a sub-campaign in-process) each see their own totals; a recording
+updates *every* account on the stack.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "ErrorAccount",
+    "record_purification",
+    "record_truncation",
+    "scoped",
+]
+
+#: Active accounts, innermost last.  Deliberately process-global rather
+#: than thread-local: campaign points execute one-per-process in pool
+#: workers, and the serial path runs points sequentially.
+_STACK: list["ErrorAccount"] = []
+
+
+class ErrorAccount:
+    """Accumulated truncation/purification error over a scope.
+
+    ``bond_truncations`` / ``kraus_truncations`` count *events* (every
+    recorded SVD or Kraus recompression, including lossless ones), so
+    an account can distinguish "no truncating backend ran" from "ran
+    and stayed exact".  ``max_chi`` / ``max_kappa`` are the largest
+    retained bond / Kraus dimensions observed — the cap escalation
+    baseline.
+    """
+
+    __slots__ = (
+        "truncation_error",
+        "purification_error",
+        "max_chi",
+        "max_kappa",
+        "bond_truncations",
+        "kraus_truncations",
+    )
+
+    def __init__(self) -> None:
+        self.truncation_error = 0.0
+        self.purification_error = 0.0
+        self.max_chi = 0
+        self.max_kappa = 0
+        self.bond_truncations = 0
+        self.kraus_truncations = 0
+
+    def summary(self) -> dict[str, Any] | None:
+        """The account as a plain dict, or ``None`` if nothing recorded."""
+        if not self.bond_truncations and not self.kraus_truncations:
+            return None
+        return {
+            "truncation_error": self.truncation_error,
+            "purification_error": self.purification_error,
+            "max_chi": self.max_chi,
+            "max_kappa": self.max_kappa,
+            "bond_truncations": self.bond_truncations,
+            "kraus_truncations": self.kraus_truncations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ErrorAccount(truncation_error={self.truncation_error:.3e}, "
+            f"purification_error={self.purification_error:.3e}, "
+            f"max_chi={self.max_chi}, max_kappa={self.max_kappa})"
+        )
+
+
+@contextmanager
+def scoped(account: ErrorAccount) -> Iterator[ErrorAccount]:
+    """Push ``account`` for the duration of the ``with`` block."""
+    _STACK.append(account)
+    try:
+        yield account
+    finally:
+        _STACK.remove(account)
+
+
+def record_truncation(discarded: float, chi: int) -> None:
+    """Report one bond truncation (``discarded`` weight, retained ``chi``)."""
+    if not _STACK:
+        return
+    for account in _STACK:
+        account.bond_truncations += 1
+        account.truncation_error += discarded
+        if chi > account.max_chi:
+            account.max_chi = chi
+
+
+def record_purification(discarded: float, kappa: int) -> None:
+    """Report one Kraus-leg recompression (retained dimension ``kappa``)."""
+    if not _STACK:
+        return
+    for account in _STACK:
+        account.kraus_truncations += 1
+        account.purification_error += discarded
+        if kappa > account.max_kappa:
+            account.max_kappa = kappa

@@ -43,6 +43,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from . import budget as _budget
 from .circuit import Instruction, QuditCircuit
 from .dims import validate_dims
 from .exceptions import DimensionError, SimulationError
@@ -325,6 +326,7 @@ class LPDOState:
             )
         if discarded > 1e-16:
             self.truncation_error += discarded
+        _budget.record_truncation(float(discarded), int(left.shape[1]))
         if _metrics.enabled:
             _metrics.set_gauge("bond_dim", left.shape[1], backend="lpdo")
             _metrics.set_gauge(
@@ -393,6 +395,7 @@ class LPDOState:
             )
         if discarded > 1e-16:
             self.truncation_error += discarded
+        _budget.record_truncation(float(discarded), int(left.shape[1]))
         if _metrics.enabled:
             _metrics.set_gauge("bond_dim", left.shape[1], backend="lpdo")
             _metrics.set_gauge(
@@ -457,6 +460,9 @@ class LPDOState:
         discarded = 1.0 - kept / total
         if discarded > 1e-16:
             self.purification_error += discarded
+        _budget.record_purification(
+            float(discarded), int(np.count_nonzero(keep))
+        )
         new = (mat @ vec[:, keep]) * np.sqrt(total / kept)
         if _metrics.enabled:
             _metrics.set_gauge(

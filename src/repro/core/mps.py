@@ -42,6 +42,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from . import budget as _budget
 from .circuit import Instruction, QuditCircuit
 from .dims import validate_dims
 from .exceptions import DimensionError, SimulationError
@@ -405,6 +406,7 @@ class MPSState:
             )
         if discarded > 1e-16:
             self.truncation_error += discarded
+        _budget.record_truncation(float(discarded), int(left.shape[1]))
         if _metrics.enabled:
             _metrics.set_gauge("bond_dim", left.shape[1], backend="mps")
             _metrics.set_gauge(

@@ -31,9 +31,17 @@ layer between the two:
   ``get_backend("auto")``: picks statevector / density / trajectories /
   MPS / LPDO from register dims, noise content, requested observables,
   and the memory budget, using calibration constants from the committed
-  ``BENCH_exec.json``.
+  ``BENCH_exec.json``;
+* :mod:`repro.exec.autopilot` — the error-budget autopilot behind
+  ``select_backend(..., target_error=...)``: an accuracy model beside
+  the cost model, so a single ``target_error`` contract picks the engine
+  *and* its chi/kappa caps / trajectory count at minimum predicted cost
+  (:class:`BackendPlan`), with ledger-driven recalibration
+  (:func:`recalibrate`) and mid-run cap escalation in the executor.
 """
 
+from ..obs.ledger import RunLedger
+from .autopilot import BackendPlan, plan_backend, recalibrate
 from .cache import ResultCache, point_key, stable_hash
 from .costmodel import AutoBackend, BackendChoice, select_backend
 from .executor import (
@@ -83,5 +91,9 @@ __all__ = [
     "stable_hash",
     "AutoBackend",
     "BackendChoice",
+    "BackendPlan",
+    "RunLedger",
+    "plan_backend",
+    "recalibrate",
     "select_backend",
 ]

@@ -46,6 +46,7 @@ discarded; points never consumed are simply not cached or checkpointed.
 from __future__ import annotations
 
 import heapq
+import inspect
 import itertools
 import json
 import multiprocessing
@@ -66,6 +67,7 @@ from typing import IO, TYPE_CHECKING, Any, NamedTuple
 
 import numpy as np
 
+from ..core import budget as _budget
 from ..core.exceptions import SimulationError
 from ..obs import metrics as _metrics
 from ..obs import profiling as _profiling
@@ -141,12 +143,39 @@ def _safe_jsonable(value: Any) -> Any:
         return repr(value)
 
 
-def _call_task(task_ref: str, point: CampaignPoint) -> Any:
-    """Execute one point's task with its seed injected."""
+def _accepted_overrides(task: Any, overrides: dict[str, Any]) -> dict[str, Any]:
+    """The subset of escalation overrides the task can actually accept.
+
+    Escalated caps (``max_bond``/``max_kraus``) are merged into the call
+    only when the task's signature takes them (directly or via
+    ``**kwargs``) — a task exposing no caps cannot be escalated, and
+    forcing unknown keywords on it would turn escalation into a crash.
+    """
+    try:
+        parameters = inspect.signature(task).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/C tasks
+        return dict(overrides)
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return dict(overrides)
+    return {k: v for k, v in overrides.items() if k in parameters}
+
+
+def _call_task(
+    task_ref: str, point: CampaignPoint, overrides: dict[str, Any] | None = None
+) -> Any:
+    """Execute one point's task with its seed injected.
+
+    ``overrides`` are escalated-cap keyword overrides from the error
+    budget supervisor.  They are merged over ``point.params`` at call
+    time only — the point itself (params, seed, cache key) is never
+    mutated, so escalation cannot perturb content-addressed identity.
+    """
     task = resolve_task(task_ref)
     params = dict(point.params)
     if point.seed is not None and "seed" not in params:
         params["seed"] = point.seed
+    if overrides:
+        params.update(_accepted_overrides(task, overrides))
     return to_jsonable(task(**params))
 
 
@@ -157,6 +186,7 @@ def _execute_point(
     faults: FaultPlan | None,
     *,
     in_worker: bool,
+    overrides: dict[str, Any] | None = None,
 ) -> Any:
     """One attempt at one point, with any scheduled fault injected first."""
     if faults is not None:
@@ -166,8 +196,47 @@ def _execute_point(
         # raw profile lands in the process-local buffer, shipped (or
         # consumed) exactly like metric deltas.
         with _profiling.profiled():
-            return _call_task(task_ref, point)
-    return _call_task(task_ref, point)
+            return _call_task(task_ref, point, overrides)
+    return _call_task(task_ref, point, overrides)
+
+
+def _escalated_caps(
+    account: dict[str, Any] | None,
+    previous: dict[str, Any] | None,
+    target_error: float,
+) -> dict[str, Any] | None:
+    """Cap overrides for re-running a point that blew its error budget.
+
+    ``account`` is the point's :class:`repro.core.budget.ErrorAccount`
+    summary from its last execution.  When the tracked truncation +
+    purification error exceeds ``target_error``, each *offending* error
+    source gets its cap doubled from the largest dimension actually
+    observed (so escalation tracks the state the circuit really built,
+    not whatever cap the plan guessed).  Returns ``None`` when the point
+    met its budget, no truncating backend ran, or doubling changes
+    nothing — i.e. whenever a re-run would be pointless.
+    """
+    if not account:
+        return None
+    trunc = float(account.get("truncation_error") or 0.0)
+    purif = float(account.get("purification_error") or 0.0)
+    if trunc + purif <= target_error:
+        return None
+    bond_events = int(account.get("bond_truncations") or 0)
+    kraus_events = int(account.get("kraus_truncations") or 0)
+    # When both sources truncated, each owns half the budget; a single
+    # offender owns all of it (mirrors the autopilot's planning split).
+    share = target_error / 2.0 if (bond_events and kraus_events) else target_error
+    new = dict(previous or {})
+    if bond_events and trunc > share:
+        prev = int(new.get("max_bond") or 0)
+        new["max_bond"] = max(2 * int(account.get("max_chi") or 1), 2 * prev)
+    if kraus_events and purif > share:
+        prev = int(new.get("max_kraus") or 0)
+        new["max_kraus"] = max(2 * int(account.get("max_kappa") or 1), 2 * prev)
+    if new == (previous or {}):
+        return None
+    return new
 
 
 def _describe_error(exc: BaseException) -> dict[str, Any]:
@@ -201,15 +270,20 @@ def _sync_worker_obs(obs_conf: tuple[bool, bool, bool] | None) -> None:
         _profiling.enable() if profiling_on else _profiling.disable()
 
 
-def _worker_obs_payload(started: float) -> dict[str, Any]:
+def _worker_obs_payload(
+    started: float, account: dict[str, Any] | None = None
+) -> dict[str, Any]:
     """The per-point telemetry piggybacked onto the result reply.
 
     ``pid``/``exec_s`` are always present (they cost two fields on a
     message the pipe was carrying anyway — this is how timelines work
-    with observability off); metric deltas and spans ride along only
+    with observability off); the point's error account rides along when
+    a truncating backend recorded anything; metric deltas and spans only
     when collection is on, drained so the next point starts from zero.
     """
     payload: dict[str, Any] = {"pid": os.getpid(), "exec_s": time.monotonic() - started}
+    if account:
+        payload["error_account"] = account
     if _metrics.enabled:
         payload["metrics"] = _metrics.REGISTRY.drain()
     if _tracing.enabled:
@@ -222,8 +296,8 @@ def _worker_obs_payload(started: float) -> dict[str, Any]:
 def _worker_main(conn: connection.Connection) -> None:
     """Supervised worker loop (module-level: picklable under spawn).
 
-    Receives ``(uid, task_ref, point, attempt, faults, obs_conf)``
-    messages over its private duplex pipe, executes, and replies
+    Receives ``(uid, task_ref, point, attempt, faults, obs_conf,
+    overrides)`` messages over its private duplex pipe, executes, and replies
     ``("ok", uid, value, None, obs)`` or ``("err", uid, info, exception,
     obs)`` where ``obs`` piggybacks the point's telemetry (see
     :func:`_worker_obs_payload`) — the hot path gains no extra syscalls.
@@ -249,19 +323,33 @@ def _worker_main(conn: connection.Connection) -> None:
             break
         if message is None:
             break
-        uid, task_ref, point, attempt, faults, obs_conf = message
+        uid, task_ref, point, attempt, faults, obs_conf, overrides = message
         _sync_worker_obs(obs_conf)
         started = time.monotonic()
+        acct = _budget.ErrorAccount()
         try:
-            if _tracing.enabled:
-                with _tracing.span("point", index=point.index, attempt=attempt):
+            with _budget.scoped(acct):
+                if _tracing.enabled:
+                    with _tracing.span("point", index=point.index, attempt=attempt):
+                        value = _execute_point(
+                            task_ref,
+                            point,
+                            attempt,
+                            faults,
+                            in_worker=True,
+                            overrides=overrides,
+                        )
+                else:
                     value = _execute_point(
-                        task_ref, point, attempt, faults, in_worker=True
+                        task_ref,
+                        point,
+                        attempt,
+                        faults,
+                        in_worker=True,
+                        overrides=overrides,
                     )
-            else:
-                value = _execute_point(task_ref, point, attempt, faults, in_worker=True)
         except BaseException as exc:
-            obs = _worker_obs_payload(started)
+            obs = _worker_obs_payload(started, acct.summary())
             info = _describe_error(exc)
             try:
                 conn.send(("err", uid, info, exc, obs))
@@ -271,7 +359,7 @@ def _worker_main(conn: connection.Connection) -> None:
                 except Exception:
                     break
             continue
-        obs = _worker_obs_payload(started)
+        obs = _worker_obs_payload(started, acct.summary())
         try:
             conn.send(("ok", uid, value, None, obs))
         except Exception:
@@ -506,6 +594,9 @@ class _Dispatch:
         "backoff_s",
         "exec_s",
         "pids",
+        "escalations",
+        "overrides",
+        "account",
     )
 
     def __init__(self, point: CampaignPoint) -> None:
@@ -518,18 +609,25 @@ class _Dispatch:
         self.backoff_s = 0.0  # cumulative retry-backoff slept
         self.exec_s = 0.0  # in-worker execution time, summed over attempts
         self.pids: list[int] = []  # worker processes that ran the point
+        self.escalations = 0  # error-budget cap escalations (re-dispatches)
+        self.overrides: dict[str, Any] | None = None  # escalated cap kwargs
+        self.account: dict[str, Any] | None = None  # last error account
 
     def meta(self) -> dict[str, Any]:
         """The point's timeline fields (supervisor-side view)."""
         sent = self.first_sent if self.first_sent is not None else self.created
-        return {
+        out: dict[str, Any] = {
             "queue_wait_s": max(0.0, sent - self.created),
             "exec_s": self.exec_s,
             "backoff_s": self.backoff_s,
             "attempts": self.tries,
             "crashes": self.crashes,
             "pids": list(self.pids),
+            "escalations": self.escalations,
         }
+        if self.account:
+            out.update(self.account)
+        return out
 
 
 class _SupervisedRun:
@@ -542,11 +640,13 @@ class _SupervisedRun:
         pending: Iterable[CampaignPoint],
         policy: FailurePolicy,
         faults: FaultPlan | None,
+        target_error: float | None = None,
     ) -> None:
         self.pool = pool
         self.task_ref = task_ref
         self.policy = policy
         self.faults = faults
+        self.target_error = target_error
         self.ready: deque[_Dispatch] = deque(_Dispatch(p) for p in pending)
         #: heap of (ready_at, seq, dispatch) backoff waits.
         self.waiting: list[tuple[float, int, _Dispatch]] = []
@@ -599,8 +699,9 @@ class _SupervisedPool:
         pending: Iterable[CampaignPoint],
         policy: FailurePolicy,
         faults: FaultPlan | None,
+        target_error: float | None = None,
     ) -> _SupervisedRun:
-        run = _SupervisedRun(self, task_ref, pending, policy, faults)
+        run = _SupervisedRun(self, task_ref, pending, policy, faults, target_error)
         self._runs.append(run)
         self._dispatch()
         return run
@@ -723,6 +824,7 @@ class _SupervisedPool:
                         dispatch.tries,
                         run.faults,
                         obs_conf,
+                        dispatch.overrides,
                     )
                 )
             except (OSError, ValueError):
@@ -827,6 +929,9 @@ class _SupervisedPool:
     def _absorb_obs(self, dispatch: _Dispatch, obs: dict[str, Any]) -> None:
         """Fold a worker's piggybacked telemetry into supervisor state."""
         dispatch.exec_s += float(obs.get("exec_s", 0.0))
+        # Latest execution wins: an escalated re-run's (smaller) account
+        # replaces the blown one, so timelines report the delivered error.
+        dispatch.account = obs.get("error_account")
         pid = obs.get("pid")
         if pid is not None and pid not in dispatch.pids:
             dispatch.pids.append(pid)
@@ -848,9 +953,36 @@ class _SupervisedPool:
         if obs:
             self._absorb_obs(dispatch, obs)
         if kind == "ok":
+            if self._maybe_escalate(run, dispatch):
+                return
             run.events.append((dispatch.point, ("ok", payload), dispatch.meta()))
         else:
             self._on_failed_attempt(run, dispatch, "exception", payload, exc)
+
+    def _maybe_escalate(self, run: _SupervisedRun, dispatch: _Dispatch) -> bool:
+        """Re-dispatch a successful point whose error blew its budget.
+
+        Only runs with a ``target_error`` contract escalate; the count
+        is bounded by the policy's ``max_escalations``, after which the
+        best delivered result stands (the timeline's flattened error
+        account shows by how much it missed).
+        """
+        if run.target_error is None:
+            return False
+        if dispatch.escalations >= run.policy.max_escalations:
+            return False
+        caps = _escalated_caps(dispatch.account, dispatch.overrides, run.target_error)
+        if caps is None:
+            return False
+        dispatch.escalations += 1
+        dispatch.overrides = caps
+        self._counters["escalations"] += 1
+        if _metrics.enabled:
+            _metrics.inc("exec_escalations")
+        # Head of the queue, like crash recovery: escalation must not
+        # cost the point its scheduling priority.
+        run.ready.appendleft(dispatch)
+        return True
 
     def _on_crash(self, worker: _Worker) -> None:
         run, dispatch, _uid = self._release(worker)
@@ -1010,36 +1142,58 @@ def _serial_events(
     faults: FaultPlan | None,
     counters: dict[str, int],
     attempts: dict[int, int],
+    target_error: float | None = None,
 ) -> Iterator[_Event]:
     """In-process execution honouring the failure policy (no timeouts).
 
     Yields ``(point, outcome, meta)`` like the supervised pool.  Kill
     faults are skipped (never kill the host process); retry backoff
-    sleeps deterministically.  Telemetry needs no piggybacking here —
-    the task runs in the consumer's own process, so instrumented code
-    records straight into the live registry and trace buffer.
+    sleeps deterministically; error-budget escalation re-runs points
+    with the same cap schedule as the supervised pool, so serial and
+    parallel escalated campaigns stay bit-identical.  Telemetry needs no
+    piggybacking here — the task runs in the consumer's own process, so
+    instrumented code records straight into the live registry and trace
+    buffer.
     """
     pid = os.getpid()
     for point in pending:
         failures = 0
         backoff = 0.0
         exec_s = 0.0
+        executions = 0
+        escalations = 0
+        overrides: dict[str, Any] | None = None
         while True:
             attempt = failures + 1
-            attempts[point.index] = attempt
+            executions += 1
+            attempts[point.index] = executions
             if _metrics.enabled:
                 _metrics.inc("exec_attempts")
             started = time.monotonic()
+            acct = _budget.ErrorAccount()
             try:
-                if _tracing.enabled:
-                    with _tracing.span("point", index=point.index, attempt=attempt):
+                with _budget.scoped(acct):
+                    if _tracing.enabled:
+                        with _tracing.span(
+                            "point", index=point.index, attempt=attempt
+                        ):
+                            value = _execute_point(
+                                task_ref,
+                                point,
+                                attempt,
+                                faults,
+                                in_worker=False,
+                                overrides=overrides,
+                            )
+                    else:
                         value = _execute_point(
-                            task_ref, point, attempt, faults, in_worker=False
+                            task_ref,
+                            point,
+                            attempt,
+                            faults,
+                            in_worker=False,
+                            overrides=overrides,
                         )
-                else:
-                    value = _execute_point(
-                        task_ref, point, attempt, faults, in_worker=False
-                    )
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:
@@ -1062,21 +1216,38 @@ def _serial_events(
                     "queue_wait_s": 0.0,
                     "exec_s": exec_s,
                     "backoff_s": backoff,
-                    "attempts": attempt,
+                    "attempts": executions,
                     "crashes": 0,
                     "pids": [pid],
+                    "escalations": escalations,
                 }
+                account = acct.summary()
+                if account:
+                    meta.update(account)
                 yield point, ("error", record), meta
                 break
             exec_s += time.monotonic() - started
+            if target_error is not None and escalations < policy.max_escalations:
+                caps = _escalated_caps(acct.summary(), overrides, target_error)
+                if caps is not None:
+                    escalations += 1
+                    overrides = caps
+                    counters["escalations"] += 1
+                    if _metrics.enabled:
+                        _metrics.inc("exec_escalations")
+                    continue
             meta = {
                 "queue_wait_s": 0.0,
                 "exec_s": exec_s,
                 "backoff_s": backoff,
-                "attempts": attempt,
+                "attempts": executions,
                 "crashes": 0,
                 "pids": [pid],
+                "escalations": escalations,
             }
+            account = acct.summary()
+            if account:
+                meta.update(account)
             yield point, ("ok", value), meta
             break
 
@@ -1097,6 +1268,7 @@ def _preregister_exec_metrics() -> None:
     reg.counter("exec_retries", "failed attempts rescheduled by policy")
     reg.counter("exec_crashes", "worker deaths with a point in flight")
     reg.counter("exec_timeouts", "points killed by the per-point deadline")
+    reg.counter("exec_escalations", "points re-run with escalated error caps")
     reg.counter("exec_respawns", "worker processes respawned")
     reg.counter("exec_points", "points resolved, by source")
     reg.histogram("exec_point_s", "in-worker execution seconds per point")
@@ -1129,6 +1301,7 @@ class CampaignHandle:
         start: float,
         fingerprint: str | None = None,
         ledger: RunLedger | None = None,
+        target_error: float | None = None,
     ) -> None:
         self._executor = executor
         self._campaign = campaign
@@ -1152,6 +1325,7 @@ class CampaignHandle:
         self._failed: BaseException | None = None
         self._fingerprint = fingerprint
         self._ledger = ledger
+        self._target_error = target_error
         self._ledger_written = False
         self._started_at = time.time()
         self.cache_hits = sum(1 for hit in hits if hit.source == "cache")
@@ -1236,6 +1410,7 @@ class CampaignHandle:
                     self._faults,
                     self._executor._counters,
                     self._serial_attempts,
+                    self._target_error,
                 )
             else:
                 source = iter(lambda: run.pool.next_event(run), None)
@@ -1440,7 +1615,9 @@ class CampaignHandle:
                 "max_attempts": policy.max_attempts,
                 "timeout": policy.timeout,
                 "max_crashes": policy.max_crashes,
+                "max_escalations": policy.max_escalations,
             },
+            "target_error": self._target_error,
             "workers": self.workers,
             "env": {
                 "cpu_count": os.cpu_count(),
@@ -1635,7 +1812,12 @@ class CampaignExecutor:
         self._pools_created = 0
         self._campaigns = 0
         self._points_computed = 0
-        self._counters: dict[str, int] = {"respawns": 0, "retries": 0, "timeouts": 0}
+        self._counters: dict[str, int] = {
+            "respawns": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "escalations": 0,
+        }
         self._ledger_conf = ledger
         if profile:
             _profiling.enable()
@@ -1756,6 +1938,7 @@ class CampaignExecutor:
         policy: FailurePolicy | str | None = None,
         faults: FaultPlan | None = None,
         ledger: RunLedger | str | Path | bool | None = _UNSET,
+        target_error: float | None = None,
     ) -> CampaignHandle:
         """Start a campaign; consume it through the returned handle.
 
@@ -1786,6 +1969,13 @@ class CampaignExecutor:
                 ``None`` co-locates with the effective cache, ``False``
                 disables, a :class:`~repro.obs.ledger.RunLedger` or
                 path pins a location).
+            target_error: error-budget contract for this submission
+                (defaults to the campaign's own ``target_error``).  When
+                set, a point whose tracked truncation + purification
+                error exceeds the budget is transparently re-run with
+                escalated caps (``max_bond``/``max_kraus`` doubled from
+                the observed dimensions), at most
+                ``policy.max_escalations`` times per point.
         """
         if self._closed:
             raise SimulationError("executor is closed")
@@ -1799,6 +1989,8 @@ class CampaignExecutor:
         elif isinstance(cache, (str, Path)):
             cache = ResultCache(cache)
         effective = FailurePolicy.coerce(policy if policy is not None else self.policy)
+        if target_error is None:
+            target_error = campaign.target_error
         points = campaign.points()
         checkpoint_path = Path(checkpoint) if checkpoint is not None else None
         replayed = _load_checkpoint(checkpoint_path) if checkpoint_path else {}
@@ -1825,7 +2017,9 @@ class CampaignExecutor:
             # so workers make progress while the caller is off doing
             # something other than consuming the handle.
             pool = self._ensure_pool()
-            run = pool.submit(campaign.task_reference, pending, effective, faults)
+            run = pool.submit(
+                campaign.task_reference, pending, effective, faults, target_error
+            )
         fingerprint = stable_hash(
             {
                 "task": campaign.task_reference,
@@ -1847,6 +2041,7 @@ class CampaignExecutor:
             start=start,
             fingerprint=fingerprint,
             ledger=self._resolve_ledger(cache, ledger),
+            target_error=target_error,
         )
         if self._server is not None:
             self._server.register(handle)
@@ -1863,6 +2058,7 @@ class CampaignExecutor:
         policy: FailurePolicy | str | None = None,
         faults: FaultPlan | None = None,
         ledger: RunLedger | str | Path | bool | None = _UNSET,
+        target_error: float | None = None,
     ) -> CampaignResult:
         """Submit and drain one campaign (the barrier style)."""
         handle = self.submit(
@@ -1873,6 +2069,7 @@ class CampaignExecutor:
             policy=policy,
             faults=faults,
             ledger=ledger,
+            target_error=target_error,
         )
         return handle.result()
 
@@ -1925,6 +2122,7 @@ def run_campaign(
     chunk_size: int | None = None,
     policy: FailurePolicy | str | None = None,
     faults: FaultPlan | None = None,
+    target_error: float | None = None,
 ) -> CampaignResult:
     """Execute every point of a campaign, skipping already-known results.
 
@@ -1953,6 +2151,9 @@ def run_campaign(
             failures, worker crashes, and per-point timeouts.
         faults: a :class:`repro.exec.faults.FaultPlan` for deterministic
             fault injection (testing only).
+        target_error: error-budget contract (see
+            :meth:`CampaignExecutor.submit`); defaults to the campaign's
+            own ``target_error``.
 
     Returns:
         A :class:`CampaignResult` with values in point order.
@@ -1964,4 +2165,5 @@ def run_campaign(
             chunk_size=chunk_size,
             policy=policy,
             faults=faults,
+            target_error=target_error,
         )

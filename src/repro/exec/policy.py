@@ -67,6 +67,11 @@ class FailurePolicy:
             not enforced there.
         max_crashes: worker-death re-dispatches allowed per point (any
             mode) before the crash is treated as a terminal failure.
+        max_escalations: error-budget escalations allowed per point when
+            the submission carries a ``target_error`` contract — each
+            escalation re-runs the point with doubled truncation caps.
+            After the budget is spent the best delivered result stands.
+            Escalations count as executions but never as failures.
         backoff_base: first retry delay in seconds.
         backoff_factor: multiplier per subsequent retry.
         backoff_max: delay ceiling in seconds.
@@ -80,6 +85,7 @@ class FailurePolicy:
     max_attempts: int = 3
     timeout: float | None = None
     max_crashes: int = 3
+    max_escalations: int = 3
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_max: float = 5.0
@@ -94,6 +100,8 @@ class FailurePolicy:
             raise SimulationError("max_attempts must be >= 1")
         if self.max_crashes < 0:
             raise SimulationError("max_crashes must be >= 0")
+        if self.max_escalations < 0:
+            raise SimulationError("max_escalations must be >= 0")
         if self.timeout is not None and self.timeout <= 0:
             raise SimulationError("timeout must be positive (or None)")
         if self.backoff_base < 0 or self.backoff_max < 0:

@@ -11,9 +11,18 @@ pool down.  This module keeps the historical import surface
 
 from __future__ import annotations
 
+import warnings
+
+warnings.warn(
+    "repro.exec.runner is deprecated; import run_campaign / CampaignResult "
+    "from repro.exec instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 # The private helpers are re-exported too, so existing imports (and any
 # supervised worker payloads referencing them) keep resolving.
-from .executor import (  # noqa: F401
+from .executor import (  # noqa: F401,E402
     CampaignResult,
     _append_checkpoint,
     _call_task,

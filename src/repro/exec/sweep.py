@@ -243,6 +243,13 @@ class Campaign:
             injection (deterministic tasks).
         version: bumped manually to invalidate cached results when the
             task's *implementation* changes without its signature changing.
+        target_error: default error-budget contract for executions of
+            this campaign — the executor re-runs points whose tracked
+            truncation/purification error exceeds it, with escalated
+            caps (see :meth:`repro.exec.CampaignExecutor.submit`).
+            Deliberately *not* part of any point's cache key: the
+            contract governs how points are executed, not what they
+            compute.
     """
 
     task: str | Callable[..., Any]
@@ -251,6 +258,7 @@ class Campaign:
     base_params: Mapping[str, Any] = field(default_factory=dict)
     seed: int | None = 0
     version: str = "1"
+    target_error: float | None = None
 
     def __len__(self) -> int:
         return len(self.sweep)

@@ -183,6 +183,45 @@ class RunLedger:
                     samples.append(float(value))
         return samples
 
+    #: Error-account fields copied out of timeline entries by
+    #: :meth:`error_account_samples` — the schema the campaign workers
+    #: flatten into point metadata (``repro.core.budget.ErrorAccount``).
+    _ACCOUNT_FIELDS = (
+        "truncation_error",
+        "purification_error",
+        "max_chi",
+        "max_kappa",
+        "bond_truncations",
+        "kraus_truncations",
+    )
+
+    def error_account_samples(self, **filters: Any) -> list[dict[str, float]]:
+        """Per-point error accounts across matching runs.
+
+        Each sample is the truncation/purification account one worker
+        shipped back in a timeline entry (``truncation_error``,
+        ``purification_error``, ``max_chi``, ``max_kappa``,
+        ``bond_truncations``, ``kraus_truncations``) — the raw sample
+        set :func:`repro.exec.autopilot.recalibrate` refits the
+        accuracy-model constants against.  Entries that recorded no
+        truncation events are skipped.
+        """
+        samples: list[dict[str, float]] = []
+        for record in self.query(**filters):
+            for entry in record.get("timeline") or []:
+                if not isinstance(entry, dict):
+                    continue
+                account = {
+                    field: float(entry[field])
+                    for field in self._ACCOUNT_FIELDS
+                    if isinstance(entry.get(field), (int, float))
+                }
+                if account.get("bond_truncations") or account.get(
+                    "kraus_truncations"
+                ):
+                    samples.append(account)
+        return samples
+
     def exec_s_distribution(self, **filters: Any) -> dict[str, float] | None:
         """Summary stats of :meth:`exec_s_samples` (count/min/max/mean/quantiles)."""
         samples = sorted(self.exec_s_samples(**filters))

@@ -44,6 +44,8 @@ def sample_noisy_qaoa(
     shots: int,
     permutations: list[list[int]] | None = None,
     seed: int | np.random.Generator | None = None,
+    method: str = "trajectories",
+    target_error: float | None = None,
 ) -> dict[tuple[int, ...], int]:
     """Sample a noisy QAOA circuit via batched quantum trajectories.
 
@@ -59,10 +61,29 @@ def sample_noisy_qaoa(
         permutations: NDAR gauge remap folded into the phase separator.
         seed: integer seed or a generator to draw from — pass one generator
             across rounds for end-to-end reproducibility.
+        method: ``"trajectories"`` (the seed behaviour — batched MC
+            unravelling) or ``"auto"``, which routes through
+            :func:`repro.core.backends.get_backend` and lets the cost
+            model pick the engine; sampling engines are allowed since
+            the output is a shot histogram anyway.
+        target_error: accuracy contract for ``method="auto"`` — the
+            autopilot sizes caps/trajectory counts so the predicted
+            error meets the budget.
     """
     circuit = qaoa_circuit(problem, gammas, betas, permutations)
     noisy = add_photon_loss(circuit, loss_per_layer)
-    return TrajectorySimulator(noisy, seed=seed).sample(shots)
+    if method == "trajectories":
+        return TrajectorySimulator(noisy, seed=seed).sample(shots)
+    if method != "auto":
+        raise SimulationError(f"unknown sampling method {method!r}")
+    from ..core.backends import get_backend
+
+    options: dict = {"allow_sampling": True}
+    if target_error is not None:
+        options["target_error"] = target_error
+    backend = get_backend("auto", **options)
+    run_seed, sample_seed = spawn_seeds(derive_seed(seed), 2)
+    return backend.run(noisy, rng=run_seed).sample(shots, rng=sample_seed)
 
 
 def _decode(sample: tuple[int, ...], permutations: list[list[int]]) -> tuple[int, ...]:
@@ -119,6 +140,8 @@ def run_ndar(
     adaptive: bool = True,
     angles: tuple | None = None,
     seed: int | np.random.Generator | None = None,
+    method: str = "trajectories",
+    target_error: float | None = None,
 ) -> NdarResult:
     """Run the NDAR loop (or the vanilla baseline with ``adaptive=False``).
 
@@ -137,6 +160,8 @@ def run_ndar(
         angles: optional fixed ``(gammas, betas)``; defaults to the linear
             ramp (NDAR's gain does not require per-round re-optimisation).
         seed: RNG seed.
+        method, target_error: sampling engine and accuracy contract,
+            forwarded to :func:`sample_noisy_qaoa` each round.
 
     Returns:
         An :class:`NdarResult`.
@@ -163,6 +188,8 @@ def run_ndar(
             shots,
             permutations=permutations if adaptive else None,
             seed=round_seeds[round_index],
+            method=method,
+            target_error=target_error,
         )
         round_best = None
         weighted_cost = 0.0
@@ -212,6 +239,8 @@ def ndar_restart_task(
     loss_per_layer: float = 0.15,
     p: int = 1,
     adaptive: bool = True,
+    method: str = "trajectories",
+    target_error: float | None = None,
     seed: int = 0,
 ) -> dict:
     """Campaign task: one independent seeded NDAR run on a fixed instance.
@@ -238,6 +267,8 @@ def ndar_restart_task(
         p=p,
         adaptive=adaptive,
         seed=seed,
+        method=method,
+        target_error=target_error,
     )
     return {
         "restart": int(restart),
@@ -255,6 +286,8 @@ def ndar_restart_battery(
     checkpoint=None,
     seed: int = 0,
     target_cost: int | None = None,
+    method: str = "trajectories",
+    target_error: float | None = None,
     executor=None,
     policy=None,
     ledger=None,
@@ -284,6 +317,10 @@ def ndar_restart_battery(
             given).
         target_cost: stop consuming once a restart's ``best_cost`` is
             ``<=`` this value (``None`` = run the full battery).
+        method: sampling engine for every restart
+            (:func:`sample_noisy_qaoa` semantics).
+        target_error: accuracy contract for ``method="auto"`` restarts;
+            also arms the executor's mid-run cap escalation.
         executor: an existing :class:`repro.exec.CampaignExecutor` whose
             warm pool should be reused.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
@@ -311,12 +348,16 @@ def ndar_restart_battery(
     """
     from ..exec import Campaign, executor_scope, zip_sweep
 
+    task_params = dict(task_params, method=method)
+    if target_error is not None:
+        task_params["target_error"] = target_error
     campaign = Campaign(
         task="repro.qaoa.ndar:ndar_restart_task",
         sweep=zip_sweep(restart=list(range(int(n_restarts)))),
         name="ndar-restart-battery",
         base_params=task_params,
         seed=seed,
+        target_error=target_error,
     )
     scope = executor_scope(
         executor, workers=workers, cache=cache, policy=policy, ledger=ledger

@@ -50,6 +50,7 @@ def reservoir_nmse_task(
     washout: int = 20,
     train_fraction: float = 0.7,
     shots: int = 0,
+    target_error: float | None = None,
     seed: int = 0,
 ) -> dict:
     """Campaign task: train/test NMSE of one reservoir configuration.
@@ -69,6 +70,9 @@ def reservoir_nmse_task(
         input_gain, drive_bias, feature_set, method: reservoir knobs.
         alpha, washout, train_fraction: readout training spec.
         shots: projective shots per time step (0 = exact populations).
+        target_error: accuracy contract forwarded to the ``"auto"``
+            backend when ``method="auto"`` (ignored by the direct
+            ``"splitstep"`` propagator and explicit engines).
         seed: the campaign's spawned per-point seed (drives shot noise).
 
     Returns:
@@ -81,6 +85,11 @@ def reservoir_nmse_task(
         kappa_1=float(kappa),
         kappa_2=float(kappa),
     )
+    backend_options = (
+        {"target_error": float(target_error)}
+        if target_error is not None and method == "auto"
+        else None
+    )
     reservoir = QuantumReservoir(
         osc,
         dt=float(dt),
@@ -88,6 +97,7 @@ def reservoir_nmse_task(
         drive_bias=float(drive_bias),
         feature_set=feature_set,
         method=method,
+        backend_options=backend_options,
     )
     features = reservoir.run(series.inputs)
     if int(shots) > 0:
@@ -113,6 +123,8 @@ def reservoir_grid_campaign(
     cache=None,
     checkpoint=None,
     seed: int = 0,
+    method: str = "splitstep",
+    target_error: float | None = None,
     executor=None,
     policy=None,
     ledger=None,
@@ -127,6 +139,11 @@ def reservoir_grid_campaign(
         workers, cache, checkpoint, seed: campaign execution knobs
             (see :func:`repro.exec.run_campaign`; ``workers`` is ignored
             when an ``executor`` is given).
+        method: reservoir propagator — ``"splitstep"`` (the seed direct
+            density-matrix propagator) or a backend name such as
+            ``"auto"`` (:func:`repro.core.backends.get_backend`).
+        target_error: accuracy contract for ``method="auto"`` points;
+            also arms the executor's mid-run cap escalation.
         executor: an existing :class:`repro.exec.CampaignExecutor` —
             re-tuning loops that sweep many grids reuse its warm pool.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
@@ -147,6 +164,9 @@ def reservoir_grid_campaign(
     """
     from ..exec import Campaign, executor_scope, grid_sweep
 
+    task_params = dict(task_params, method=method)
+    if target_error is not None:
+        task_params["target_error"] = target_error
     campaign = Campaign(
         task="repro.reservoir.grid:reservoir_nmse_task",
         sweep=grid_sweep(
@@ -158,6 +178,7 @@ def reservoir_grid_campaign(
         name="reservoir-grid",
         base_params=task_params,
         seed=seed,
+        target_error=target_error,
     )
     scope = executor_scope(
         executor, workers=workers, cache=cache, policy=policy, ledger=ledger

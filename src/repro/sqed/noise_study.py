@@ -63,8 +63,9 @@ def trajectory_damage(
     method: str = "density",
     n_trajectories: int = 128,
     rng: np.random.Generator | int | None = 0,
-    max_bond: int | None = 64,
-    max_kraus: int | None = 16,
+    max_bond: int | None = 0,
+    max_kraus: int | None = 0,
+    target_error: float | None = None,
 ) -> float:
     """RMS deviation of the noisy <Lz_site(t)> trajectory from noiseless.
 
@@ -88,9 +89,18 @@ def trajectory_damage(
         n_trajectories: stochastic batch width (``"trajectories"``/``"mps"``).
         rng: generator / seed for the stochastic methods (defaults to a
             fixed seed so threshold bisection sees a deterministic score).
-        max_bond: bond-dimension cap (``"mps"``/``"lpdo"``).
-        max_kraus: Kraus-leg cap (``"lpdo"`` only; ``None`` keeps the legs
-            at their exact rank).
+        max_bond: bond-dimension cap (``"mps"``/``"lpdo"``).  The ``0``
+            default resolves to the historical cap of 64 — or, under a
+            ``target_error`` contract with ``method="auto"``, to "let the
+            autopilot plan choose".  ``None`` disables the cap.
+        max_kraus: Kraus-leg cap (``"lpdo"`` only), same ``0``-default
+            convention with a historical cap of 16; ``None`` keeps the
+            legs at their exact rank.
+        target_error: accuracy contract forwarded to the ``"auto"``
+            backend — :func:`repro.exec.select_backend` then picks the
+            engine *and* its caps so the predicted truncation +
+            purification + sampling error stays within budget, instead
+            of using the hand-set defaults above.
 
     Returns:
         RMS trajectory deviation (0 for epsilon = 0).
@@ -99,6 +109,12 @@ def trajectory_damage(
         raise SimulationError("epsilon must be >= 0")
     if method not in ("density", "trajectories", "mps", "lpdo", "auto"):
         raise SimulationError(f"unknown damage method {method!r}")
+    contract = target_error is not None and method == "auto"
+    if max_bond == 0:
+        max_bond = None if contract else 64
+    if max_kraus == 0:
+        max_kraus = None if contract else 16
+    auto_options = {"target_error": target_error} if contract else {}
     chain = encoding.chain
     m_values = _excitation_profile(chain.n_sites)
     dt = t_total / n_steps
@@ -127,6 +143,7 @@ def trajectory_damage(
         clean = evolve_observable_trajectory_backend(
             clean_step, n_steps, local_op, op_targets, digits,
             method=method, max_bond=max_bond, max_kraus=max_kraus,
+            **auto_options,
         )
     else:
         observable = encoding.local_lz_operator(site)
@@ -153,6 +170,7 @@ def trajectory_damage(
         noisy = evolve_observable_trajectory_backend(
             noisy_step, n_steps, local_op, op_targets, digits,
             method=method, max_bond=max_bond, max_kraus=max_kraus,
+            **auto_options,
         )
     else:
         noisy = evolve_observable_trajectory_mc(
@@ -171,8 +189,9 @@ def noise_threshold(
     method: str = "density",
     n_trajectories: int = 128,
     rng: np.random.Generator | int | None = 0,
-    max_bond: int | None = 64,
-    max_kraus: int | None = 16,
+    max_bond: int | None = 0,
+    max_kraus: int | None = 0,
+    target_error: float | None = None,
 ) -> float:
     """Largest epsilon whose trajectory damage stays below ``damage_tol``.
 
@@ -182,7 +201,8 @@ def noise_threshold(
     log-midpoint bisection refines it.
 
     Args:
-        method, n_trajectories, rng, max_bond, max_kraus: forwarded to
+        method, n_trajectories, rng, max_bond, max_kraus, target_error:
+            forwarded to
             :func:`trajectory_damage` — ``method="trajectories"`` scores
             damage with the batched Monte-Carlo engine for registers too
             large for a density matrix, ``method="mps"`` with the
@@ -207,6 +227,7 @@ def noise_threshold(
             rng=rng,
             max_bond=max_bond,
             max_kraus=max_kraus,
+            target_error=target_error,
         )
 
     if _damage(eps_hi) < damage_tol:
@@ -311,8 +332,9 @@ def damage_task(
     site: int = 0,
     method: str = "auto",
     n_trajectories: int = 128,
-    max_bond: int | None = 64,
-    max_kraus: int | None = 16,
+    max_bond: int | None = 0,
+    max_kraus: int | None = 0,
+    target_error: float | None = None,
     g2: float = 1.0,
     hopping: float = 0.3,
     mu: float = 0.0,
@@ -337,6 +359,10 @@ def damage_task(
         t_total, n_steps, site, method, n_trajectories, max_bond,
         max_kraus: forwarded to :func:`trajectory_damage` (``method="auto"``
         lets the cost model pick density/LPDO per register size).
+        target_error: accuracy contract for ``method="auto"`` — the
+            autopilot plans engine and caps to meet it, and the campaign
+            executor escalates ``max_bond``/``max_kraus`` mid-run when a
+            point's tracked error overruns the budget.
         seed: stochastic-method seed (ignored by exact methods).
 
     Returns:
@@ -355,11 +381,12 @@ def damage_task(
             rng=seed,
             max_bond=max_bond,
             max_kraus=max_kraus,
+            target_error=target_error,
         )
     )
 
 
-def _damage_campaign_spec(epsilons, name, seed, task_params):
+def _damage_campaign_spec(epsilons, name, seed, task_params, target_error=None):
     from ..exec import Campaign, zip_sweep
 
     return Campaign(
@@ -368,6 +395,7 @@ def _damage_campaign_spec(epsilons, name, seed, task_params):
         name=name,
         base_params=task_params,
         seed=seed,
+        target_error=target_error,
     )
 
 
@@ -379,6 +407,8 @@ def damage_campaign(
     checkpoint=None,
     seed: int = 0,
     name: str = "sqed-damage",
+    method: str = "auto",
+    target_error: float | None = None,
     executor=None,
     policy=None,
     ledger=None,
@@ -397,6 +427,11 @@ def damage_campaign(
         checkpoint: resumable JSON-lines progress file.
         seed: campaign root seed (per-point seeds are spawned from it).
         name: campaign label.
+        method: simulation engine for :func:`damage_task` (``"auto"``
+            lets the cost model pick per register).
+        target_error: accuracy contract — planned caps per point via the
+            autopilot (``method="auto"``), plus mid-run executor
+            escalation when a point's tracked error overruns the budget.
         executor: an existing :class:`repro.exec.CampaignExecutor` to run
             on — its warm pool is reused instead of forking a fresh one.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string)
@@ -410,7 +445,7 @@ def damage_campaign(
             epsilon resolves (completion order — cache hits first), via
             :meth:`repro.exec.CampaignHandle.on_result`.
         **task_params: fixed :func:`damage_task` parameters (``n_sites``,
-            ``encoding``, ``method``, ...).
+            ``encoding``, ...).
 
     Returns:
         A :class:`repro.exec.CampaignResult` whose ``values`` align with
@@ -418,7 +453,10 @@ def damage_campaign(
     """
     from ..exec import executor_scope
 
-    campaign = _damage_campaign_spec(epsilons, name, seed, task_params)
+    task_params = dict(task_params, method=method)
+    if target_error is not None:
+        task_params["target_error"] = target_error
+    campaign = _damage_campaign_spec(epsilons, name, seed, task_params, target_error)
     scope = executor_scope(
         executor, workers=workers, cache=cache, policy=policy, ledger=ledger
     )
@@ -435,6 +473,8 @@ def noise_threshold_campaign(
     workers: int | None = None,
     cache=None,
     seed: int = 0,
+    method: str = "auto",
+    target_error: float | None = None,
     executor=None,
     policy=None,
     ledger=None,
@@ -467,6 +507,10 @@ def noise_threshold_campaign(
             an ``executor`` is passed).
         cache: shared result cache (directory path or ResultCache).
         seed: campaign root seed.
+        method: simulation engine for the damage probes (same semantics
+            as :func:`damage_campaign`).
+        target_error: accuracy contract for the probes (same semantics
+            as :func:`damage_campaign`).
         executor: an existing :class:`repro.exec.CampaignExecutor`; by
             default one is created (and closed) for this bisection.
         policy: a :class:`repro.exec.FailurePolicy` (or mode string) for
@@ -484,9 +528,13 @@ def noise_threshold_campaign(
     """
     from ..exec import executor_scope
 
+    task_params = dict(task_params, method=method)
+    if target_error is not None:
+        task_params["target_error"] = target_error
+
     def spec(epsilons):
         return _damage_campaign_spec(
-            epsilons, "sqed-threshold-probe", seed, task_params
+            epsilons, "sqed-threshold-probe", seed, task_params, target_error
         )
 
     scope = executor_scope(

@@ -64,6 +64,8 @@ class TestSelectionRules:
             [3] * 5,
             noisy=True,
             memory_budget=2**30,
+            max_bond=32,
+            max_kraus=8,
             calibration=DEFAULT_CALIBRATION,
         )
         tight = select_backend(
@@ -158,7 +160,9 @@ class TestAutoBackend:
         circuit = _noisy_circuit(3)
         auto = get_backend("auto")
         result = auto.run(circuit)
-        assert auto.last_choice.name == "density"
+        # Host calibration decides between the two exact noisy engines;
+        # either way the result must match the dense reference exactly.
+        assert auto.last_choice.name in ("density", "lpdo")
         reference = get_backend("density").run(circuit)
         op = np.diag([0.0, 1.0, 2.0])
         for wire in range(3):

@@ -190,6 +190,8 @@ def test_exec_bench_smoke(tmp_path):
         obs_qudits=5,
         obs_gate_loops=2,
         obs_repeats=3,
+        autopilot_points=6,
+        autopilot_target=1e-6,
         workers=8,
         calibration_scale=1,
         cache_dir=tmp_path / "cache",
@@ -229,6 +231,15 @@ def test_exec_bench_smoke(tmp_path):
     assert sqed["replay_hit_fraction"] >= 0.95
     assert sqed["replay_speedup"] >= 10.0
     assert sqed["monotone_damage"]
+    # The autopilot contract delivers within budget with zero hand-set
+    # caps.  The committed-record wall-time bound is 1.2x the best
+    # hand-tuned config; the smoke campaigns finish in milliseconds, so
+    # only the accuracy contract is guarded here.
+    autopilot = report["autopilot"]
+    assert autopilot["meets_target"]
+    assert autopilot["autopilot_max_abs_error"] <= autopilot["target_error"]
+    assert autopilot["vs_best_hand_ratio"] > 0
+    assert len(autopilot["hand_tuned"]) >= 3
     # The cost model lands on the anchor decisions with freshly measured
     # constants, not just the committed ones.
     selection = report["auto_selection"]
@@ -347,9 +358,11 @@ def test_committed_bench_exec_json_meets_targets():
     wall time, supervised (fault-tolerant) dispatch within 10% of a raw
     unsupervised pool on the latency-bound battery, a >= 10x cached
     replay serving >= 95% of the 64-point
-    sQED campaign, and the auto-selector's anchor decisions (statevector
-    for a small noiseless register, a tensor network for 12 noisy
-    qutrits).  The CPU-bound parallel speedup is recorded together with
+    sQED campaign, the error-budget autopilot meeting its
+    ``target_error`` contract within 1.2x the wall time of the best
+    hand-tuned cap configuration, and the auto-selector's anchor
+    decisions (statevector for a small noiseless register, a tensor
+    network for 12 noisy qutrits).  The CPU-bound parallel speedup is recorded together with
     the host's core count; the >= 2x guard applies where cores exist to
     use.  Observability instrumentation must be near-free when disabled
     (disabled ratio <= 1.05), with a successful live ``/metrics`` scrape
@@ -385,6 +398,10 @@ def test_committed_bench_exec_json_meets_targets():
     assert sqed["replay_speedup"] >= 10.0
     if report["meta"]["cpu_count"] >= 8:
         assert sqed["parallel_speedup"] >= 2.0
+    autopilot = report["autopilot"]
+    assert autopilot["meets_target"]
+    assert autopilot["autopilot_max_abs_error"] <= autopilot["target_error"]
+    assert autopilot["vs_best_hand_ratio"] <= 1.2
     selection = report["auto_selection"]
     assert selection["4_qutrit_noiseless"]["backend"] == "statevector"
     assert selection["12_qutrit_noisy"]["backend"] in ("mps", "lpdo")
